@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each harness regenerates one artifact of the paper (a table, a figure, or
+a quantified claim).  Besides the pytest-benchmark timing table, every
+harness writes its reproduced rows to ``benchmarks/results/<exp>.txt`` so
+the paper-vs-measured comparison in EXPERIMENTS.md can be refreshed from a
+single run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(experiment: str, lines: list[str]) -> str:
+    """Persist and return the reproduced rows for one experiment."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w") as f:
+        f.write(text)
+    return text
+
+
+@pytest.fixture
+def results_report():
+    return report

@@ -1,0 +1,142 @@
+"""E4 — Many small composers vs one monolithic composer (Section 6.3).
+
+"Large, monolithic event managers that are based on a single graph should
+be avoided.  Instead, many small compositors ... should be supported."
+
+Setup: M composite rules, each over its own pair of event types, and an
+event stream touching one pair at a time.
+
+* **REACH strategy**: each primitive event is routed only to the
+  composers whose leaves include it (per-manager listener lists) —
+  per-event cost tracks the number of *relevant* composers (~1).
+* **Monolithic strategy**: a single composition engine receives every
+  event and tests all M expressions — per-event cost tracks M.
+
+Expected shape: the monolith's per-event cost grows linearly with M; the
+REACH dispatch stays flat.
+"""
+
+import time
+
+import pytest
+
+from repro.core.algebra import Sequence
+from repro.core.composer import Composer
+from repro.core.events import EventOccurrence, MethodEventSpec
+
+STREAM_LENGTH = 400
+
+
+def _specs(m):
+    pairs = []
+    for index in range(m):
+        first = MethodEventSpec(f"Cls{index}", "alpha")
+        second = MethodEventSpec(f"Cls{index}", "omega")
+        pairs.append((first, second))
+    return pairs
+
+
+def _composers(pairs):
+    return [Composer(Sequence(first, second))
+            for first, second in pairs]
+
+
+def _stream(pairs):
+    """Alternate full passes of initiators and terminators so every pair
+    completes regardless of how many pairs exist.  All occurrences share
+    one transaction (single-transaction composites group by it)."""
+    occurrences = []
+    for step in range(STREAM_LENGTH):
+        first, second = pairs[step % len(pairs)]
+        spec = first if (step // len(pairs)) % 2 == 0 else second
+        occurrences.append(EventOccurrence(
+            spec, spec.category(), float(step), tx_ids=frozenset({1})))
+    return occurrences
+
+
+def _run_reach(composers, routing, stream):
+    emitted = 0
+    for occ in stream:
+        for composer in routing.get(occ.spec_key, ()):
+            emitted += len(composer.feed(occ))
+    return emitted
+
+
+def _run_monolith(composers, stream):
+    emitted = 0
+    for occ in stream:
+        for composer in composers:          # every composer sees everything
+            emitted += len(composer.feed(occ))
+    return emitted
+
+
+def _routing(composers):
+    table = {}
+    for composer in composers:
+        for key in composer.interested_keys:
+            table.setdefault(key, []).append(composer)
+    return table
+
+
+@pytest.mark.parametrize("m", [5, 25, 100])
+def test_reach_many_small_composers(benchmark, m):
+    pairs = _specs(m)
+    stream = _stream(pairs)
+
+    def run():
+        composers = _composers(pairs)
+        return _run_reach(composers, _routing(composers), stream)
+
+    emitted = benchmark(run)
+    assert emitted > 0
+
+
+@pytest.mark.parametrize("m", [5, 25, 100])
+def test_monolithic_single_graph(benchmark, m):
+    pairs = _specs(m)
+    stream = _stream(pairs)
+
+    def run():
+        composers = _composers(pairs)
+        return _run_monolith(composers, stream)
+
+    emitted = benchmark(run)
+    assert emitted > 0
+
+
+def test_scaling_report(benchmark, results_report):
+    rows = []
+    for m in (5, 25, 100):
+        pairs = _specs(m)
+        stream = _stream(pairs)
+
+        composers = _composers(pairs)
+        routing = _routing(composers)
+        start = time.perf_counter()
+        reach_emitted = _run_reach(composers, routing, stream)
+        reach_time = time.perf_counter() - start
+
+        composers = _composers(pairs)
+        start = time.perf_counter()
+        mono_emitted = _run_monolith(composers, stream)
+        mono_time = time.perf_counter() - start
+
+        assert reach_emitted == mono_emitted, "strategies must agree"
+        rows.append((m, reach_time, mono_time))
+
+    lines = [f"E4: dispatch strategy scaling over {STREAM_LENGTH} events",
+             "",
+             f"{'#composers':>10s} {'many-small':>12s} {'monolithic':>12s} "
+             f"{'ratio':>7s}"]
+    for m, reach_time, mono_time in rows:
+        lines.append(f"{m:>10d} {reach_time * 1000:>10.2f}ms "
+                     f"{mono_time * 1000:>10.2f}ms "
+                     f"{mono_time / reach_time:>6.1f}x")
+    text = results_report("E4_composer_strategies", lines)
+    print("\n" + text)
+
+    # Shape: the monolith degrades with M; REACH stays roughly flat.
+    small_ratio = rows[0][2] / rows[0][1]
+    large_ratio = rows[-1][2] / rows[-1][1]
+    assert large_ratio > small_ratio
+    assert rows[-1][2] > rows[-1][1] * 3

@@ -1,0 +1,114 @@
+"""E8 — Consumption policies over the paper's ambiguity example
+(Section 3.4) and a bursty sensor stream.
+
+The paper's example: composing E3 = (E1 ; E2) when instances e1, e1', e2
+arrive in this order — which e1 participates?  The harness runs that
+exact stream under all four SNOOP contexts and reports the pairing each
+one produces, then measures composition throughput per policy on a
+bursty stream (many initiators per terminator).
+"""
+
+import pytest
+
+from repro.core.algebra import Sequence
+from repro.core.composer import Composer
+from repro.core.consumption import ConsumptionPolicy
+from repro.core.events import EventOccurrence, MethodEventSpec
+
+E1 = MethodEventSpec("S", "e1")
+E2 = MethodEventSpec("S", "e2")
+
+
+def _occ(spec, timestamp):
+    return EventOccurrence(spec, spec.category(), timestamp,
+                           tx_ids=frozenset({1}))
+
+
+def _paper_example(policy):
+    """Feed e1, e1', e2 and report the compositions produced."""
+    composer = Composer(Sequence(E1, E2).consumed(policy))
+    first = _occ(E1, 1.0)    # e1
+    second = _occ(E1, 2.0)   # e1'
+    composer.feed(first)
+    composer.feed(second)
+    emissions = composer.feed(_occ(E2, 3.0))
+    labels = {first.seq: "e1", second.seq: "e1'"}
+    out = []
+    for emission in emissions:
+        initiators = [labels[c.seq] for c in emission.components
+                      if c.seq in labels]
+        out.append("+".join(initiators) or "none")
+    return out
+
+
+def test_paper_example_report(benchmark, results_report):
+    expected = {
+        ConsumptionPolicy.RECENT: ["e1'"],          # most recent instance
+        ConsumptionPolicy.CHRONICLE: ["e1"],        # chronological order
+        ConsumptionPolicy.CONTINUOUS: ["e1", "e1'"],  # one per window
+        ConsumptionPolicy.CUMULATIVE: ["e1+e1'"],   # all folded into one
+    }
+    lines = ["E8: E3 = (E1 ; E2) with instances e1, e1', e2 (Section 3.4)",
+             "",
+             f"{'context':>12s}   compositions raised"]
+    observed = {}
+    for policy in ConsumptionPolicy:
+        observed[policy] = _paper_example(policy)
+        lines.append(f"{policy.value:>12s}   {observed[policy]}")
+    text = results_report("E8_consumption_policies", lines)
+    print("\n" + text)
+    assert observed == expected
+
+
+BURST = 50
+ROUNDS = 40
+
+
+def _bursty_stream():
+    stream = []
+    timestamp = 0.0
+    for __ in range(ROUNDS):
+        for __ in range(BURST):
+            timestamp += 1.0
+            stream.append(_occ(E1, timestamp))
+        timestamp += 1.0
+        stream.append(_occ(E2, timestamp))
+    return stream
+
+
+@pytest.mark.parametrize("policy", list(ConsumptionPolicy))
+def test_policy_throughput(benchmark, policy):
+    stream = _bursty_stream()
+
+    def run():
+        composer = Composer(Sequence(E1, E2).consumed(policy))
+        emitted = 0
+        for occ in stream:
+            emitted += len(composer.feed(occ))
+        return emitted
+
+    emitted = benchmark(run)
+    if policy is ConsumptionPolicy.CONTINUOUS:
+        assert emitted == ROUNDS * BURST   # every initiator composes
+    elif policy is ConsumptionPolicy.RECENT:
+        assert emitted == ROUNDS           # newest instance only
+    elif policy is ConsumptionPolicy.CHRONICLE:
+        assert emitted == ROUNDS           # oldest unconsumed instance
+    else:
+        assert emitted == ROUNDS           # one cumulative composite
+
+
+def test_residual_state_report(benchmark, results_report):
+    """What each policy leaves buffered after the stream — the state a
+    lifespan/GC design has to reckon with."""
+    stream = _bursty_stream()
+    lines = ["E8b: buffered initiators left after the bursty stream",
+             "",
+             f"{'context':>12s} {'emitted':>8s} {'left buffered':>14s}"]
+    for policy in ConsumptionPolicy:
+        composer = Composer(Sequence(E1, E2).consumed(policy))
+        emitted = sum(len(composer.feed(occ)) for occ in stream)
+        lines.append(f"{policy.value:>12s} {emitted:>8d} "
+                     f"{composer.pending_count():>14d}")
+    text = results_report("E8b_consumption_residuals", lines)
+    print("\n" + text)

@@ -1,0 +1,133 @@
+"""E1 — Sentry overhead categories (Section 6.2, after [WSTR93]).
+
+The paper distinguishes three categories of sentry overhead plus the
+unmonitored baseline:
+
+* *unmonitored*: class never processed by the sentry generator;
+* *useless overhead*: sentried, but nothing will ever trigger;
+* *potentially useful overhead*: sentried with receivers on *other*
+  methods of the class;
+* *useful overhead*: a receiver consumes each notification.
+
+Expected shape (the [WSTR93] result): unmonitored ~= useless <
+potentially-useful ~= useless << useful.  Ideally useless overhead is a
+single cheap test — which is exactly what the in-line wrapper does.
+"""
+
+import pytest
+
+from repro.bench.metrics import LatencyRecorder
+from repro.oodb.sentry import Moment, registry, sentried
+
+
+class UnmonitoredValve:
+    def open_to(self, setting):
+        self.setting = setting
+        return setting
+
+    def close(self):
+        self.setting = 0
+
+
+@sentried(track_state=False)
+class SentriedValve:
+    def open_to(self, setting):
+        self.setting = setting
+        return setting
+
+    def close(self):
+        self.setting = 0
+
+
+CALLS_PER_ROUND = 1000
+
+
+def _run_calls(valve):
+    for __ in range(CALLS_PER_ROUND):
+        valve.open_to(5)
+
+
+def test_unmonitored_baseline(benchmark):
+    benchmark(_run_calls, UnmonitoredValve())
+
+
+def test_useless_overhead(benchmark):
+    """Sentried, no receivers anywhere on the called method."""
+    benchmark(_run_calls, SentriedValve())
+
+
+def test_potentially_useful_overhead(benchmark):
+    """Receivers exist on another method of the same class."""
+    subscription = registry.watch_method(SentriedValve, "close",
+                                         lambda note: None)
+    try:
+        benchmark(_run_calls, SentriedValve())
+    finally:
+        subscription.cancel()
+
+
+def test_useful_overhead(benchmark):
+    """A receiver consumes every notification."""
+    sink = []
+    subscription = registry.watch_method(SentriedValve, "open_to",
+                                         sink.append, moment=Moment.AFTER)
+    try:
+        benchmark(_run_calls, SentriedValve())
+    finally:
+        subscription.cancel()
+
+
+def test_overhead_shape_report(benchmark, results_report):
+    """Measure all four categories in one process and check the shape."""
+    import time
+
+    def measure(setup):
+        valve, teardown = setup()
+        recorder = LatencyRecorder()
+        for __ in range(30):
+            start = time.perf_counter()
+            _run_calls(valve)
+            recorder.record(time.perf_counter() - start)
+        teardown()
+        return recorder
+
+    def unmonitored():
+        return UnmonitoredValve(), (lambda: None)
+
+    def useless():
+        return SentriedValve(), (lambda: None)
+
+    def potentially():
+        sub = registry.watch_method(SentriedValve, "close",
+                                    lambda note: None)
+        return SentriedValve(), sub.cancel
+
+    def useful():
+        sub = registry.watch_method(SentriedValve, "open_to",
+                                    lambda note: None)
+        return SentriedValve(), sub.cancel
+
+    rows = {
+        "unmonitored": measure(unmonitored),
+        "useless overhead": measure(useless),
+        "potentially useful": measure(potentially),
+        "useful overhead": measure(useful),
+    }
+    per_call = {name: recorder.percentile(50) / CALLS_PER_ROUND * 1e9
+                for name, recorder in rows.items()}
+    base = per_call["unmonitored"]
+    lines = ["E1: sentry overhead per method call (category, ns/call, "
+             "x unmonitored):", ""]
+    for name, nanos in per_call.items():
+        lines.append(f"  {name:20s} {nanos:10.1f} ns   "
+                     f"{nanos / base:6.2f}x")
+    text = results_report("E1_sentry_overhead", lines)
+    print("\n" + text)
+
+    # Shape: useful overhead strictly dominates the unmonitored baseline,
+    # and the useless path stays much closer to the baseline than the
+    # useful path does.
+    assert per_call["useful overhead"] > per_call["unmonitored"]
+    useless_delta = per_call["useless overhead"] - base
+    useful_delta = per_call["useful overhead"] - base
+    assert useful_delta > useless_delta

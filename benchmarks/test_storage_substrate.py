@@ -1,0 +1,95 @@
+"""E10 — Storage substrate sanity (the EXODUS stand-in).
+
+Not a paper artifact per se, but the substrate the whole reproduction
+runs on must be honest: this harness measures transactional write and
+read throughput, commit cost, and crash-recovery time so regressions in
+the storage manager are visible next to the active-database numbers.
+"""
+
+import pytest
+
+from repro.oodb.oid import OID
+from repro.storage.storage_manager import StorageManager
+
+OBJECTS = 500
+PAYLOAD = b"x" * 256
+
+
+def test_transactional_writes(benchmark, tmp_path):
+    store = StorageManager(str(tmp_path / "w"))
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        tx = counter[0]
+        store.begin(tx)
+        base = tx * OBJECTS
+        for index in range(OBJECTS):
+            store.write(tx, OID(base + index), PAYLOAD)
+        store.commit(tx)
+
+    benchmark.pedantic(run, rounds=10, iterations=1)
+    store.close()
+
+
+def test_reads_through_buffer_pool(benchmark, tmp_path):
+    store = StorageManager(str(tmp_path / "r"))
+    store.begin(1)
+    for index in range(OBJECTS):
+        store.write(1, OID(index + 1), PAYLOAD)
+    store.commit(1)
+
+    def run():
+        for index in range(OBJECTS):
+            store.read(None, OID(index + 1))
+
+    benchmark(run)
+    store.close()
+
+
+def test_updates_in_place(benchmark, tmp_path):
+    store = StorageManager(str(tmp_path / "u"))
+    store.begin(1)
+    for index in range(OBJECTS):
+        store.write(1, OID(index + 1), PAYLOAD)
+    store.commit(1)
+    counter = [1]
+
+    def run():
+        counter[0] += 1
+        tx = counter[0]
+        store.begin(tx)
+        for index in range(0, OBJECTS, 5):
+            store.write(tx, OID(index + 1), PAYLOAD)
+        store.commit(tx)
+
+    benchmark.pedantic(run, rounds=10, iterations=1)
+    store.close()
+
+
+def test_recovery_time(benchmark, tmp_path, results_report):
+    path = str(tmp_path / "rec")
+    store = StorageManager(path)
+    store.begin(1)
+    for index in range(OBJECTS):
+        store.write(1, OID(index + 1), PAYLOAD)
+    store.commit(1)
+    store.crash()   # leaves everything to be redone from the log
+
+    recovered = {}
+
+    def recover():
+        instance = StorageManager(path)
+        recovered["count"] = instance.object_count()
+        instance.close()
+
+    benchmark.pedantic(recover, rounds=5, iterations=1)
+    assert recovered["count"] == OBJECTS
+
+    lines = [
+        "E10: storage substrate",
+        "",
+        f"  objects recovered after crash: {recovered['count']}/{OBJECTS}",
+    ]
+    text = results_report("E10_storage", lines)
+    print("\n" + text)

@@ -1,0 +1,6 @@
+"""Legacy setup shim (the environment lacks the `wheel` package, so the
+PEP 517 editable path is unavailable; `setup.py develop` works offline)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""REACH: a reproduction of the integrated active OODBMS of Buchmann,
+Zimmermann, Blakeley & Wells (ICDE 1995).
+
+Public API highlights:
+
+* :class:`ReachDatabase` — the integrated active OODBMS facade.
+* :func:`sentried` — the sentry mechanism (transparent event detection).
+* Event specs (:class:`MethodEventSpec`, temporal specs, ...), the event
+  algebra (:class:`Sequence`, :class:`Conjunction`, ...), consumption
+  policies and coupling modes.
+* :class:`ExecutionConfig` / :class:`ExecutionMode` — synchronous vs
+  threaded execution.
+* ``repro.layered`` — the Section 4 baseline: an active layer on top of a
+  simulated closed commercial OODBMS.
+"""
+
+from repro.clock import Clock, SystemClock, VirtualClock
+from repro.config import ExecutionConfig, ExecutionMode, TieBreakPolicy
+from repro.core.algebra import (
+    Closure,
+    Conjunction,
+    Disjunction,
+    EventScope,
+    History,
+    Negation,
+    Sequence,
+    all_of,
+    any_of,
+    sequence_of,
+)
+from repro.core.consumption import ConsumptionPolicy
+from repro.core.coupling import CouplingMode, is_supported, supported_modes
+from repro.core.database import ReachDatabase
+from repro.core.events import (
+    AbsoluteEventSpec,
+    EventCategory,
+    EventOccurrence,
+    FlowEventKind,
+    FlowEventSpec,
+    MethodEventSpec,
+    MilestoneEventSpec,
+    Moment,
+    PeriodicEventSpec,
+    RelativeEventSpec,
+    SignalEventSpec,
+    StateChangeEventSpec,
+)
+from repro.core.rules import Rule, RuleContext
+from repro.oodb.oid import OID
+from repro.oodb.sentry import sentried, is_sentried
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "VirtualClock",
+    "ExecutionConfig",
+    "ExecutionMode",
+    "TieBreakPolicy",
+    "Closure",
+    "Conjunction",
+    "Disjunction",
+    "EventScope",
+    "History",
+    "Negation",
+    "Sequence",
+    "all_of",
+    "any_of",
+    "sequence_of",
+    "ConsumptionPolicy",
+    "CouplingMode",
+    "is_supported",
+    "supported_modes",
+    "ReachDatabase",
+    "AbsoluteEventSpec",
+    "EventCategory",
+    "EventOccurrence",
+    "FlowEventKind",
+    "FlowEventSpec",
+    "MethodEventSpec",
+    "MilestoneEventSpec",
+    "Moment",
+    "PeriodicEventSpec",
+    "RelativeEventSpec",
+    "SignalEventSpec",
+    "StateChangeEventSpec",
+    "Rule",
+    "RuleContext",
+    "OID",
+    "sentried",
+    "is_sentried",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Workload generators and measurement helpers for the benchmarks."""
+
+from repro.bench.metrics import LatencyRecorder, Timer
+from repro.bench.workloads import (
+    PowerPlantWorkload,
+    StockTickerWorkload,
+    WorkflowWorkload,
+)
+
+__all__ = [
+    "LatencyRecorder",
+    "Timer",
+    "PowerPlantWorkload",
+    "StockTickerWorkload",
+    "WorkflowWorkload",
+]

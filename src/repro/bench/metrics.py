@@ -1,0 +1,66 @@
+"""Measurement helpers shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context-manager wall-clock timer."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+class LatencyRecorder:
+    """Collects latency samples and reports summary statistics."""
+
+    def __init__(self) -> None:
+        self.samples: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    def time(self):
+        recorder = self
+
+        class _Sample:
+            def __enter__(self):
+                self._start = time.perf_counter()
+                return self
+
+            def __exit__(self, *exc_info):
+                recorder.record(time.perf_counter() - self._start)
+
+        return _Sample()
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(round(q / 100 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def summary(self, unit: float = 1e6) -> str:
+        """One-line summary; default unit microseconds."""
+        return (f"n={self.count} mean={self.mean * unit:.1f} "
+                f"p50={self.percentile(50) * unit:.1f} "
+                f"p95={self.percentile(95) * unit:.1f} "
+                f"p99={self.percentile(99) * unit:.1f}")

@@ -1,0 +1,190 @@
+"""Synthetic workloads modelled on the paper's motivating applications.
+
+Section 1 motivates active databases with power and communication network
+management, commodity trading, workflow management, and plant/reactor
+control; Section 6.1 works through the power-plant WaterLevel rule.  These
+generators produce deterministic (seeded) event streams exercising the
+same rule patterns at laptop scale — the substitute for the proprietary
+monitoring applications the original project targeted.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.oodb.sentry import sentried
+
+
+# ---------------------------------------------------------------------------
+# Power plant (Section 6.1's running example)
+# ---------------------------------------------------------------------------
+
+@sentried
+class River:
+    """The cooling-water river of the WaterLevel rule."""
+
+    def __init__(self, name: str = "river", level: int = 50,
+                 water_temp: float = 20.0):
+        self.name = name
+        self.level = level
+        self.water_temp = water_temp
+
+    def update_water_level(self, x: int) -> None:
+        self.level = x
+
+    def update_water_temp(self, t: float) -> None:
+        self.water_temp = t
+
+    def get_water_temp(self) -> float:
+        return self.water_temp
+
+
+@sentried
+class Reactor:
+    """The reactor whose planned power the contingency rule reduces."""
+
+    def __init__(self, name: str = "BlockA", planned_power: float = 1000.0,
+                 heat_output: float = 900000.0):
+        self.name = name
+        self.planned_power = planned_power
+        self.heat_output = heat_output
+        self.power_reductions = 0
+
+    def get_heat_output(self) -> float:
+        return self.heat_output
+
+    def set_heat_output(self, value: float) -> None:
+        self.heat_output = value
+
+    def reduce_planned_power(self, fraction: float) -> None:
+        self.planned_power *= (1.0 - fraction)
+        self.power_reductions += 1
+
+
+@dataclass
+class PowerPlantWorkload:
+    """A stream of sensor updates for one river/reactor pair.
+
+    ``alarm_fraction`` controls how many updates satisfy the WaterLevel
+    rule's condition (level below threshold with high temperature and heat
+    load), so benchmarks can separate detection cost from rule-execution
+    cost.
+    """
+
+    updates: int = 1000
+    alarm_fraction: float = 0.05
+    seed: int = 7
+
+    def build_plant(self) -> tuple[River, Reactor]:
+        return River("Rhein"), Reactor("BlockA")
+
+    def events(self) -> Iterator[tuple[str, float]]:
+        """Yield (kind, value) update instructions."""
+        rng = random.Random(self.seed)
+        for __ in range(self.updates):
+            if rng.random() < self.alarm_fraction:
+                yield "alarm", float(rng.randint(20, 36))
+            else:
+                roll = rng.random()
+                if roll < 0.5:
+                    yield "level", float(rng.randint(38, 80))
+                elif roll < 0.8:
+                    yield "temp", rng.uniform(10.0, 24.0)
+                else:
+                    yield "heat", rng.uniform(500000.0, 990000.0)
+
+    def apply(self, river: River, reactor: Reactor,
+              kind: str, value: float) -> None:
+        if kind == "alarm":
+            river.update_water_temp(25.5)
+            reactor.set_heat_output(1_200_000.0)
+            river.update_water_level(int(value))
+        elif kind == "level":
+            river.update_water_level(int(value))
+        elif kind == "temp":
+            river.update_water_temp(value)
+        else:
+            reactor.set_heat_output(value)
+
+
+# ---------------------------------------------------------------------------
+# Stock ticker (the Dow Jones / continuous-context example of Section 3.4)
+# ---------------------------------------------------------------------------
+
+@sentried
+class Stock:
+    def __init__(self, symbol: str, price: float = 100.0):
+        self.symbol = symbol
+        self.price = price
+        self.volume = 0
+
+    def tick(self, price: float, volume: int = 1) -> None:
+        self.price = price
+        self.volume += volume
+
+
+@dataclass
+class StockTickerWorkload:
+    """Cross-transaction price ticks for a basket of symbols."""
+
+    symbols: int = 8
+    ticks: int = 500
+    seed: int = 11
+    start_price: float = 100.0
+    volatility: float = 0.02
+
+    def build_symbols(self) -> list[Stock]:
+        return [Stock(f"SYM{i:02d}", self.start_price)
+                for i in range(self.symbols)]
+
+    def events(self) -> Iterator[tuple[int, float]]:
+        """Yield (symbol index, new price) pairs following random walks."""
+        rng = random.Random(self.seed)
+        prices = [self.start_price] * self.symbols
+        for __ in range(self.ticks):
+            index = rng.randrange(self.symbols)
+            change = rng.gauss(0.0, self.volatility)
+            prices[index] = max(1.0, prices[index] * (1.0 + change))
+            yield index, round(prices[index], 2)
+
+
+# ---------------------------------------------------------------------------
+# Workflow (the chronicle-context domain of Sections 1 and 3.4)
+# ---------------------------------------------------------------------------
+
+@sentried
+class WorkflowTask:
+    def __init__(self, task_id: int, steps: int):
+        self.task_id = task_id
+        self.steps = steps
+        self.completed_steps = 0
+        self.status = "pending"
+
+    def start(self) -> None:
+        self.status = "running"
+
+    def complete_step(self) -> int:
+        self.completed_steps += 1
+        if self.completed_steps >= self.steps:
+            self.status = "done"
+        return self.completed_steps
+
+    def escalate(self) -> None:
+        self.status = "escalated"
+
+
+@dataclass
+class WorkflowWorkload:
+    """Tasks with multiple steps and deadlines, processed in order."""
+
+    tasks: int = 50
+    max_steps: int = 5
+    deadline: float = 10.0
+    seed: int = 13
+
+    def build_tasks(self) -> list[WorkflowTask]:
+        rng = random.Random(self.seed)
+        return [WorkflowTask(i, rng.randint(1, self.max_steps))
+                for i in range(self.tasks)]

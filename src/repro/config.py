@@ -1,0 +1,82 @@
+"""Execution configuration for a REACH database instance.
+
+The paper's architecture calls for asynchronous event composition and
+parallel rule execution on threads (Sections 2 and 6), while the first REACH
+prototype mapped parallel firing onto an ordered sequence because Open OODB
+lacked nested transactions (Section 6.4).  Both strategies are first-class
+here so that the sequential-vs-parallel measurement the paper proposes can be
+run; tests default to the deterministic synchronous mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class ExecutionMode(Enum):
+    """How triggered rules and event composition are executed."""
+
+    #: Everything runs inline on the caller's thread in a deterministic
+    #: order (the first-prototype strategy of Section 6.4).
+    SYNCHRONOUS = "synchronous"
+
+    #: Composition and detached/parallel rules run on worker threads (the
+    #: target strategy: 'many small compositors that can be executed by
+    #: parallel threads', Section 6.3).
+    THREADED = "threaded"
+
+
+class TieBreakPolicy(Enum):
+    """Ordering of same-priority rules (paper, Section 6.4)."""
+
+    OLDEST_FIRST = "oldest_first"   #: default: rule defined earliest fires first
+    NEWEST_FIRST = "newest_first"   #: optional: most recently defined fires first
+
+
+@dataclass
+class ExecutionConfig:
+    """Tunable knobs for a :class:`~repro.core.database.ReachDatabase`.
+
+    Attributes:
+        mode: synchronous (deterministic) or threaded execution.
+        tie_break: same-priority rule ordering.
+        simple_events_first: the third deferred-queue policy of Section 6.4 —
+            at EOT, rules triggered by simple events fire ahead of rules
+            triggered by composite events.
+        worker_threads: size of the composer/detached-rule thread pool in
+            threaded mode.
+        gc_interval: seconds between sweeps that discard expired
+            semi-composed events (Section 3.3 lifespan enforcement).
+        max_rule_recursion: bound on rules triggering rules, to keep
+            non-terminating rule sets (Section 6.4 cites termination as an
+            open issue) from hanging the system.
+        detached_start_timeout: how long a causally dependent detached rule
+            waits for its trigger's outcome before giving up, in seconds.
+        parallel_rules: execute multiple rules fired by one event as
+            parallel sibling subtransactions (requires threaded mode);
+            when False, the set is mapped to an ordered firing sequence —
+            the first-prototype strategy whose cost Section 6.4 proposes
+            to measure against the parallel one.
+    """
+
+    mode: ExecutionMode = ExecutionMode.SYNCHRONOUS
+    tie_break: TieBreakPolicy = TieBreakPolicy.OLDEST_FIRST
+    simple_events_first: bool = False
+    worker_threads: int = 4
+    gc_interval: float = 1.0
+    max_rule_recursion: int = 16
+    detached_start_timeout: float = 30.0
+    parallel_rules: bool = False
+
+    def __post_init__(self) -> None:
+        if self.worker_threads < 1:
+            raise ValueError("worker_threads must be >= 1")
+        if self.max_rule_recursion < 1:
+            raise ValueError("max_rule_recursion must be >= 1")
+        if self.gc_interval <= 0:
+            raise ValueError("gc_interval must be positive")
+
+    @property
+    def threaded(self) -> bool:
+        return self.mode is ExecutionMode.THREADED

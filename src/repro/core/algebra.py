@@ -1,0 +1,320 @@
+"""The REACH event algebra.
+
+The algebra (paper, Section 3.1) inherits **sequence**, **disjunction**
+and **closure** from HiPAC, and **negation**, **conjunction**, **history**
+and the notion of a **validity interval** from SAMOS.  Composite events
+carry two attributes the paper makes architectural decisions about:
+
+* **scope** — whether the component primitive events must originate in a
+  single transaction or may span transactions (Section 3.2, Table 1);
+* **validity** — the interval bounding how long a semi-composed event may
+  live (Section 3.3).  Composite events across transactions *must* have an
+  explicit or inherited validity interval; composites within a single
+  transaction live exactly as long as the transaction.
+
+Specs are immutable; the fluent modifiers (:meth:`CompositeEventSpec.within`,
+:meth:`~CompositeEventSpec.scoped`, :meth:`~CompositeEventSpec.consumed`)
+return modified copies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Hashable, Optional
+
+from repro.errors import EventDefinitionError, IllegalLifespanError
+from repro.core.consumption import ConsumptionPolicy
+from repro.core.events import (
+    EventCategory,
+    EventSpec,
+    PrimitiveEventSpec,
+)
+
+
+class EventScope(enum.Enum):
+    """Where a composite's primitive events may originate."""
+
+    SINGLE_TX = "single transaction"
+    MULTI_TX = "multiple transactions"
+
+
+@dataclass(frozen=True)
+class CompositeEventSpec(EventSpec):
+    """Base class for the algebra's operators.
+
+    ``scope=None`` means *infer*: multi-transaction when any leaf is
+    temporal (temporal events belong to no transaction), otherwise
+    single-transaction.
+    """
+
+    scope: Optional[EventScope] = field(default=None, kw_only=True)
+    validity: Optional[float] = field(default=None, kw_only=True)
+    consumption: ConsumptionPolicy = field(
+        default=ConsumptionPolicy.CHRONICLE, kw_only=True)
+
+    # -- fluent configuration -------------------------------------------------
+
+    def within(self, seconds: float) -> "CompositeEventSpec":
+        """Set the validity interval (seconds)."""
+        if seconds <= 0:
+            raise EventDefinitionError("validity interval must be positive")
+        return replace(self, validity=seconds)
+
+    def scoped(self, scope: EventScope) -> "CompositeEventSpec":
+        return replace(self, scope=scope)
+
+    def consumed(self, policy: ConsumptionPolicy) -> "CompositeEventSpec":
+        return replace(self, consumption=policy)
+
+    # -- derived properties ------------------------------------------------------
+
+    def resolved_scope(self) -> EventScope:
+        if self.scope is not None:
+            return self.scope
+        if any(leaf.is_temporal for leaf in self.leaves()):
+            return EventScope.MULTI_TX
+        return EventScope.SINGLE_TX
+
+    def category(self) -> EventCategory:
+        if self.resolved_scope() is EventScope.SINGLE_TX:
+            return EventCategory.COMPOSITE_SINGLE_TX
+        return EventCategory.COMPOSITE_MULTI_TX
+
+    def effective_validity(self) -> Optional[float]:
+        """Own validity, else the smallest validity of the components
+        (paper, Section 3.3)."""
+        if self.validity is not None:
+            return self.validity
+        child_validities = [
+            child.effective_validity() for child in self.children()
+        ]
+        known = [v for v in child_validities if v is not None]
+        return min(known) if known else None
+
+    def children(self) -> tuple[EventSpec, ...]:
+        raise NotImplementedError
+
+    def _config_key(self) -> tuple:
+        """Scope, validity and consumption distinguish composers: the
+        same structural expression under different policies composes
+        differently and must not share partial-match state."""
+        scope = self.scope.value if self.scope is not None else None
+        return (scope, self.validity, self.consumption.value)
+
+    def leaves(self) -> list[PrimitiveEventSpec]:
+        out: list[PrimitiveEventSpec] = []
+        for child in self.children():
+            out.extend(child.leaves())
+        return out
+
+    def validate(self, enforce_lifespan: bool = True) -> None:
+        """Enforce the lifespan and scope rules of Sections 3.2-3.3.
+
+        Args:
+            enforce_lifespan: the root of an expression must satisfy the
+                validity rule itself; nested composites are bounded by the
+                root's interval operationally, so their own check is waived.
+
+        Raises:
+            IllegalLifespanError: multi-transaction composite without an
+                explicit or inherited validity interval.
+            EventDefinitionError: single-transaction composite containing a
+                temporal leaf (temporal events have no transaction).
+        """
+        scope = self.resolved_scope()
+        if enforce_lifespan and scope is EventScope.MULTI_TX and \
+                self.effective_validity() is None:
+            raise IllegalLifespanError(
+                f"composite event {self.describe()} spans transactions but "
+                "has no validity interval — illegal per Section 3.3")
+        if scope is EventScope.SINGLE_TX and \
+                any(leaf.is_temporal for leaf in self.leaves()):
+            raise EventDefinitionError(
+                "a single-transaction composite cannot contain temporal "
+                "events (they originate in no transaction)")
+        for child in self.children():
+            if isinstance(child, CompositeEventSpec):
+                child.validate(enforce_lifespan=False)
+
+
+def all_of(*specs: EventSpec) -> EventSpec:
+    """N-ary conjunction: every spec must occur (any order).
+
+    Builds a left-leaning :class:`Conjunction` tree; configure scope,
+    validity and consumption on the returned root.
+    """
+    if not specs:
+        raise EventDefinitionError("all_of requires at least one event")
+    result = specs[0]
+    for spec in specs[1:]:
+        result = Conjunction(result, spec)
+    return result
+
+
+def any_of(*specs: EventSpec) -> EventSpec:
+    """N-ary disjunction: any one spec occurring signals."""
+    if not specs:
+        raise EventDefinitionError("any_of requires at least one event")
+    result = specs[0]
+    for spec in specs[1:]:
+        result = Disjunction(result, spec)
+    return result
+
+
+def sequence_of(*specs: EventSpec) -> EventSpec:
+    """N-ary sequence: the specs must occur strictly in the given order."""
+    if not specs:
+        raise EventDefinitionError("sequence_of requires at least one event")
+    result = specs[0]
+    for spec in specs[1:]:
+        result = Sequence(result, spec)
+    return result
+
+
+@dataclass(frozen=True)
+class Sequence(CompositeEventSpec):
+    """``first`` followed (strictly later) by ``second`` (HiPAC)."""
+
+    first: EventSpec = None  # type: ignore[assignment]
+    second: EventSpec = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.first is None or self.second is None:
+            raise EventDefinitionError("Sequence requires two operands")
+
+    def children(self) -> tuple[EventSpec, ...]:
+        return (self.first, self.second)
+
+    def key(self) -> Hashable:
+        return ("seq", self.first.key(), self.second.key(),
+                self._config_key())
+
+    def describe(self) -> str:
+        return f"({self.first.describe()} ; {self.second.describe()})"
+
+
+@dataclass(frozen=True)
+class Conjunction(CompositeEventSpec):
+    """Both operands, in any order (SAMOS)."""
+
+    left: EventSpec = None  # type: ignore[assignment]
+    right: EventSpec = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.left is None or self.right is None:
+            raise EventDefinitionError("Conjunction requires two operands")
+
+    def children(self) -> tuple[EventSpec, ...]:
+        return (self.left, self.right)
+
+    def key(self) -> Hashable:
+        return ("conj", self.left.key(), self.right.key(),
+                self._config_key())
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} , {self.right.describe()})"
+
+
+@dataclass(frozen=True)
+class Disjunction(CompositeEventSpec):
+    """Either operand (HiPAC)."""
+
+    left: EventSpec = None  # type: ignore[assignment]
+    right: EventSpec = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.left is None or self.right is None:
+            raise EventDefinitionError("Disjunction requires two operands")
+
+    def children(self) -> tuple[EventSpec, ...]:
+        return (self.left, self.right)
+
+    def key(self) -> Hashable:
+        return ("disj", self.left.key(), self.right.key(),
+                self._config_key())
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} | {self.right.describe()})"
+
+
+@dataclass(frozen=True)
+class Negation(CompositeEventSpec):
+    """Non-occurrence of ``subject`` between ``start`` and ``end`` (SAMOS).
+
+    Raised at an occurrence of ``end`` if no ``subject`` occurred since the
+    most recent ``start``.
+    """
+
+    subject: EventSpec = None  # type: ignore[assignment]
+    start: EventSpec = None  # type: ignore[assignment]
+    end: EventSpec = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.subject is None or self.start is None or self.end is None:
+            raise EventDefinitionError(
+                "Negation requires subject, start and end events")
+
+    def children(self) -> tuple[EventSpec, ...]:
+        return (self.subject, self.start, self.end)
+
+    def key(self) -> Hashable:
+        return ("neg", self.subject.key(), self.start.key(),
+                self.end.key(), self._config_key())
+
+    def describe(self) -> str:
+        return (f"(not {self.subject.describe()} in "
+                f"[{self.start.describe()}, {self.end.describe()}])")
+
+
+@dataclass(frozen=True)
+class Closure(CompositeEventSpec):
+    """``of*``: all occurrences of ``of`` up to ``until``, signalled once
+    (HiPAC closure).  Signals only if at least one ``of`` occurred."""
+
+    of: EventSpec = None  # type: ignore[assignment]
+    until: EventSpec = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.of is None or self.until is None:
+            raise EventDefinitionError("Closure requires of and until events")
+
+    def children(self) -> tuple[EventSpec, ...]:
+        return (self.of, self.until)
+
+    def key(self) -> Hashable:
+        return ("closure", self.of.key(), self.until.key(),
+                self._config_key())
+
+    def describe(self) -> str:
+        return f"({self.of.describe()}* until {self.until.describe()})"
+
+
+@dataclass(frozen=True)
+class History(CompositeEventSpec):
+    """``count`` occurrences of ``of`` within ``window`` seconds (SAMOS
+    TIMES): fires when the ``count``-th occurrence lands inside the sliding
+    window."""
+
+    of: EventSpec = None  # type: ignore[assignment]
+    count: int = 0
+    window: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.of is None:
+            raise EventDefinitionError("History requires an operand event")
+        if self.count < 1:
+            raise EventDefinitionError("History count must be >= 1")
+        if self.window <= 0:
+            raise EventDefinitionError("History window must be positive")
+
+    def children(self) -> tuple[EventSpec, ...]:
+        return (self.of,)
+
+    def key(self) -> Hashable:
+        return ("history", self.of.key(), self.count, self.window,
+                self._config_key())
+
+    def describe(self) -> str:
+        return (f"({self.count} x {self.of.describe()} "
+                f"within {self.window}s)")

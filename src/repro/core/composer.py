@@ -1,0 +1,437 @@
+"""Event composers: many small composition graphs, not one monolith.
+
+The paper's design (Section 6.3): "large, monolithic event managers that
+are based on a single graph should be avoided.  Instead, many small
+compositors that can be executed by parallel threads should be supported.
+This approach makes the garbage-collection of semi-composed events much
+simpler."
+
+Accordingly, each composite event expression owns one :class:`Composer`.
+A composer maintains one *composition graph instance* per **group**:
+
+* single-transaction composites group by the originating top-level
+  transaction — at that transaction's end the whole graph instance is
+  simply removed (Section 3.3's lifespan rule);
+* multi-transaction composites use one global graph whose buffered
+  occurrences expire after the expression's validity interval, swept by
+  :meth:`Composer.gc`.
+
+Within a graph, each algebra operator is a small node holding
+policy-governed buffers (:class:`~repro.core.consumption.OccurrenceBuffer`);
+sequence nodes additionally enforce the strictly-before constraint via the
+global occurrence sequence numbers of the primitive components.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable, Optional
+
+from repro.core.algebra import (
+    Closure,
+    CompositeEventSpec,
+    Conjunction,
+    Disjunction,
+    EventScope,
+    History,
+    Negation,
+    Sequence,
+)
+from repro.core.consumption import ConsumptionPolicy, OccurrenceBuffer
+from repro.core.events import (
+    EventCategory,
+    EventOccurrence,
+    EventSpec,
+    PrimitiveEventSpec,
+)
+from repro.errors import EventDefinitionError
+
+_GLOBAL_GROUP: Hashable = "*"
+
+
+def _min_seq(occ: EventOccurrence) -> int:
+    return min(c.seq for c in occ.all_primitive_components())
+
+
+def _max_seq(occ: EventOccurrence) -> int:
+    return max(c.seq for c in occ.all_primitive_components())
+
+
+def _combine(spec: EventSpec, category: EventCategory,
+             components: list[EventOccurrence]) -> EventOccurrence:
+    """Build a composite occurrence from its components."""
+    parameters: dict = {}
+    for component in components:
+        parameters.update(component.parameters)
+    tx_ids: frozenset[int] = frozenset().union(
+        *[c.tx_ids for c in components])
+    timestamp = max(c.timestamp for c in components)
+    return EventOccurrence(
+        spec=spec, category=category, timestamp=timestamp,
+        tx_ids=tx_ids, parameters=parameters,
+        components=tuple(components))
+
+
+class _Node:
+    """One operator in a composition graph instance."""
+
+    def feed(self, occ: EventOccurrence) -> list[EventOccurrence]:
+        raise NotImplementedError
+
+    def pending(self) -> int:
+        """Number of buffered semi-composed occurrences in this subtree."""
+        raise NotImplementedError
+
+    def discard_older_than(self, cutoff: float) -> int:
+        raise NotImplementedError
+
+
+class _PrimitiveNode(_Node):
+    __slots__ = ("key",)
+
+    def __init__(self, spec: PrimitiveEventSpec):
+        self.key = spec.key()
+
+    def feed(self, occ: EventOccurrence) -> list[EventOccurrence]:
+        return [occ] if occ.spec_key == self.key else []
+
+    def pending(self) -> int:
+        return 0
+
+    def discard_older_than(self, cutoff: float) -> int:
+        return 0
+
+
+class _SequenceNode(_Node):
+    def __init__(self, spec: Sequence, left: _Node, right: _Node):
+        self.spec = spec
+        self.category = spec.category()
+        self.left = left
+        self.right = right
+        self.buffer = OccurrenceBuffer(spec.consumption)
+
+    def feed(self, occ: EventOccurrence) -> list[EventOccurrence]:
+        emissions: list[EventOccurrence] = []
+        for left_emission in self.left.feed(occ):
+            self.buffer.insert(left_emission)
+        for right_emission in self.right.feed(occ):
+            start = _min_seq(right_emission)
+            groups = self.buffer.select(
+                eligible=lambda item, __start=start:
+                    _max_seq(item) < __start)
+            for group in groups:
+                emissions.append(_combine(
+                    self.spec, self.category, group + [right_emission]))
+        return emissions
+
+    def pending(self) -> int:
+        return len(self.buffer) + self.left.pending() + self.right.pending()
+
+    def discard_older_than(self, cutoff: float) -> int:
+        return (self.buffer.discard_older_than(cutoff)
+                + self.left.discard_older_than(cutoff)
+                + self.right.discard_older_than(cutoff))
+
+
+class _ConjunctionNode(_Node):
+    def __init__(self, spec: Conjunction, left: _Node, right: _Node):
+        self.spec = spec
+        self.category = spec.category()
+        self.left = left
+        self.right = right
+        self.left_buffer = OccurrenceBuffer(spec.consumption)
+        self.right_buffer = OccurrenceBuffer(spec.consumption)
+
+    @staticmethod
+    def _disjoint_from(emission: EventOccurrence):
+        """Eligibility: no primitive occurrence may join a composite twice
+        (relevant when both operands match the same event type)."""
+        seqs = {c.seq for c in emission.all_primitive_components()}
+        return lambda item: seqs.isdisjoint(
+            c.seq for c in item.all_primitive_components())
+
+    def feed(self, occ: EventOccurrence) -> list[EventOccurrence]:
+        emissions: list[EventOccurrence] = []
+        left_emissions = self.left.feed(occ)
+        right_emissions = self.right.feed(occ)
+        for emission in left_emissions:
+            groups = self.right_buffer.select(
+                eligible=self._disjoint_from(emission))
+            if groups:
+                for group in groups:
+                    emissions.append(_combine(
+                        self.spec, self.category, group + [emission]))
+            else:
+                self.left_buffer.insert(emission)
+        for emission in right_emissions:
+            groups = self.left_buffer.select(
+                eligible=self._disjoint_from(emission))
+            if groups:
+                for group in groups:
+                    emissions.append(_combine(
+                        self.spec, self.category, group + [emission]))
+            else:
+                self.right_buffer.insert(emission)
+        return emissions
+
+    def pending(self) -> int:
+        return (len(self.left_buffer) + len(self.right_buffer)
+                + self.left.pending() + self.right.pending())
+
+    def discard_older_than(self, cutoff: float) -> int:
+        return (self.left_buffer.discard_older_than(cutoff)
+                + self.right_buffer.discard_older_than(cutoff)
+                + self.left.discard_older_than(cutoff)
+                + self.right.discard_older_than(cutoff))
+
+
+class _DisjunctionNode(_Node):
+    def __init__(self, spec: Disjunction, left: _Node, right: _Node):
+        self.spec = spec
+        self.category = spec.category()
+        self.left = left
+        self.right = right
+
+    def feed(self, occ: EventOccurrence) -> list[EventOccurrence]:
+        emissions: list[EventOccurrence] = []
+        for emission in self.left.feed(occ) + self.right.feed(occ):
+            emissions.append(_combine(self.spec, self.category, [emission]))
+        return emissions
+
+    def pending(self) -> int:
+        return self.left.pending() + self.right.pending()
+
+    def discard_older_than(self, cutoff: float) -> int:
+        return (self.left.discard_older_than(cutoff)
+                + self.right.discard_older_than(cutoff))
+
+
+class _NegationNode(_Node):
+    """Non-occurrence of subject between start and end.
+
+    Per feed call, emissions are processed subject-first, then end, then
+    start: a subject coincident with the end still vetoes; an end coincident
+    with a start closes the previous window before the new one opens.
+    """
+
+    def __init__(self, spec: Negation, subject: _Node, start: _Node,
+                 end: _Node):
+        self.spec = spec
+        self.category = spec.category()
+        self.subject = subject
+        self.start = start
+        self.end = end
+        self.window_start: Optional[EventOccurrence] = None
+        self.subject_seen = False
+
+    def feed(self, occ: EventOccurrence) -> list[EventOccurrence]:
+        emissions: list[EventOccurrence] = []
+        if self.window_start is not None and self.subject.feed(occ):
+            self.subject_seen = True
+        for end_emission in self.end.feed(occ):
+            if self.window_start is not None and not self.subject_seen:
+                emissions.append(_combine(
+                    self.spec, self.category,
+                    [self.window_start, end_emission]))
+            self.window_start = None
+            self.subject_seen = False
+        for start_emission in self.start.feed(occ):
+            self.window_start = start_emission
+            self.subject_seen = False
+        return emissions
+
+    def pending(self) -> int:
+        inner = (self.subject.pending() + self.start.pending()
+                 + self.end.pending())
+        return inner + (1 if self.window_start is not None else 0)
+
+    def discard_older_than(self, cutoff: float) -> int:
+        removed = (self.subject.discard_older_than(cutoff)
+                   + self.start.discard_older_than(cutoff)
+                   + self.end.discard_older_than(cutoff))
+        if self.window_start is not None and \
+                self.window_start.timestamp < cutoff:
+            self.window_start = None
+            self.subject_seen = False
+            removed += 1
+        return removed
+
+
+class _ClosureNode(_Node):
+    """Accumulate occurrences of ``of`` and signal once at ``until``."""
+
+    def __init__(self, spec: Closure, of: _Node, until: _Node):
+        self.spec = spec
+        self.category = spec.category()
+        self.of = of
+        self.until = until
+        self.accumulated: list[EventOccurrence] = []
+
+    def feed(self, occ: EventOccurrence) -> list[EventOccurrence]:
+        emissions: list[EventOccurrence] = []
+        self.accumulated.extend(self.of.feed(occ))
+        for until_emission in self.until.feed(occ):
+            if self.accumulated:
+                emissions.append(_combine(
+                    self.spec, self.category,
+                    self.accumulated + [until_emission]))
+                self.accumulated = []
+        return emissions
+
+    def pending(self) -> int:
+        return (len(self.accumulated) + self.of.pending()
+                + self.until.pending())
+
+    def discard_older_than(self, cutoff: float) -> int:
+        before = len(self.accumulated)
+        self.accumulated = [occ for occ in self.accumulated
+                            if occ.timestamp >= cutoff]
+        return (before - len(self.accumulated)
+                + self.of.discard_older_than(cutoff)
+                + self.until.discard_older_than(cutoff))
+
+
+class _HistoryNode(_Node):
+    """``count`` occurrences of ``of`` within a sliding ``window``."""
+
+    def __init__(self, spec: History, of: _Node):
+        self.spec = spec
+        self.category = spec.category()
+        self.of = of
+        self.recent: list[EventOccurrence] = []
+
+    def feed(self, occ: EventOccurrence) -> list[EventOccurrence]:
+        emissions: list[EventOccurrence] = []
+        for emission in self.of.feed(occ):
+            self.recent.append(emission)
+            cutoff = emission.timestamp - self.spec.window
+            self.recent = [e for e in self.recent if e.timestamp >= cutoff]
+            if len(self.recent) >= self.spec.count:
+                used = self.recent[-self.spec.count:]
+                emissions.append(_combine(self.spec, self.category, used))
+                if not self.spec.consumption.reuses_initiator:
+                    # Consume the participating occurrences; under the
+                    # recent policy the window keeps sliding instead.
+                    self.recent = self.recent[:-self.spec.count]
+        return emissions
+
+    def pending(self) -> int:
+        return len(self.recent) + self.of.pending()
+
+    def discard_older_than(self, cutoff: float) -> int:
+        before = len(self.recent)
+        self.recent = [e for e in self.recent if e.timestamp >= cutoff]
+        return (before - len(self.recent)
+                + self.of.discard_older_than(cutoff))
+
+
+def _build(spec: EventSpec) -> _Node:
+    if isinstance(spec, PrimitiveEventSpec):
+        return _PrimitiveNode(spec)
+    if isinstance(spec, Sequence):
+        return _SequenceNode(spec, _build(spec.first), _build(spec.second))
+    if isinstance(spec, Conjunction):
+        return _ConjunctionNode(spec, _build(spec.left), _build(spec.right))
+    if isinstance(spec, Disjunction):
+        return _DisjunctionNode(spec, _build(spec.left), _build(spec.right))
+    if isinstance(spec, Negation):
+        return _NegationNode(spec, _build(spec.subject), _build(spec.start),
+                             _build(spec.end))
+    if isinstance(spec, Closure):
+        return _ClosureNode(spec, _build(spec.of), _build(spec.until))
+    if isinstance(spec, History):
+        return _HistoryNode(spec, _build(spec.of))
+    raise EventDefinitionError(
+        f"unknown event spec type {type(spec).__name__!r}")
+
+
+class Composer:
+    """One small compositor for one composite event expression."""
+
+    def __init__(self, spec: CompositeEventSpec, name: str = ""):
+        if not isinstance(spec, CompositeEventSpec):
+            raise EventDefinitionError(
+                "Composer requires a composite event spec")
+        spec.validate()
+        self.spec = spec
+        self.name = name or spec.describe()
+        self.scope = spec.resolved_scope()
+        self.validity = spec.effective_validity()
+        self.category = spec.category()
+        self.interested_keys: frozenset[Hashable] = frozenset(
+            leaf.key() for leaf in spec.leaves())
+        self._graphs: dict[Hashable, _Node] = {}
+        self._lock = threading.RLock()
+        self.emitted = 0
+        self.gc_removed = 0
+        self.ignored_no_transaction = 0
+
+    # ------------------------------------------------------------------
+
+    def _group_of(self, occ: EventOccurrence) -> Optional[Hashable]:
+        if self.scope is EventScope.MULTI_TX:
+            return _GLOBAL_GROUP
+        if len(occ.tx_ids) != 1:
+            # An occurrence raised outside any transaction cannot belong
+            # to a single-transaction composition (there is no EOT to
+            # scope its lifespan to): ignore it.
+            self.ignored_no_transaction += 1
+            return None
+        return next(iter(occ.tx_ids))
+
+    def feed(self, occ: EventOccurrence) -> list[EventOccurrence]:
+        """Feed one primitive occurrence; return completed composites."""
+        if occ.spec_key not in self.interested_keys:
+            return []
+        with self._lock:
+            group = self._group_of(occ)
+            if group is None:
+                return []
+            graph = self._graphs.get(group)
+            if graph is None:
+                graph = _build(self.spec)
+                self._graphs[group] = graph
+            emissions = graph.feed(occ)
+            self.emitted += len(emissions)
+            return emissions
+
+    # ------------------------------------------------------------------
+    # Lifespan management (Section 3.3)
+    # ------------------------------------------------------------------
+
+    def on_transaction_end(self, tx_id: int) -> int:
+        """Discard the graph instance of a finished transaction."""
+        if self.scope is not EventScope.SINGLE_TX:
+            return 0
+        with self._lock:
+            graph = self._graphs.pop(tx_id, None)
+            if graph is None:
+                return 0
+            removed = graph.pending()
+            self.gc_removed += removed
+            return removed
+
+    def gc(self, now: float) -> int:
+        """Expire semi-composed state older than the validity interval."""
+        if self.validity is None:
+            return 0
+        cutoff = now - self.validity
+        removed = 0
+        with self._lock:
+            for graph in self._graphs.values():
+                removed += graph.discard_older_than(cutoff)
+            self.gc_removed += removed
+        return removed
+
+    def pending_count(self) -> int:
+        """Total semi-composed occurrences currently alive."""
+        with self._lock:
+            return sum(graph.pending() for graph in self._graphs.values())
+
+    def graph_instance_count(self) -> int:
+        with self._lock:
+            return len(self._graphs)
+
+    def __repr__(self) -> str:
+        return (f"<Composer {self.name!r} scope={self.scope.value} "
+                f"pending={self.pending_count()}>")

@@ -1,0 +1,124 @@
+"""Event consumption policies (SNOOP contexts).
+
+When multiple instances of a primitive event are buffered at a composer, an
+ambiguity arises: which instance participates in the composition?  SNOOP
+(Chakravarthy & Mishra, cited in Section 3.4) defines four *contexts*,
+which the paper adopts as "the best so far defined":
+
+* **recent** — typical for sensor monitoring: only the most recent
+  occurrence of a constituent is used; it stays reusable until a newer
+  occurrence replaces it.
+* **chronicle** — typical for workflows: occurrences are consumed in
+  chronological order, each used exactly once.
+* **continuous** — useful in financial monitoring: every occurrence opens
+  its own composition window; a terminator completes *all* open windows.
+* **cumulative** — all buffered occurrences are folded into the single
+  composite raised, and all are consumed.
+
+The paper states a system must support at least recent and chronicle
+(those were the two in the first REACH prototype); this reproduction
+implements all four.  The policy governs *instance selection* inside
+composer buffers — it is orthogonal to event lifespan (Section 3.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+
+class ConsumptionPolicy(enum.Enum):
+    RECENT = "recent"
+    CHRONICLE = "chronicle"
+    CONTINUOUS = "continuous"
+    CUMULATIVE = "cumulative"
+
+    @property
+    def reuses_initiator(self) -> bool:
+        """Whether a buffered occurrence survives participating in a
+        composition (recent keeps the latest instance alive)."""
+        return self is ConsumptionPolicy.RECENT
+
+
+#: Policies the original REACH prototype shipped with (Section 3.4).
+REACH_MINIMUM = (ConsumptionPolicy.RECENT, ConsumptionPolicy.CHRONICLE)
+
+
+class OccurrenceBuffer:
+    """A policy-governed buffer of event occurrences at one composer port.
+
+    The composer inserts every matching occurrence and, when the opposite
+    port produces a partner, asks the buffer to *select* the occurrence(s)
+    to compose with.  Selection semantics differ per policy:
+
+    * recent    -> [newest]               (kept in the buffer afterwards)
+    * chronicle -> [oldest]               (removed)
+    * continuous-> every buffered one     (each yields its own composite;
+                                           all removed)
+    * cumulative-> every buffered one     (folded into one composite;
+                                           all removed)
+    """
+
+    __slots__ = ("policy", "_items")
+
+    def __init__(self, policy: ConsumptionPolicy):
+        self.policy = policy
+        self._items: list[Any] = []
+
+    def insert(self, occurrence: Any) -> None:
+        if self.policy is ConsumptionPolicy.RECENT:
+            # Only the most recent instance is ever eligible.
+            self._items.clear()
+        self._items.append(occurrence)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def peek_all(self) -> list[Any]:
+        return list(self._items)
+
+    def select(self, eligible=None) -> list[list[Any]]:
+        """Return the composition groups for one terminator occurrence.
+
+        Each inner list is the set of buffered occurrences joining *one*
+        composite.  Empty result means no composition is possible.
+        ``eligible`` optionally restricts which buffered occurrences may
+        participate (e.g. a sequence requires strictly-earlier partners);
+        ineligible occurrences stay buffered.
+        """
+        if eligible is None:
+            candidates = list(self._items)
+        else:
+            candidates = [item for item in self._items if eligible(item)]
+        if not candidates:
+            return []
+        if self.policy is ConsumptionPolicy.RECENT:
+            # Newest stays buffered for future compositions.
+            return [[candidates[-1]]]
+        if self.policy is ConsumptionPolicy.CHRONICLE:
+            oldest = candidates[0]
+            self._items.remove(oldest)
+            return [[oldest]]
+        if self.policy is ConsumptionPolicy.CONTINUOUS:
+            for item in candidates:
+                self._items.remove(item)
+            return [[item] for item in candidates]
+        # CUMULATIVE: all occurrences fold into one composite.
+        for item in candidates:
+            self._items.remove(item)
+        return [candidates]
+
+    def discard_older_than(self, cutoff: float) -> int:
+        """Drop occurrences with ``timestamp < cutoff`` (lifespan GC)."""
+        before = len(self._items)
+        self._items = [occ for occ in self._items
+                       if occ.timestamp >= cutoff]
+        return before - len(self._items)
+
+    def clear(self) -> int:
+        removed = len(self._items)
+        self._items.clear()
+        return removed

@@ -1,0 +1,460 @@
+"""The REACH database facade: an integrated active OODBMS.
+
+This is the public entry point wiring every subsystem together in the
+configuration of Figure 1 + Section 6: the meta-architecture bus with the
+persistence, transaction, change, indexing, query and REACH rule policy
+managers plugged in; the sentry registry as the low-level event detector;
+the event service with its ECA-managers and composers; the rule scheduler;
+and the temporal event source.
+
+Typical use::
+
+    from repro import ReachDatabase, sentried
+    from repro.core import MethodEventSpec, CouplingMode
+
+    @sentried
+    class River:
+        def __init__(self):
+            self.level = 50
+        def update_water_level(self, x):
+            self.level = x
+
+    db = ReachDatabase()
+    db.register_class(River)
+    db.rule("WaterLevel",
+            event=MethodEventSpec("River", "update_water_level",
+                                  param_names=("x",)),
+            condition=lambda ctx: ctx["x"] < 37,
+            action=lambda ctx: print("reduce planned power"),
+            coupling=CouplingMode.IMMEDIATE, priority=5)
+
+    river = River()
+    with db.transaction():
+        db.persist(river, "Rhein")
+        river.update_water_level(30)   # fires WaterLevel
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional, Type, Union
+
+from repro.clock import Clock, VirtualClock
+from repro.config import ExecutionConfig
+from repro.core.algebra import CompositeEventSpec
+from repro.core.coupling import CouplingMode, check_supported
+from repro.core.eca_manager import (
+    CompositeECAManager,
+    EventService,
+    PrimitiveECAManager,
+    ReachRulePolicyManager,
+)
+from repro.core.events import (
+    EventSpec,
+    MilestoneEventSpec,
+    SignalEventSpec,
+    TemporalEventSpec,
+)
+from repro.core.rules import Action, Condition, Rule
+from repro.core.scheduler import RuleScheduler
+from repro.core.temporal import TemporalEventSource
+from repro.errors import RuleDefinitionError
+from repro.oodb.address_space import ActiveAddressSpace, PassiveAddressSpace
+from repro.oodb.change import ChangePolicyManager
+from repro.oodb.data_dictionary import DataDictionary
+from repro.oodb.indexing import HashIndex, IndexPolicyManager
+from repro.oodb.locks import LockManager
+from repro.oodb.meta import (
+    MetaArchitecture,
+    PolicyManager,
+    SupportModule,
+)
+from repro.oodb.oid import OID
+from repro.oodb.persistence import PersistencePolicyManager
+from repro.oodb.query import QueryProcessor
+from repro.oodb.sentry import registry as default_sentry_registry
+from repro.oodb.transactions import Transaction, TransactionManager
+
+
+class TransactionPolicyManager(PolicyManager):
+    """Thin wrapper giving the transaction manager a Figure 1 presence."""
+
+    name = "Transaction PM (flat + closed nested)"
+    subscribed_kinds = ()
+
+    def __init__(self, tx_manager: TransactionManager):
+        super().__init__()
+        self.tx_manager = tx_manager
+
+    def describe(self) -> str:
+        stats = self.tx_manager.stats
+        return (f"{self.name} ({stats['begun']} begun, "
+                f"{stats['committed']} committed, "
+                f"{stats['aborted']} aborted)")
+
+
+class _NamedSupportModule(SupportModule):
+    def __init__(self, name: str):
+        self.name = name
+
+
+class ReachDatabase:
+    """An integrated active OODBMS instance.
+
+    Args:
+        directory: storage directory; ``None`` uses a fresh temporary
+            directory (transient database).
+        config: execution configuration (synchronous by default).
+        clock: time source; defaults to a deterministic
+            :class:`~repro.clock.VirtualClock`.
+        buffer_capacity: buffer-pool frames for the storage manager.
+    """
+
+    def __init__(self, directory: Optional[str] = None,
+                 config: Optional[ExecutionConfig] = None,
+                 clock: Optional[Clock] = None,
+                 buffer_capacity: int = 128):
+        from repro.storage.storage_manager import StorageManager
+
+        self.config = config or ExecutionConfig()
+        self.clock = clock or VirtualClock()
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="reach-db-")
+        self.directory = directory
+
+        # -- meta-architecture and support modules (Figure 1) ------------
+        self.meta = MetaArchitecture()
+        self.locks = LockManager()
+        self.tx_manager = TransactionManager(self.meta, self.locks,
+                                             clock=self.clock)
+        self.storage = StorageManager(directory,
+                                      buffer_capacity=buffer_capacity)
+        self.dictionary = DataDictionary()
+        self.active_space = ActiveAddressSpace()
+        self.passive_space = PassiveAddressSpace(self.storage)
+        self.meta.add_support_module(self.active_space)
+        self.meta.add_support_module(self.passive_space)
+        self.meta.add_support_module(self.dictionary)
+        self.meta.add_support_module(
+            _NamedSupportModule("translation (swizzling serializer)"))
+        self.meta.add_support_module(
+            _NamedSupportModule("communications (in-process)"))
+
+        # -- policy managers ----------------------------------------------
+        # Plug order matters: persistence (dirty marking) and indexing see
+        # state changes before the rule PM fires rules on them.
+        self.persistence = self.meta.plug(PersistencePolicyManager(
+            self.dictionary, self.active_space, self.passive_space,
+            self.tx_manager))
+        self.change = self.meta.plug(ChangePolicyManager(
+            self.tx_manager, persistence=self.persistence,
+            sentry_registry=default_sentry_registry))
+        self.indexes = self.meta.plug(IndexPolicyManager(
+            self.dictionary, self.tx_manager,
+            persistence=self.persistence))
+        self.query_processor = self.meta.plug(QueryProcessor(
+            self.dictionary, self.persistence,
+            index_manager=self.indexes))
+        self.meta.plug(TransactionPolicyManager(self.tx_manager))
+
+        # -- REACH ----------------------------------------------------------
+        self.scheduler = RuleScheduler(self, self.tx_manager, self.config)
+        self.events = EventService(
+            self.meta, self.tx_manager, self.scheduler,
+            default_sentry_registry, self.clock, self.config,
+            resolve_class=self.dictionary.type_named)
+        self.rule_pm = self.meta.plug(ReachRulePolicyManager(
+            self.events, self.scheduler))
+        self.temporal = TemporalEventSource(
+            self.clock, self.tx_manager,
+            dispatch=self.events.dispatch_temporal,
+            anchor_subscribe=self._subscribe_anchor)
+        self.temporal.schedule_recurring(self.config.gc_interval,
+                                         self.events.collect_garbage)
+
+        self._rules: dict[str, tuple[Rule, Any]] = {}
+        self._closed = False
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+
+    def register_class(self, cls: Type, monitor_state: bool = True) -> Type:
+        """Register an application class with the data dictionary and
+        begin monitoring its state changes.
+
+        The class should be decorated with
+        :func:`~repro.oodb.sentry.sentried`; monitoring is orthogonal to
+        persistence (Section 6.1).
+        """
+        self.dictionary.register_type(cls)
+        if monitor_state:
+            self.change.monitor(cls)
+        return cls
+
+    def create_index(self, cls_or_name: Union[Type, str],
+                     attribute: str) -> HashIndex:
+        name = cls_or_name if isinstance(cls_or_name, str) \
+            else cls_or_name.__name__
+        return self.indexes.create_index(name, attribute)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self, nested: Optional[bool] = None,
+                    deadline: Optional[float] = None) -> Iterator[Transaction]:
+        with self.tx_manager.transaction(nested=nested,
+                                         deadline=deadline) as tx:
+            yield tx
+
+    def begin(self, nested: Optional[bool] = None,
+              deadline: Optional[float] = None) -> Transaction:
+        return self.tx_manager.begin(nested=nested, deadline=deadline)
+
+    def commit(self, tx: Optional[Transaction] = None) -> None:
+        self.tx_manager.commit(tx)
+
+    def abort(self, tx: Optional[Transaction] = None) -> None:
+        self.tx_manager.abort(tx)
+
+    def current_transaction(self) -> Optional[Transaction]:
+        return self.tx_manager.current()
+
+    # ------------------------------------------------------------------
+    # Objects and queries
+    # ------------------------------------------------------------------
+
+    def persist(self, obj: Any, name: Optional[str] = None) -> OID:
+        if not self.dictionary.has_type(type(obj).__name__):
+            self.register_class(type(obj))
+        return self.persistence.persist(obj, name)
+
+    def fetch(self, target: Union[str, OID]) -> Any:
+        return self.persistence.fetch(target)
+
+    def delete(self, target: Union[str, OID, Any]) -> None:
+        self.persistence.delete(target)
+
+    def query(self, text: str, **params: Any) -> list[Any]:
+        """Run an OQL-subset query, e.g.
+        ``db.query("select x from River x where x.level < limit", limit=37)``.
+        """
+        return self.query_processor.execute(text, env=params)
+
+    def flush(self) -> None:
+        """Flush dirty persistent state outside a user transaction."""
+        self.persistence.flush_now()
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    def rule(self, name: str, event: EventSpec,
+             action: Optional[Action] = None,
+             condition: Optional[Condition] = None,
+             condition_query: Optional[str] = None,
+             coupling: CouplingMode = CouplingMode.IMMEDIATE,
+             cond_coupling: Optional[CouplingMode] = None,
+             action_coupling: Optional[CouplingMode] = None,
+             priority: int = 0, critical: bool = False,
+             enabled: bool = True, transfer_locks: bool = False,
+             description: str = "") -> Rule:
+        """Define and register one ECA rule.
+
+        The (event category, coupling mode) combination is validated
+        against Table 1 for both the condition and the action coupling;
+        unsupported combinations raise
+        :class:`~repro.errors.UnsupportedCouplingError` here, at
+        definition time.
+        """
+        rule = Rule(name=name, event=event, action=action,
+                    condition=condition, condition_query=condition_query,
+                    coupling=coupling, cond_coupling=cond_coupling,
+                    action_coupling=action_coupling, priority=priority,
+                    critical=critical, enabled=enabled,
+                    transfer_locks=transfer_locks,
+                    description=description)
+        return self.register_rule(rule)
+
+    def register_rule(self, rule: Rule) -> Rule:
+        with self._lock:
+            if rule.name in self._rules:
+                raise RuleDefinitionError(
+                    f"a rule named {rule.name!r} already exists")
+            category = rule.event.category()
+            check_supported(rule.cond_coupling, category, rule.name)
+            check_supported(rule.action_coupling, category, rule.name)
+            manager = self._manager_for(rule.event)
+            manager.add_rule(rule)
+            self._rules[rule.name] = (rule, manager)
+            return rule
+
+    def _manager_for(self, spec: EventSpec):
+        if isinstance(spec, CompositeEventSpec):
+            manager = self.events.composite_manager(spec)
+            for leaf in spec.leaves():
+                if isinstance(leaf, TemporalEventSpec):
+                    self.temporal.register(leaf)
+            return manager
+        manager = self.events.primitive_manager(spec)
+        if isinstance(spec, TemporalEventSpec):
+            self.temporal.register(spec)
+        return manager
+
+    def _subscribe_anchor(self, spec, callback) -> None:
+        self.events.primitive_manager(spec).add_listener(callback)
+
+    def define_rules(self, ddl: str, persist: bool = False) -> list[Rule]:
+        """Parse REACH rule DDL (the paper's textual syntax, Section 6.1)
+        and register every rule found.
+
+        With ``persist=True`` the DDL text is stored in the catalog —
+        REACH's "rules are objects too" — and recompiled on the next open
+        by :meth:`load_persistent_rules`.
+        """
+        from repro.core.rule_language import compile_rules
+        rules = compile_rules(ddl, self)
+        for rule in rules:
+            self.register_rule(rule)
+        if persist:
+            self.dictionary.add_rule_ddl(ddl)
+            if self.tx_manager.current() is None:
+                self.persistence.flush_now()
+        return rules
+
+    def load_persistent_rules(self) -> list[Rule]:
+        """Recompile and register every rule-DDL block stored in the
+        catalog.  Application classes referenced by the rules must be
+        registered first.  Already-registered rule names are skipped."""
+        from repro.core.rule_language import compile_rules
+        loaded: list[Rule] = []
+        for ddl in self.dictionary.rule_ddl_blocks():
+            for rule in compile_rules(ddl, self):
+                if rule.name in self._rules:
+                    continue
+                self.register_rule(rule)
+                loaded.append(rule)
+        return loaded
+
+    def drop_rule(self, name: str) -> None:
+        with self._lock:
+            rule, manager = self._rules.pop(name)
+            manager.remove_rule(rule)
+
+    def get_rule(self, name: str) -> Rule:
+        return self._rules[name][0]
+
+    def rules(self) -> list[Rule]:
+        with self._lock:
+            return [rule for rule, __ in self._rules.values()]
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def signal(self, name: str, **parameters: Any) -> None:
+        """Raise an explicit user signal (modelled as a method event)."""
+        spec = SignalEventSpec(name)
+        self.events.emit(spec, parameters)
+
+    def set_milestone(self, label: str, at: float,
+                      tx: Optional[Transaction] = None) -> None:
+        """Arm a milestone: if the transaction has not finished by ``at``,
+        the milestone event fires and its rules (the contingency plan)
+        run detached."""
+        tx = tx or self.tx_manager.require_current()
+        spec = MilestoneEventSpec(label)
+        self.events.primitive_manager(spec)
+        self.temporal.arm_milestone(spec, tx.top_level().id, at)
+
+    def arm_progress_milestones(self, label: str,
+                                fractions: tuple[float, ...] = (0.5, 0.8),
+                                tx: Optional[Transaction] = None) -> list[str]:
+        """Track a deadline transaction's progress (paper, Section 3.1).
+
+        For each fraction f, arms the milestone ``"{label}@{f}"`` at
+        ``begin + f * (deadline - begin)``.  Requires the transaction to
+        have been begun with a ``deadline``.  Returns the milestone labels
+        so contingency rules can be attached per checkpoint.
+        """
+        tx = tx or self.tx_manager.require_current()
+        top = tx.top_level()
+        if top.deadline is None:
+            raise RuleDefinitionError(
+                "progress milestones require a transaction deadline")
+        labels = []
+        span = top.deadline - top.begin_time
+        for fraction in fractions:
+            if not 0 < fraction <= 1:
+                raise ValueError("fractions must be in (0, 1]")
+            milestone_label = f"{label}@{fraction}"
+            self.set_milestone(milestone_label,
+                               at=top.begin_time + fraction * span, tx=top)
+            labels.append(milestone_label)
+        return labels
+
+    def drain_detached(self) -> int:
+        """Synchronous mode: run detached work whose dependencies are
+        decided."""
+        return self.scheduler.drain_detached()
+
+    def wait_for_composition(self, timeout: float = 10.0) -> None:
+        self.events.wait_for_composition(timeout)
+
+    def collect_garbage(self) -> int:
+        return self.events.collect_garbage()
+
+    @property
+    def history(self):
+        """The merged global event history (Section 6.3)."""
+        return self.events.global_history
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+
+    def architecture_inventory(self) -> dict[str, list[str]]:
+        """The Figure 1 view: plugged policy managers + support modules."""
+        return self.meta.inventory()
+
+    def statistics(self) -> dict[str, Any]:
+        return {
+            "transactions": dict(self.tx_manager.stats),
+            "scheduler": dict(self.scheduler.stats),
+            "events_detected": self.events.events_detected,
+            "semi_composed_pending": self.events.pending_semi_composed(),
+            "storage": self.storage.stats(),
+            "rules": len(self._rules),
+            "queries": dict(self.query_processor.stats),
+        }
+
+    def checkpoint(self) -> None:
+        self.storage.checkpoint()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.temporal.cancel_all()
+        try:
+            # Give resolvable detached work a last chance to run rather
+            # than silently dropping it (synchronous mode).
+            self.scheduler.drain_detached()
+        except Exception:
+            pass
+        self.scheduler.close()
+        self.events.close()
+        self.change.close()
+        self.storage.close()
+
+    def __enter__(self) -> "ReachDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

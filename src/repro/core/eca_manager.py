@@ -1,0 +1,481 @@
+"""ECA-managers and the event service (paper, Section 6, Figure 2).
+
+"To provide an efficient and highly selective rule firing mechanism, we
+use the ECA-managers.  ECA-managers are dedicated to a given event type.
+Therefore, they know which set of rules is fired by an event.  If a rule
+can be triggered by a simple event, the ECA-manager passes the event and
+fires the rule.  ...  If a primitive event is part of a composite event,
+the primitive event is passed along to the corresponding event composer."
+
+The flow of Figure 2 maps onto this module:
+
+* a method call is detected by the sentry (implicitly sentried classes),
+* the corresponding :class:`PrimitiveECAManager` *creates* the event
+  object, *looks up* and fires its direct rules (giving the application
+  the go-ahead as soon as no immediately coupled rule remains), *stores*
+  the occurrence in its local history, and *propagates* it to the
+  composite ECA-managers,
+* each :class:`CompositeECAManager` feeds its composer and fires the
+  non-immediate rules of completed composites.
+
+Crucially, "only rules that are fired by primitive events can be executed
+in an immediate coupling mode": the propagation to composers happens after
+the go-ahead and, in threaded mode, asynchronously on worker threads.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Hashable, Optional
+
+from repro.config import ExecutionConfig
+from repro.core.composer import Composer
+from repro.core.coupling import check_supported
+from repro.core.events import (
+    EventCategory,
+    EventOccurrence,
+    EventSpec,
+    FlowEventKind,
+    FlowEventSpec,
+    MethodEventSpec,
+    MilestoneEventSpec,
+    SignalEventSpec,
+    StateChangeEventSpec,
+    TemporalEventSpec,
+)
+from repro.core.algebra import CompositeEventSpec
+from repro.core.history import GlobalHistory, LocalHistory
+from repro.core.rules import Rule
+from repro.core.scheduler import RuleScheduler
+from repro.errors import EventDefinitionError, RuleDefinitionError
+from repro.clock import Clock
+from repro.oodb.meta import (
+    MetaArchitecture,
+    PolicyManager,
+    SystemEvent,
+    SystemEventKind,
+)
+from repro.oodb.sentry import (
+    MethodNotification,
+    Moment,
+    SentryRegistry,
+    Subscription,
+)
+from repro.oodb.transactions import Transaction, TransactionManager
+
+
+class PrimitiveECAManager:
+    """ECA-manager dedicated to one primitive event type."""
+
+    def __init__(self, spec: EventSpec, scheduler: RuleScheduler,
+                 global_history: GlobalHistory):
+        self.spec = spec
+        self.key = spec.key()
+        self.scheduler = scheduler
+        self.rules: list[Rule] = []
+        #: composite managers (and other listeners) interested in this
+        #: primitive event; populated by the event service.
+        self.listeners: list[Callable[[EventOccurrence], None]] = []
+        self.history = LocalHistory(name=str(self.key))
+        global_history.attach_source(self.history)
+        self.handled = 0
+
+    def add_rule(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    def remove_rule(self, rule: Rule) -> None:
+        if rule in self.rules:
+            self.rules.remove(rule)
+
+    def add_listener(self,
+                     listener: Callable[[EventOccurrence], None]) -> None:
+        self.listeners.append(listener)
+
+    def remove_listener(self,
+                        listener: Callable[[EventOccurrence], None]) -> None:
+        if listener in self.listeners:
+            self.listeners.remove(listener)
+
+    def handle(self, occ: EventOccurrence,
+               propagate: Callable[[EventOccurrence, list], None]) -> None:
+        """Figure 2: create -> store -> fire -> propagate.
+
+        Returning from this method is the go-ahead for the application:
+        every immediately coupled rule has run; composition continues
+        (possibly asynchronously) without blocking normal processing.
+        """
+        self.handled += 1
+        self.history.record(occ)
+        if self.rules:
+            self.scheduler.fire_rules(self.rules, occ)
+        if self.listeners:
+            propagate(occ, list(self.listeners))
+
+
+class CompositeECAManager:
+    """ECA-manager owning one composer and the rules on its composite."""
+
+    def __init__(self, spec: CompositeEventSpec, scheduler: RuleScheduler,
+                 global_history: GlobalHistory, name: str = ""):
+        self.spec = spec
+        self.composer = Composer(spec, name=name)
+        self.scheduler = scheduler
+        self.rules: list[Rule] = []
+        self.history = LocalHistory(name=f"composite:{self.composer.name}")
+        global_history.attach_source(self.history)
+
+    def add_rule(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    def remove_rule(self, rule: Rule) -> None:
+        if rule in self.rules:
+            self.rules.remove(rule)
+
+    def feed(self, occ: EventOccurrence) -> None:
+        """Listener hook: feed a primitive occurrence to the composer and
+        fire rules for every completed composite."""
+        for emission in self.composer.feed(occ):
+            self.handle_composite(emission)
+
+    def handle_composite(self, occ: EventOccurrence) -> None:
+        self.history.record(occ)
+        if self.rules:
+            self.scheduler.fire_rules(self.rules, occ)
+
+
+class EventService:
+    """Routes detected events to ECA-managers and owns the detectors.
+
+    One service per database.  It installs sentry watches for method
+    events, listens on the meta-architecture bus for state-change and
+    flow-control events, and accepts temporal occurrences from the
+    temporal event source.  Composition propagation is synchronous in
+    SYNCHRONOUS mode and queued to worker threads in THREADED mode.
+    """
+
+    def __init__(self, meta: MetaArchitecture,
+                 tx_manager: TransactionManager,
+                 scheduler: RuleScheduler,
+                 sentry_registry: SentryRegistry,
+                 clock: Clock,
+                 config: ExecutionConfig,
+                 resolve_class: Callable[[str], type]):
+        self.meta = meta
+        self.tx_manager = tx_manager
+        self.scheduler = scheduler
+        self.sentry_registry = sentry_registry
+        self.clock = clock
+        self.config = config
+        self.resolve_class = resolve_class
+        self.global_history = GlobalHistory()
+        self._primitive: dict[Hashable, PrimitiveECAManager] = {}
+        self._composite: dict[Hashable, CompositeECAManager] = {}
+        self._subscriptions: list[Subscription] = []
+        self._lock = threading.RLock()
+        self.events_detected = 0
+        #: set by benchmark E5 to simulate the rejected design in which
+        #: every method event waits for negative acknowledgements from all
+        #: composers before the application proceeds.
+        self.force_synchronous_propagation = not config.threaded
+        self._queue: Optional[queue.Queue] = None
+        self._workers: list[threading.Thread] = []
+        self._closing = False
+        if config.threaded:
+            self._queue = queue.Queue()
+            for index in range(config.worker_threads):
+                worker = threading.Thread(
+                    target=self._composition_worker,
+                    name=f"reach-composer-{index}", daemon=True)
+                worker.start()
+                self._workers.append(worker)
+
+    # ------------------------------------------------------------------
+    # Manager registry
+    # ------------------------------------------------------------------
+
+    def primitive_manager(self, spec: EventSpec) -> PrimitiveECAManager:
+        """Get or create the ECA-manager (and detector) for a primitive."""
+        key = spec.key()
+        with self._lock:
+            manager = self._primitive.get(key)
+            if manager is None:
+                manager = PrimitiveECAManager(spec, self.scheduler,
+                                              self.global_history)
+                self._primitive[key] = manager
+                self._install_detector(spec)
+            return manager
+
+    def composite_manager(self, spec: CompositeEventSpec,
+                          name: str = "") -> CompositeECAManager:
+        key = spec.key()
+        with self._lock:
+            manager = self._composite.get(key)
+            if manager is not None:
+                return manager
+            manager = CompositeECAManager(spec, self.scheduler,
+                                          self.global_history, name=name)
+            self._composite[key] = manager
+        # Every leaf primitive must be detectable and must propagate here.
+        for leaf in spec.leaves():
+            if isinstance(leaf, TemporalEventSpec) and \
+                    isinstance(leaf, MilestoneEventSpec):
+                pass  # milestones are raised explicitly, manager suffices
+            primitive = self.primitive_manager(leaf)
+            primitive.add_listener(manager.feed)
+        return manager
+
+    def primitive_managers(self) -> list[PrimitiveECAManager]:
+        with self._lock:
+            return list(self._primitive.values())
+
+    def composite_managers(self) -> list[CompositeECAManager]:
+        with self._lock:
+            return list(self._composite.values())
+
+    def composers(self) -> list[Composer]:
+        return [m.composer for m in self.composite_managers()]
+
+    # ------------------------------------------------------------------
+    # Detection: building occurrences
+    # ------------------------------------------------------------------
+
+    def _current_tx_ids(self) -> frozenset[int]:
+        tx = self.tx_manager.current()
+        if tx is None:
+            return frozenset()
+        return frozenset({tx.top_level().id})
+
+    def emit(self, spec: EventSpec, parameters: dict[str, Any],
+             tx_ids: Optional[frozenset[int]] = None) -> EventOccurrence:
+        """Create an occurrence of a registered primitive and route it."""
+        occ = EventOccurrence(
+            spec=spec,
+            category=spec.category(),
+            timestamp=self.clock.now(),
+            tx_ids=self._current_tx_ids() if tx_ids is None else tx_ids,
+            parameters=parameters)
+        self.route(occ)
+        return occ
+
+    def route(self, occ: EventOccurrence) -> None:
+        self.events_detected += 1
+        with self._lock:
+            manager = self._primitive.get(occ.spec_key)
+        if manager is not None:
+            manager.handle(occ, self._propagate)
+
+    def _propagate(self, occ: EventOccurrence, listeners: list) -> None:
+        if self._queue is None or self.force_synchronous_propagation:
+            for listener in listeners:
+                listener(occ)
+        else:
+            self._queue.put((occ, listeners))
+
+    def _composition_worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            occ, listeners = item
+            for listener in listeners:
+                try:
+                    listener(occ)
+                except Exception as exc:  # keep the worker alive
+                    self.scheduler.errors.append((None, exc))
+
+    def wait_for_composition(self, timeout: float = 10.0) -> None:
+        """Block until the composition queue is drained (threaded mode)."""
+        if self._queue is None:
+            return
+        import time as _time
+        deadline = _time.monotonic() + timeout
+        while not self._queue.empty():
+            if _time.monotonic() > deadline:
+                raise TimeoutError("composition queue did not drain")
+            _time.sleep(0.001)
+
+    # ------------------------------------------------------------------
+    # Detector installation per primitive flavour
+    # ------------------------------------------------------------------
+
+    def _install_detector(self, spec: EventSpec) -> None:
+        if isinstance(spec, MethodEventSpec):
+            cls = self.resolve_class(spec.class_name)
+            subscription = self.sentry_registry.watch_method(
+                cls, spec.method,
+                self._method_receiver(spec),
+                moment=spec.moment)
+            self._subscriptions.append(subscription)
+        # State-change, flow and temporal events need no per-spec detector:
+        # state/flow occurrences are driven from the bus by the rule PM,
+        # temporal occurrences by the temporal event source.
+
+    def _method_receiver(self, spec: MethodEventSpec):
+        def receive(note: MethodNotification) -> None:
+            if note.exception is not None:
+                return  # events are raised for successful execution only
+            parameters: dict[str, Any] = {
+                "instance": note.instance,
+                "method": note.method,
+                "args": note.args,
+                "kwargs": note.kwargs,
+                "result": note.result,
+            }
+            self.emit(spec, parameters)
+        return receive
+
+    # -- bus-driven occurrences (called by the rule policy manager) -----------
+
+    def dispatch_state_change(self, event: SystemEvent) -> None:
+        instance = event.info.get("instance")
+        attribute = event.info.get("attribute")
+        if instance is None or attribute is None:
+            return
+        parameters = {
+            "instance": instance,
+            "attribute": attribute,
+            "old_value": event.info.get("old_value"),
+            "new_value": event.info.get("new_value"),
+            "had_old_value": event.info.get("had_old_value", False),
+        }
+        with self._lock:
+            candidates = [
+                manager for key, manager in self._primitive.items()
+                if isinstance(manager.spec, StateChangeEventSpec)
+            ]
+        for manager in candidates:
+            spec = manager.spec
+            if spec.attribute is not None and spec.attribute != attribute:
+                continue
+            cls = self.resolve_class(spec.class_name)
+            if not isinstance(instance, cls):
+                continue
+            self.emit(spec, dict(parameters))
+
+    def dispatch_flow(self, kind: FlowEventKind,
+                      event: SystemEvent) -> None:
+        spec = FlowEventSpec(kind)
+        with self._lock:
+            manager = self._primitive.get(spec.key())
+        if manager is None:
+            return
+        tx = event.info.get("tx")
+        parameters = dict(event.info)
+        tx_ids: Optional[frozenset[int]] = None
+        if tx is not None:
+            tx_ids = frozenset({tx.top_level().id})
+        self.emit(manager.spec, parameters, tx_ids=tx_ids)
+
+    def dispatch_temporal(self, spec: TemporalEventSpec,
+                          parameters: dict[str, Any]) -> None:
+        """Temporal occurrences originate in no transaction."""
+        with self._lock:
+            manager = self._primitive.get(spec.key())
+        if manager is None:
+            return
+        self.emit(manager.spec, parameters, tx_ids=frozenset())
+
+    # ------------------------------------------------------------------
+    # Lifespan maintenance
+    # ------------------------------------------------------------------
+
+    def on_transaction_end(self, tx: Transaction) -> int:
+        """Discard single-transaction composition graphs (Section 3.3)."""
+        removed = 0
+        for manager in self.composite_managers():
+            removed += manager.composer.on_transaction_end(tx.id)
+        return removed
+
+    def collect_garbage(self) -> int:
+        """Sweep expired semi-composed events from all composers."""
+        now = self.clock.now()
+        return sum(manager.composer.gc(now)
+                   for manager in self.composite_managers())
+
+    def pending_semi_composed(self) -> int:
+        return sum(manager.composer.pending_count()
+                   for manager in self.composite_managers())
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._closing = True
+        if self._queue is not None:
+            for __ in self._workers:
+                self._queue.put(None)
+            for worker in self._workers:
+                worker.join(timeout=5.0)
+            self._queue = None
+            self._workers.clear()
+        for subscription in self._subscriptions:
+            subscription.cancel()
+        self._subscriptions.clear()
+
+
+class ReachRulePolicyManager(PolicyManager):
+    """The Rule PM plugged onto the Open OODB software bus.
+
+    Bridges system events to REACH primitive events, drains deferred rules
+    at top-level EOT, enforces composite lifespans and merges the global
+    history at transaction end, and releases causally dependent detached
+    work once outcomes are known.
+    """
+
+    name = "Rule PM (REACH)"
+    subscribed_kinds = (
+        SystemEventKind.STATE_CHANGE,
+        SystemEventKind.TX_BEGIN,
+        SystemEventKind.TX_PRE_COMMIT,
+        SystemEventKind.TX_COMMIT,
+        SystemEventKind.TX_ABORT,
+        SystemEventKind.PERSIST,
+        SystemEventKind.OBJECT_DELETE,
+        SystemEventKind.FETCH,
+    )
+
+    _FLOW_OF = {
+        SystemEventKind.TX_BEGIN: FlowEventKind.BOT,
+        SystemEventKind.TX_PRE_COMMIT: FlowEventKind.EOT,
+        SystemEventKind.TX_COMMIT: FlowEventKind.COMMIT,
+        SystemEventKind.TX_ABORT: FlowEventKind.ABORT,
+        SystemEventKind.PERSIST: FlowEventKind.PERSIST,
+        SystemEventKind.OBJECT_DELETE: FlowEventKind.DELETE,
+        SystemEventKind.FETCH: FlowEventKind.FETCH,
+    }
+
+    def __init__(self, service: EventService, scheduler: RuleScheduler):
+        super().__init__()
+        self.service = service
+        self.scheduler = scheduler
+
+    def on_event(self, event: SystemEvent) -> None:
+        kind = event.kind
+        if kind is SystemEventKind.STATE_CHANGE:
+            self.service.dispatch_state_change(event)
+            return
+        tx: Optional[Transaction] = event.info.get("tx")
+        if kind in (SystemEventKind.TX_BEGIN, SystemEventKind.TX_PRE_COMMIT,
+                    SystemEventKind.TX_COMMIT, SystemEventKind.TX_ABORT):
+            # Flow events are raised for top-level *user* transactions only;
+            # rule subtransactions would flood the event system and recurse.
+            if tx is not None and tx.is_top_level and tx.rule_depth == 0:
+                self.service.dispatch_flow(self._FLOW_OF[kind], event)
+        else:
+            self.service.dispatch_flow(self._FLOW_OF[kind], event)
+        if tx is None:
+            return
+        if kind is SystemEventKind.TX_PRE_COMMIT and tx.is_top_level:
+            self.scheduler.drain_deferred(tx)
+        elif kind in (SystemEventKind.TX_COMMIT, SystemEventKind.TX_ABORT) \
+                and tx.is_top_level:
+            self.service.on_transaction_end(tx)
+            self.service.global_history.merge_transaction(tx.id)
+            self.service.global_history.merge_transactionless()
+            self.scheduler.on_transaction_outcome(tx)
+
+    def describe(self) -> str:
+        primitive = len(self.service.primitive_managers())
+        composite = len(self.service.composite_managers())
+        return (f"{self.name} ({primitive} primitive ECA-managers, "
+                f"{composite} composite ECA-managers)")

@@ -1,0 +1,179 @@
+"""Distributed event histories.
+
+Each ECA-manager "create[s] an event object and keep[s] local histories of
+the created event occurrences.  The maintenance of a highly distributed
+history eliminates the bottleneck that would result from centrally logging
+the occurrence of events.  ...  a global history is maintained by a
+background process after a transaction has committed or has been aborted"
+(paper, Section 6.3).
+
+:class:`LocalHistory` is the per-manager log; :class:`GlobalHistory`
+collects entries from all local histories once the originating transaction
+finishes (or immediately for transaction-less temporal events pending the
+next merge).  Because every occurrence carries a global sequence number,
+the merged history is totally ordered without any central lock on the
+detection path — that absence is what benchmark E7 measures.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Optional
+
+from repro.core.events import EventOccurrence
+
+
+class LocalHistory:
+    """Per-ECA-manager append-only log of event occurrences."""
+
+    def __init__(self, name: str, capacity: Optional[int] = None):
+        self.name = name
+        self.capacity = capacity
+        self._entries: list[EventOccurrence] = []
+        self._lock = threading.Lock()
+        self.recorded = 0
+
+    def record(self, occ: EventOccurrence) -> None:
+        with self._lock:
+            self._entries.append(occ)
+            self.recorded += 1
+            if self.capacity is not None and \
+                    len(self._entries) > self.capacity:
+                del self._entries[:len(self._entries) - self.capacity]
+
+    def entries(self) -> list[EventOccurrence]:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class GlobalHistory:
+    """The merged, totally ordered history of all managers.
+
+    ``merge_transaction(tx_id)`` pulls every not-yet-merged occurrence that
+    originated (at least partly) in the finished transaction;
+    ``merge_transactionless()`` pulls temporal/no-transaction occurrences.
+    Both run off the detection path — in threaded mode on a background
+    worker, in synchronous mode right after commit/abort.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: list[EventOccurrence] = []
+        self._merged_seqs: set[int] = set()
+        self._sources: list[LocalHistory] = []
+        self.merge_operations = 0
+
+    def attach_source(self, local: LocalHistory) -> None:
+        with self._lock:
+            self._sources.append(local)
+
+    def detach_source(self, local: LocalHistory) -> None:
+        with self._lock:
+            if local in self._sources:
+                self._sources.remove(local)
+
+    # ------------------------------------------------------------------
+
+    def merge_transaction(self, tx_id: int) -> int:
+        """Merge all occurrences involving top-level transaction ``tx_id``."""
+        return self._merge(lambda occ: tx_id in occ.tx_ids)
+
+    def merge_transactionless(self) -> int:
+        """Merge occurrences that originated in no transaction."""
+        return self._merge(lambda occ: not occ.tx_ids)
+
+    def merge_all(self) -> int:
+        """Merge everything (maintenance / shutdown)."""
+        return self._merge(lambda occ: True)
+
+    def _merge(self, wanted) -> int:
+        with self._lock:
+            sources = list(self._sources)
+        gathered: list[EventOccurrence] = []
+        for source in sources:
+            for occ in source.entries():
+                gathered.append(occ)
+        with self._lock:
+            added = 0
+            for occ in gathered:
+                if occ.seq in self._merged_seqs or not wanted(occ):
+                    continue
+                self._entries.append(occ)
+                self._merged_seqs.add(occ.seq)
+                added += 1
+            if added:
+                self._entries.sort(key=lambda occ: occ.seq)
+            self.merge_operations += 1
+            return added
+
+    # ------------------------------------------------------------------
+
+    def entries(self) -> list[EventOccurrence]:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def iter_transaction(self, tx_id: int) -> Iterator[EventOccurrence]:
+        """Occurrences of one transaction, in global order — the view a
+        compensation step would need (the 'price' of distribution the
+        paper accepts)."""
+        for occ in self.entries():
+            if tx_id in occ.tx_ids:
+                yield occ
+
+    def prune_before(self, seq: int) -> int:
+        """Drop merged entries with ``occ.seq < seq`` (and also clear
+        them from the attached local histories) so long-running systems
+        can bound history growth once compensation can no longer need
+        the old entries.  Returns the number of global entries dropped.
+        """
+        with self._lock:
+            before = len(self._entries)
+            self._entries = [occ for occ in self._entries
+                             if occ.seq >= seq]
+            dropped = before - len(self._entries)
+            # Keep idempotence bookkeeping for retained entries only.
+            self._merged_seqs = {s for s in self._merged_seqs if s >= seq}
+            sources = list(self._sources)
+        for source in sources:
+            retained = [occ for occ in source.entries() if occ.seq >= seq]
+            source.clear()
+            for occ in retained:
+                source.record(occ)
+        return dropped
+
+
+class CentralHistory:
+    """A deliberately *centralized* history for benchmark E7.
+
+    Every detection-path record goes through one shared lock, modelling
+    the bottleneck the paper's distributed design avoids.  Functionally
+    equivalent to recording in local histories + merging.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: list[EventOccurrence] = []
+
+    def record(self, occ: EventOccurrence) -> None:
+        with self._lock:
+            self._entries.append(occ)
+
+    def entries(self) -> list[EventOccurrence]:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

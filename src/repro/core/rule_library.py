@@ -1,0 +1,130 @@
+"""Specialized rule classes derived from :class:`~repro.core.rules.Rule`.
+
+"Specialized rule classes for consistency management, replication
+management, and so forth can be derived from this base class" (paper,
+Section 6.1).  This module provides the derivations a downstream user
+would reach for first:
+
+* :class:`ConstraintRule` — consistency enforcement: a predicate that
+  must hold after the triggering operation; violation aborts the
+  triggering transaction (deferred + critical by default, so constraints
+  are checked once at EOT).
+* :class:`ViewMaintenanceRule` — incremental maintenance of a derived
+  value on a target object (materialized views, one of the paper's
+  DBMS-internal rule domains).
+* :class:`ReplicationRule` — replication management: mirrors attribute
+  writes on a source object to replica objects, immediately, inside the
+  triggering transaction (so replicas cannot drift on abort).
+* :class:`AuditRule` — appends a record to an audit log only after the
+  triggering transaction durably commits (sequential causally dependent).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.coupling import CouplingMode
+from repro.core.events import EventSpec, StateChangeEventSpec
+from repro.core.rules import Rule, RuleContext
+from repro.errors import RuleDefinitionError
+
+
+class ConstraintRule(Rule):
+    """Consistency constraint: ``predicate(ctx)`` must hold, or the
+    triggering transaction aborts.
+
+    Checked deferred (at EOT) by default so a transaction is judged on
+    its final state; pass ``coupling=CouplingMode.IMMEDIATE`` to reject
+    violations at the offending operation instead.
+    """
+
+    def __init__(self, name: str, event: EventSpec,
+                 predicate: Callable[[RuleContext], bool],
+                 message: str = "",
+                 coupling: CouplingMode = CouplingMode.DEFERRED,
+                 priority: int = 0):
+        if coupling not in (CouplingMode.IMMEDIATE, CouplingMode.DEFERRED):
+            raise RuleDefinitionError(
+                "a constraint must run inside the triggering transaction "
+                "(immediate or deferred) to be able to veto it")
+        self.predicate = predicate
+        self.message = message or f"constraint {name!r} violated"
+        super().__init__(name=name, event=event, coupling=coupling,
+                         priority=priority, critical=True,
+                         action=self._check,
+                         description=f"constraint: {self.message}")
+
+    def _check(self, ctx: RuleContext) -> None:
+        if not self.predicate(ctx):
+            raise ValueError(self.message)
+
+
+class ViewMaintenanceRule(Rule):
+    """Maintains a derived value incrementally.
+
+    ``maintain(ctx)`` recomputes/adjusts the view; it runs immediately so
+    the view is transactionally consistent with the base data (rule
+    effects roll back with the trigger).
+    """
+
+    def __init__(self, name: str, event: EventSpec,
+                 maintain: Callable[[RuleContext], None],
+                 priority: int = 0,
+                 condition: Optional[Callable[[RuleContext], bool]] = None):
+        super().__init__(name=name, event=event, action=maintain,
+                         condition=condition,
+                         coupling=CouplingMode.IMMEDIATE,
+                         priority=priority,
+                         description="materialized-view maintenance")
+
+
+class ReplicationRule(Rule):
+    """Mirrors writes on one class's attribute to replica objects.
+
+    ``replicas(ctx)`` returns the objects to update; each receives the
+    new value on the same attribute.  Immediate coupling keeps source and
+    replicas atomic.
+    """
+
+    def __init__(self, name: str, class_name: str, attribute: str,
+                 replicas: Callable[[RuleContext], list],
+                 priority: int = 0):
+        self.replicas = replicas
+        self.attribute = attribute
+        event = StateChangeEventSpec(class_name, attribute)
+        super().__init__(name=name, event=event, action=self._mirror,
+                         coupling=CouplingMode.IMMEDIATE,
+                         priority=priority,
+                         description=f"replicates {class_name}."
+                                     f"{attribute}")
+
+    def _mirror(self, ctx: RuleContext) -> None:
+        value = ctx["new_value"]
+        source = ctx["instance"]
+        for replica in self.replicas(ctx):
+            if replica is source:
+                continue
+            setattr(replica, self.attribute, value)
+
+
+class AuditRule(Rule):
+    """Writes an audit record only after the trigger durably commits.
+
+    ``record(ctx)`` builds the entry; ``sink(entry)`` stores it.  Uses
+    sequential causally dependent coupling: an aborted transaction leaves
+    no audit trace, and the trace is never written before the commit.
+    """
+
+    def __init__(self, name: str, event: EventSpec,
+                 record: Callable[[RuleContext], Any],
+                 sink: Callable[[Any], None],
+                 priority: int = 0):
+        self.record = record
+        self.sink = sink
+        super().__init__(
+            name=name, event=event, action=self._audit,
+            coupling=CouplingMode.SEQUENTIAL_CAUSALLY_DEPENDENT,
+            priority=priority, description="audit trail")
+
+    def _audit(self, ctx: RuleContext) -> None:
+        self.sink(self.record(ctx))

@@ -1,0 +1,505 @@
+"""Rule execution engine: coupling modes, ordering, causal dependencies.
+
+Implements Section 3.2's six coupling modes and Section 6.4's firing
+policies:
+
+* **immediate** rules run as subtransactions at the detection point;
+* **deferred** rules queue on the triggering transaction and drain at the
+  *top-level* EOT (control over deferred execution "resides with the
+  transaction policy manager"), ordered by priority with the configured
+  tie-break and the optional simple-events-first policy;
+* **detached** rules (plain / parallel / sequential / exclusive causally
+  dependent) run in new top-level transactions.  In threaded mode they run
+  on a worker pool, blocking on the triggering transactions' outcomes
+  where the dependency requires it; in synchronous mode they queue and are
+  drained once the outcomes are known — the first-prototype strategy of
+  mapping parallel execution onto an ordered firing sequence.
+
+Parameter passing across the detached boundary follows Section 3.2:
+references to persistent objects pass as references, transient objects
+pass *by value* (a shallow copy detached from the original's identity).
+
+Rule failures abort the rule's own subtransaction and are recorded; a rule
+marked ``critical`` additionally aborts the triggering transaction.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.config import ExecutionConfig, TieBreakPolicy
+from repro.core.coupling import CouplingMode
+from repro.core.events import EventOccurrence
+from repro.core.rules import Rule, RuleContext, sort_for_firing
+from repro.errors import RuleExecutionError, TransactionAborted
+from repro.oodb.sentry import is_sentried
+from repro.oodb.transactions import (
+    Transaction,
+    TransactionManager,
+    TransactionState,
+)
+
+#: Execution phases: a 'full' unit evaluates condition then action; an
+#: 'action' unit is the action of a rule whose condition already held.
+PHASE_FULL = "full"
+PHASE_ACTION = "action"
+
+
+@dataclass
+class FiringRecord:
+    """One entry of the scheduler's firing log (tests and benchmarks)."""
+
+    rule_name: str
+    mode: CouplingMode
+    phase: str
+    event_seq: int
+    outcome: str               # executed | condition_false | skipped | error
+    tx_id: Optional[int] = None
+
+
+@dataclass
+class DetachedWork:
+    """A detached rule execution waiting for its dependencies."""
+
+    rule: Rule
+    occ: EventOccurrence
+    phase: str
+    mode: CouplingMode
+    deps: frozenset[int]
+    bindings: dict[str, Any]
+    depth: int
+
+
+class RuleScheduler:
+    """Dispatches triggered rules according to their coupling modes."""
+
+    def __init__(self, db: Any, tx_manager: TransactionManager,
+                 config: ExecutionConfig):
+        self.db = db
+        self.tx_manager = tx_manager
+        self.config = config
+        self.errors: list[tuple[Rule, BaseException]] = []
+        self.firing_log: list[FiringRecord] = []
+        self._log_lock = threading.Lock()
+        self._pending: list[DetachedWork] = []
+        self._pending_lock = threading.Lock()
+        #: trigger tx id -> holding family id for EXC-CD lock transfer
+        self._lock_reservations: dict[int, int] = {}
+        tx_manager.abort_hooks.append(self._on_trigger_abort)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        if config.threaded:
+            self._pool = ThreadPoolExecutor(
+                max_workers=config.worker_threads,
+                thread_name_prefix="reach-detached")
+        self.stats = {
+            "immediate": 0, "deferred_enqueued": 0, "deferred_run": 0,
+            "detached_run": 0, "detached_skipped": 0,
+            "recursion_limited": 0, "parallel_batches": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Entry point from the ECA managers
+    # ------------------------------------------------------------------
+
+    def fire_rules(self, rules: list[Rule], occ: EventOccurrence) -> None:
+        """Dispatch every enabled rule triggered by ``occ``."""
+        runnable = [rule for rule in rules if rule.enabled]
+        if not runnable:
+            return
+        ordered = sort_for_firing(
+            runnable,
+            newest_first=self.config.tie_break is TieBreakPolicy.NEWEST_FIRST)
+        current = self.tx_manager.current()
+        depth = current.rule_depth if current is not None else 0
+        if depth >= self.config.max_rule_recursion:
+            self.stats["recursion_limited"] += 1
+            for rule in ordered:
+                self._log(rule, rule.cond_coupling, PHASE_FULL, occ,
+                          "skipped")
+            return
+        immediate_batch: list[Rule] = []
+        for rule in ordered:
+            mode = rule.cond_coupling
+            if mode is CouplingMode.IMMEDIATE:
+                immediate_batch.append(rule)
+            elif mode is CouplingMode.DEFERRED:
+                self._enqueue_deferred(rule, occ, PHASE_FULL)
+            else:
+                self._schedule_detached(rule, occ, PHASE_FULL, mode, depth)
+        if immediate_batch:
+            if (self.config.parallel_rules and self.config.threaded
+                    and len(immediate_batch) > 1
+                    and current is not None):
+                self._fire_parallel(immediate_batch, occ, current)
+            else:
+                for rule in immediate_batch:
+                    self._fire_immediate(rule, occ, PHASE_FULL)
+
+    # ------------------------------------------------------------------
+    # Immediate
+    # ------------------------------------------------------------------
+
+    def _fire_immediate(self, rule: Rule, occ: EventOccurrence,
+                        phase: str) -> None:
+        """Run ``rule`` as a subtransaction at the detection point."""
+        tm = self.tx_manager
+        current = tm.current()
+        depth = (current.rule_depth if current is not None else 0) + 1
+        tx = tm.begin(rule_depth=depth)
+        self.stats["immediate"] += 1
+        self._run_in_tx(rule, occ, phase, tx, CouplingMode.IMMEDIATE)
+
+    def _fire_parallel(self, rules: list[Rule], occ: EventOccurrence,
+                       trigger: Transaction) -> None:
+        """Run several immediate rules as parallel sibling subtransactions.
+
+        This is the execution model the paper targets once nested
+        transactions exist; the thread setup cost it incurs is exactly
+        what benchmark E3 compares against ordered sequential firing.
+        """
+        self.stats["parallel_batches"] += 1
+
+        def run_one(rule: Rule) -> None:
+            tx = self.tx_manager.begin_child_of(
+                trigger, rule_depth=trigger.rule_depth + 1)
+            self.stats["immediate"] += 1
+            self._run_in_tx(rule, occ, PHASE_FULL, tx,
+                            CouplingMode.IMMEDIATE)
+
+        threads = [threading.Thread(target=run_one, args=(rule,),
+                                    name=f"reach-rule-{rule.name}")
+                   for rule in rules]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def _run_in_tx(self, rule: Rule, occ: EventOccurrence, phase: str,
+                   tx: Transaction, mode: CouplingMode,
+                   bindings: Optional[dict[str, Any]] = None) -> None:
+        """Run one unit inside an already-begun transaction ``tx``."""
+        tm = self.tx_manager
+        try:
+            outcome = self._run_unit(rule, occ, phase, tx, mode,
+                                     bindings=bindings)
+            tm.commit(tx)
+            self._log(rule, mode, phase, occ, outcome, tx.id)
+        except RuleExecutionError as exc:
+            if tx.state is TransactionState.ACTIVE:
+                tm.abort(tx)
+            self.errors.append((rule, exc))
+            self._log(rule, mode, phase, occ, "error", tx.id)
+            if rule.critical:
+                raise TransactionAborted(
+                    f"critical rule {rule.name!r} failed: {exc}") from exc
+
+    def _run_unit(self, rule: Rule, occ: EventOccurrence, phase: str,
+                  tx: Transaction, mode: CouplingMode,
+                  bindings: Optional[dict[str, Any]] = None) -> str:
+        """Condition/action evaluation; returns the firing outcome."""
+        ctx = RuleContext(
+            rule=rule, event=occ, db=self.db,
+            bindings=rule.bind(occ) if bindings is None
+            else dict(bindings),
+            transaction=tx)
+        if phase == PHASE_FULL:
+            if not rule.evaluate_condition(ctx):
+                rule.condition_rejections += 1
+                return "condition_false"
+            if rule.action_coupling is not rule.cond_coupling:
+                # Split rule: the action runs later in its own mode.
+                self._dispatch_action_later(rule, occ, ctx)
+                rule.fired_count += 1
+                return "executed"
+        rule.execute_action(ctx)
+        rule.fired_count += 1
+        return "executed"
+
+    def _dispatch_action_later(self, rule: Rule, occ: EventOccurrence,
+                               ctx: RuleContext) -> None:
+        # The condition may have reorganized the bindings for the action
+        # (the paper's generated Cond function 'reorganizes the argument
+        # list'); carry them forward to the later phase.
+        mode = rule.action_coupling
+        if mode is CouplingMode.DEFERRED:
+            self._enqueue_deferred(rule, occ, PHASE_ACTION,
+                                   bindings=dict(ctx.bindings))
+        else:
+            current = self.tx_manager.current()
+            depth = current.rule_depth if current is not None else 0
+            self._schedule_detached(rule, occ, PHASE_ACTION, mode, depth,
+                                    bindings=dict(ctx.bindings))
+
+    # ------------------------------------------------------------------
+    # Deferred
+    # ------------------------------------------------------------------
+
+    def _enqueue_deferred(self, rule: Rule, occ: EventOccurrence,
+                          phase: str,
+                          bindings: Optional[dict[str, Any]] = None) -> None:
+        # Defer to the *originating* transaction: in threaded mode a
+        # composite may complete on a composer thread while the trigger
+        # runs elsewhere, so the current-thread transaction is not it.
+        tx = None
+        for tx_id in occ.tx_ids:
+            candidate = self.tx_manager.find_transaction(tx_id)
+            if candidate is not None:
+                tx = candidate
+                break
+        if tx is None:
+            tx = self.tx_manager.current()
+        if tx is None:
+            # The trigger already finished (or there never was one): run
+            # right away in a fresh transaction (documented relaxation).
+            self._fire_immediate(rule, occ, phase)
+            return
+        tx.deferred_rules.append((rule, occ, phase, bindings))
+        self.stats["deferred_enqueued"] += 1
+
+    def drain_deferred(self, tx: Transaction) -> int:
+        """Run the deferred queue at top-level EOT.
+
+        Control resides with the transaction policy manager here (Section
+        6.4): rules run as subtransactions of the committing transaction,
+        ordered by priority, tie-break, and optionally simple-events-first.
+        Rules enqueued *by* deferred rules are drained too, bounded by the
+        recursion limit.
+        """
+        executed = 0
+        rounds = 0
+        while tx.deferred_rules:
+            rounds += 1
+            if rounds > self.config.max_rule_recursion:
+                self.stats["recursion_limited"] += 1
+                tx.deferred_rules.clear()
+                break
+            entries = list(tx.deferred_rules)
+            tx.deferred_rules.clear()
+            entries = self._order_deferred(entries)
+            for rule, occ, phase, bindings in entries:
+                sub = self.tx_manager.begin_child_of(
+                    tx, rule_depth=tx.rule_depth + 1)
+                self.stats["deferred_run"] += 1
+                self._run_in_tx(rule, occ, phase, sub,
+                                CouplingMode.DEFERRED, bindings=bindings)
+                executed += 1
+        return executed
+
+    def _order_deferred(self, entries: list) -> list:
+        newest = self.config.tie_break is TieBreakPolicy.NEWEST_FIRST
+        rules = [entry[0] for entry in entries]
+        ordered_rules = sort_for_firing(
+            rules, newest_first=newest,
+            simple_events_first=self.config.simple_events_first)
+        rank = {id(rule): index
+                for index, rule in enumerate(ordered_rules)}
+        return sorted(entries, key=lambda entry: rank[id(entry[0])])
+
+    # ------------------------------------------------------------------
+    # Detached (+ causal dependencies)
+    # ------------------------------------------------------------------
+
+    def _schedule_detached(self, rule: Rule, occ: EventOccurrence,
+                           phase: str, mode: CouplingMode, depth: int,
+                           bindings: Optional[dict[str, Any]] = None) -> None:
+        raw = bindings if bindings is not None else rule.bind(occ)
+        work = DetachedWork(rule=rule, occ=occ, phase=phase, mode=mode,
+                            deps=occ.tx_ids,
+                            bindings=self._detached_bindings(raw),
+                            depth=depth + 1)
+        if mode is CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT and \
+                rule.transfer_locks:
+            # Reserve the triggers' locks: if a trigger aborts, its locks
+            # move to a holding family instead of being released, and the
+            # contingency transaction claims them when it starts
+            # (Section 4's resource transfer).
+            with self._pending_lock:
+                for dep in work.deps:
+                    self._lock_reservations[dep] = -dep
+        if self._pool is not None:
+            self._pool.submit(self._run_detached_blocking, work)
+            return
+        with self._pending_lock:
+            self._pending.append(work)
+        self.drain_detached()
+
+    def _on_trigger_abort(self, tx: Transaction) -> None:
+        """Abort hook: park a reserved trigger's locks before release."""
+        with self._pending_lock:
+            reserved = self._lock_reservations.get(tx.id)
+        if reserved is not None:
+            self.tx_manager.locks.transfer(tx.family_id, reserved)
+
+    def _claim_reserved_locks(self, work: DetachedWork,
+                              tx: Transaction) -> None:
+        for dep in work.deps:
+            with self._pending_lock:
+                reserved = self._lock_reservations.pop(dep, None)
+            if reserved is not None:
+                self.tx_manager.locks.transfer(reserved, tx.family_id)
+
+    def _drop_reservations(self, work: DetachedWork) -> None:
+        with self._pending_lock:
+            for dep in work.deps:
+                reserved = self._lock_reservations.pop(dep, None)
+                if reserved is not None:
+                    self.tx_manager.locks.release_all(reserved)
+
+    def _detached_bindings(self,
+                           raw: dict[str, Any]) -> dict[str, Any]:
+        """Apply the parameter-passing rule of Section 3.2."""
+        persistence = getattr(self.db, "persistence", None)
+        bindings: dict[str, Any] = {}
+        for name, value in raw.items():
+            if is_sentried(type(value)) and persistence is not None and \
+                    not persistence.is_persistent(value):
+                # Transient object: pass by value (shallow copy detaches
+                # it from the originating transaction's workspace).
+                bindings[name] = copy.copy(value)
+            else:
+                bindings[name] = value
+        return bindings
+
+    # -- threaded execution -------------------------------------------------
+
+    def _run_detached_blocking(self, work: DetachedWork) -> None:
+        """Worker-thread body enforcing the causal dependencies."""
+        try:
+            if work.mode is CouplingMode.SEQUENTIAL_CAUSALLY_DEPENDENT:
+                if not self._await_outcomes(work, TransactionState.COMMITTED):
+                    self._skip(work)
+                    return
+                self._execute_detached(work)
+            elif work.mode is CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT:
+                if not self._await_outcomes(work, TransactionState.ABORTED):
+                    self._skip(work)
+                    return
+                self._execute_detached(work)
+            elif work.mode is CouplingMode.PARALLEL_CAUSALLY_DEPENDENT:
+                self._execute_detached(
+                    work,
+                    before_commit=lambda: self._await_outcomes(
+                        work, TransactionState.COMMITTED))
+            else:  # plain detached
+                self._execute_detached(work)
+        except BaseException as exc:  # worker threads must not die silently
+            self.errors.append((work.rule, exc))
+            self._log(work.rule, work.mode, work.phase, work.occ, "error")
+
+    def _await_outcomes(self, work: DetachedWork,
+                        wanted: TransactionState) -> bool:
+        """True iff *all* dependency transactions reached ``wanted``."""
+        for tx_id in work.deps:
+            outcome = self.tx_manager.wait_for_outcome(
+                tx_id, timeout=self.config.detached_start_timeout)
+            if outcome is not wanted:
+                return False
+        return True
+
+    # -- synchronous execution ------------------------------------------------
+
+    def drain_detached(self) -> int:
+        """Synchronous mode: run queued detached work whose dependencies
+        are all decided, provided no transaction is active on this thread
+        (a new top-level transaction could deadlock with it otherwise)."""
+        if self.tx_manager.current() is not None:
+            return 0
+        executed = 0
+        while True:
+            work = self._take_ready()
+            if work is None:
+                return executed
+            self._run_detached_resolved(work)
+            executed += 1
+
+    def _take_ready(self) -> Optional[DetachedWork]:
+        with self._pending_lock:
+            for index, work in enumerate(self._pending):
+                if all(self.tx_manager.outcome_of(dep) is not None
+                       for dep in work.deps):
+                    return self._pending.pop(index)
+        return None
+
+    def _run_detached_resolved(self, work: DetachedWork) -> None:
+        """Run one work item whose dependency outcomes are all known."""
+        outcomes = {self.tx_manager.outcome_of(dep) for dep in work.deps}
+        if work.mode in (CouplingMode.PARALLEL_CAUSALLY_DEPENDENT,
+                         CouplingMode.SEQUENTIAL_CAUSALLY_DEPENDENT):
+            if outcomes - {TransactionState.COMMITTED}:
+                self._skip(work)
+                return
+        elif work.mode is CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT:
+            if outcomes - {TransactionState.ABORTED}:
+                self._skip(work)
+                return
+        self._execute_detached(work)
+
+    def _execute_detached(self, work: DetachedWork,
+                          before_commit=None) -> None:
+        """Run the rule in a new top-level transaction."""
+        tm = self.tx_manager
+        tx = tm.begin(nested=False, rule_depth=work.depth)
+        if work.mode is CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT and \
+                work.rule.transfer_locks:
+            self._claim_reserved_locks(work, tx)
+        self.stats["detached_run"] += 1
+        try:
+            outcome = self._run_unit(work.rule, work.occ, work.phase, tx,
+                                     work.mode, bindings=work.bindings)
+            if before_commit is not None and not before_commit():
+                tm.abort(tx)
+                self._log(work.rule, work.mode, work.phase, work.occ,
+                          "skipped", tx.id)
+                return
+            tm.commit(tx)
+            self._log(work.rule, work.mode, work.phase, work.occ, outcome,
+                      tx.id)
+        except RuleExecutionError as exc:
+            if tx.state is TransactionState.ACTIVE:
+                tm.abort(tx)
+            self.errors.append((work.rule, exc))
+            self._log(work.rule, work.mode, work.phase, work.occ, "error",
+                      tx.id)
+
+    def _skip(self, work: DetachedWork) -> None:
+        if work.rule.transfer_locks:
+            self._drop_reservations(work)
+        self.stats["detached_skipped"] += 1
+        self._log(work.rule, work.mode, work.phase, work.occ, "skipped")
+
+    # ------------------------------------------------------------------
+    # Hooks and bookkeeping
+    # ------------------------------------------------------------------
+
+    def on_transaction_outcome(self, tx: Transaction) -> None:
+        """Called after every top-level commit/abort (synchronous mode:
+        newly decided outcomes may release queued detached work)."""
+        if self._pool is None:
+            self.drain_detached()
+
+    def pending_detached_count(self) -> int:
+        with self._pending_lock:
+            return len(self._pending)
+
+    #: bound on the in-memory firing log; older records are dropped.
+    MAX_FIRING_LOG = 10_000
+
+    def _log(self, rule: Rule, mode: CouplingMode, phase: str,
+             occ: EventOccurrence, outcome: str,
+             tx_id: Optional[int] = None) -> None:
+        with self._log_lock:
+            self.firing_log.append(FiringRecord(
+                rule_name=rule.name, mode=mode, phase=phase,
+                event_seq=occ.seq, outcome=outcome, tx_id=tx_id))
+            if len(self.firing_log) > self.MAX_FIRING_LOG:
+                del self.firing_log[:len(self.firing_log)
+                                    - self.MAX_FIRING_LOG]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

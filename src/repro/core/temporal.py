@@ -1,0 +1,158 @@
+"""Temporal event source: absolute, relative, periodic events; milestones.
+
+Temporal events (paper, Section 3.1) "can be either absolute or relative,
+periodic or aperiodic".  REACH additionally defines **milestones** — "a
+special kind of temporal event ... used for time-constrained processing and
+can be applied to tracking the progress of a transaction relative to its
+deadline.  If the transaction does not reach a milestone in time, the
+probability of missing its deadline is high and a contingency plan can be
+invoked."
+
+All scheduling runs against the database's :class:`~repro.clock.Clock`, so
+tests and benchmarks drive temporal behaviour deterministically with a
+:class:`~repro.clock.VirtualClock`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+from repro.clock import Clock, TimerHandle
+from repro.core.events import (
+    AbsoluteEventSpec,
+    EventSpec,
+    MilestoneEventSpec,
+    PeriodicEventSpec,
+    PrimitiveEventSpec,
+    RelativeEventSpec,
+    TemporalEventSpec,
+)
+from repro.errors import EventDefinitionError
+from repro.oodb.transactions import TransactionManager
+
+
+class TemporalEventSource:
+    """Schedules timers that raise temporal event occurrences."""
+
+    def __init__(self, clock: Clock, tx_manager: TransactionManager,
+                 dispatch: Callable[[TemporalEventSpec, dict], None],
+                 anchor_subscribe: Callable[[PrimitiveEventSpec,
+                                             Callable], None]):
+        self.clock = clock
+        self.tx_manager = tx_manager
+        self._dispatch = dispatch
+        self._anchor_subscribe = anchor_subscribe
+        self._handles: list[TimerHandle] = []
+        self._lock = threading.Lock()
+        self.fired = {"absolute": 0, "relative": 0, "periodic": 0,
+                      "milestone": 0}
+
+    # ------------------------------------------------------------------
+
+    def register(self, spec: TemporalEventSpec) -> None:
+        """Install the timers (or anchor listeners) for ``spec``."""
+        if isinstance(spec, AbsoluteEventSpec):
+            self._register_absolute(spec)
+        elif isinstance(spec, PeriodicEventSpec):
+            self._register_periodic(spec)
+        elif isinstance(spec, RelativeEventSpec):
+            self._register_relative(spec)
+        elif isinstance(spec, MilestoneEventSpec):
+            pass  # milestones are armed per transaction via set_milestone
+        else:
+            raise EventDefinitionError(
+                f"unknown temporal spec {type(spec).__name__!r}")
+
+    def _remember(self, handle: TimerHandle) -> None:
+        with self._lock:
+            self._handles.append(handle)
+
+    def _register_absolute(self, spec: AbsoluteEventSpec) -> None:
+        def fire() -> None:
+            self.fired["absolute"] += 1
+            self._dispatch(spec, {"at": spec.at})
+        self._remember(self.clock.schedule(spec.at, fire))
+
+    def _register_periodic(self, spec: PeriodicEventSpec) -> None:
+        state = {"occurrences": 0}
+        first = spec.start if spec.start is not None \
+            else self.clock.now() + spec.period
+
+        def fire() -> None:
+            now = self.clock.now()
+            if spec.end is not None and now > spec.end:
+                return
+            state["occurrences"] += 1
+            self.fired["periodic"] += 1
+            self._dispatch(spec, {"occurrence_index": state["occurrences"],
+                                  "at": now})
+            if spec.count is not None and \
+                    state["occurrences"] >= spec.count:
+                return
+            next_at = now + spec.period
+            if spec.end is not None and next_at > spec.end:
+                return
+            self._remember(self.clock.schedule(next_at, fire))
+
+        self._remember(self.clock.schedule(first, fire))
+
+    def _register_relative(self, spec: RelativeEventSpec) -> None:
+        if not isinstance(spec.anchor, PrimitiveEventSpec):
+            raise EventDefinitionError(
+                "relative temporal events anchor on primitive events")
+
+        def on_anchor(anchor_occ: Any) -> None:
+            deadline = anchor_occ.timestamp + spec.delay
+
+            def fire() -> None:
+                self.fired["relative"] += 1
+                self._dispatch(spec, {"anchor_seq": anchor_occ.seq,
+                                      "at": self.clock.now()})
+
+            self._remember(self.clock.schedule(deadline, fire))
+
+        self._anchor_subscribe(spec.anchor, on_anchor)
+
+    # ------------------------------------------------------------------
+    # Milestones (per transaction)
+    # ------------------------------------------------------------------
+
+    def arm_milestone(self, spec: MilestoneEventSpec, tx_id: int,
+                      at: float) -> TimerHandle:
+        """Raise the milestone event at ``at`` unless transaction ``tx_id``
+        has finished by then.
+
+        The milestone firing is the signal that the transaction is likely
+        to miss its deadline; a rule on the milestone spec is the
+        contingency plan.
+        """
+        def fire() -> None:
+            if self.tx_manager.outcome_of(tx_id) is not None:
+                return  # transaction already finished: milestone reached
+            self.fired["milestone"] += 1
+            self._dispatch(spec, {"tx_id": tx_id, "label": spec.label,
+                                  "missed_at": at})
+
+        handle = self.clock.schedule(at, fire)
+        self._remember(handle)
+        return handle
+
+    # ------------------------------------------------------------------
+
+    def schedule_recurring(self, interval: float,
+                           fn: Callable[[], None]) -> None:
+        """Run ``fn`` every ``interval`` seconds (used for composer GC)."""
+        def tick() -> None:
+            fn()
+            self._remember(self.clock.schedule(
+                self.clock.now() + interval, tick))
+
+        self._remember(self.clock.schedule(
+            self.clock.now() + interval, tick))
+
+    def cancel_all(self) -> None:
+        with self._lock:
+            for handle in self._handles:
+                handle.cancel()
+            self._handles.clear()

@@ -1,0 +1,181 @@
+"""Exception hierarchy for the REACH active OODBMS reproduction.
+
+Every error raised by the library derives from :class:`ReachError` so that
+applications can catch library failures with a single ``except`` clause while
+still being able to discriminate storage, transaction, event, and rule
+failures individually.
+"""
+
+from __future__ import annotations
+
+
+class ReachError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage substrate
+# ---------------------------------------------------------------------------
+
+class StorageError(ReachError):
+    """Base class for storage-manager failures."""
+
+
+class SerializationError(StorageError):
+    """A value could not be serialized or deserialized."""
+
+
+class PageError(StorageError):
+    """A slotted-page operation was invalid (bad slot, page full, ...)."""
+
+
+class PageFullError(PageError):
+    """The record does not fit in the page's free space."""
+
+
+class RecordNotFoundError(StorageError):
+    """No record exists for the requested OID or record id."""
+
+
+class WALError(StorageError):
+    """The write-ahead log is corrupt or was misused."""
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not be completed."""
+
+
+# ---------------------------------------------------------------------------
+# OODB substrate
+# ---------------------------------------------------------------------------
+
+class OODBError(ReachError):
+    """Base class for object-database failures."""
+
+
+class ObjectNotFoundError(OODBError):
+    """Lookup by OID or by persistent name found nothing."""
+
+
+class DuplicateNameError(OODBError):
+    """A persistent name is already bound to another object."""
+
+
+class NotPersistentError(OODBError):
+    """The operation requires a persistent object but got a transient one."""
+
+
+class TypeRegistrationError(OODBError):
+    """A class was used with the data dictionary before being registered,
+    or registered twice inconsistently."""
+
+
+class QueryError(OODBError):
+    """An OQL query failed to parse or evaluate."""
+
+
+class IndexError_(OODBError):
+    """An index operation failed (named with a trailing underscore to avoid
+    shadowing the built-in :class:`IndexError`)."""
+
+
+# ---------------------------------------------------------------------------
+# Transactions and locking
+# ---------------------------------------------------------------------------
+
+class TransactionError(ReachError):
+    """Base class for transaction failures."""
+
+
+class TransactionStateError(TransactionError):
+    """Operation invalid in the transaction's current state."""
+
+
+class TransactionAborted(TransactionError):
+    """Raised when an operation is attempted in (or forced into) an aborted
+    transaction."""
+
+
+class NestedTransactionError(TransactionError):
+    """Invalid use of the nested-transaction protocol."""
+
+
+class LockError(TransactionError):
+    """Base class for lock-manager failures."""
+
+
+class DeadlockError(LockError):
+    """The lock manager detected a deadlock and chose this caller as the
+    victim."""
+
+
+class LockTimeoutError(LockError):
+    """A lock could not be acquired within the configured timeout."""
+
+
+class LicenseError(TransactionError):
+    """Raised by the simulated *closed* commercial OODBMS when its license
+    manager rejects an operation (paper, Section 4: spawning detached
+    transactions 'caused problems with one OODBMS's license manager')."""
+
+
+# ---------------------------------------------------------------------------
+# Events, composition, rules
+# ---------------------------------------------------------------------------
+
+class EventError(ReachError):
+    """Base class for event-system failures."""
+
+
+class EventDefinitionError(EventError):
+    """An event expression is malformed."""
+
+
+class IllegalLifespanError(EventError):
+    """A cross-transaction composite event lacks an explicit or implicit
+    validity interval (paper, Section 3.3: such composites are illegal)."""
+
+
+class RuleError(ReachError):
+    """Base class for rule-system failures."""
+
+
+class RuleDefinitionError(RuleError):
+    """A rule definition is malformed."""
+
+
+class RuleParseError(RuleDefinitionError):
+    """The textual REACH rule DDL failed to parse."""
+
+
+class UnsupportedCouplingError(RuleError):
+    """The (event category, coupling mode) combination is not supported by
+    REACH (paper, Table 1)."""
+
+
+class TransientParameterError(RuleError):
+    """A reference to a transient object was passed to a detached rule
+    (paper, Section 3.2: only persistent references or values may cross a
+    detached boundary)."""
+
+
+class RuleExecutionError(RuleError):
+    """A rule's condition or action raised an unexpected exception."""
+
+
+# ---------------------------------------------------------------------------
+# Layered baseline
+# ---------------------------------------------------------------------------
+
+class LayeredArchitectureError(ReachError):
+    """Base class for the layered-baseline limitations.
+
+    These errors reproduce the *negative results* of the paper's Section 4:
+    capabilities that a layered active DBMS on a closed commercial OODBMS
+    cannot provide surface as exceptions of this family.
+    """
+
+
+class ClosedSystemError(LayeredArchitectureError):
+    """The closed OODBMS does not expose the requested internal capability
+    (transaction-manager access, commit/abort redefinition, method hooks)."""

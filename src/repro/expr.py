@@ -1,0 +1,430 @@
+"""A small, safe expression language shared by OQL queries and rule DDL.
+
+The paper's rule language embeds boolean condition expressions over bound
+object variables (Section 6.1, the WaterLevel rule), and Open OODB couples
+rules with its query language OQL[C++] (Section 7).  Both needs are served
+by this module: a tokenizer, a Pratt parser producing a small AST, and an
+evaluator that runs against an explicit variable environment — no
+``eval()``, no access to anything not reachable from the bound variables.
+
+Grammar (precedence low to high)::
+
+    expr    := or
+    or      := and ("or" and)*
+    and     := not ("and" not)*
+    not     := "not" not | cmp
+    cmp     := add (("=="|"!="|"<"|"<="|">"|">="|"in") add)*
+    add     := mul (("+"|"-") mul)*
+    mul     := unary (("*"|"/"|"%") unary)*
+    unary   := "-" unary | postfix
+    postfix := primary ("." NAME | "(" args ")" | "[" expr "]")*
+    primary := NUMBER | STRING | "true" | "false" | "null" | NAME
+             | "(" expr ")" | "[" args "]"
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import QueryError
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Token:
+    kind: str      # 'num', 'str', 'name', 'op', 'end'
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<num>\d+\.\d+|\d+\.|\.\d+|\d+)
+  | (?P<str>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|==|!=|->|[-+*/%<>=().,\[\]{};])
+""", re.VERBOSE)
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QueryError(
+                f"unexpected character {text[position]!r} at {position}")
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        kind = match.lastgroup
+        token_text = match.group()
+        if kind == "op" and token_text == "->":
+            # Accept the paper's C++ arrow as a synonym for '.'.
+            token_text = "."
+        tokens.append(Token(kind, token_text, match.start()))
+    tokens.append(Token("end", "", len(text)))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+class Node:
+    """Base AST node."""
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def variables(self) -> set[str]:
+        """Free variable names referenced by this expression."""
+        return set()
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    value: Any
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Name(Node):
+    name: str
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        if self.name not in env:
+            raise QueryError(f"unbound variable {self.name!r}")
+        return env[self.name]
+
+    def variables(self) -> set[str]:
+        return {self.name}
+
+
+@dataclass(frozen=True)
+class Attribute(Node):
+    target: Node
+    name: str
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        obj = self.target.evaluate(env)
+        if self.name.startswith("_"):
+            raise QueryError(f"access to private attribute {self.name!r}")
+        try:
+            return getattr(obj, self.name)
+        except AttributeError as exc:
+            raise QueryError(str(exc)) from exc
+
+    def variables(self) -> set[str]:
+        return self.target.variables()
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    target: Node
+    args: tuple[Node, ...]
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        fn = self.target.evaluate(env)
+        if not callable(fn):
+            raise QueryError(f"{fn!r} is not callable")
+        return fn(*[arg.evaluate(env) for arg in self.args])
+
+    def variables(self) -> set[str]:
+        names = self.target.variables()
+        for arg in self.args:
+            names |= arg.variables()
+        return names
+
+
+@dataclass(frozen=True)
+class Index(Node):
+    target: Node
+    index: Node
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        try:
+            return self.target.evaluate(env)[self.index.evaluate(env)]
+        except (KeyError, IndexError, TypeError) as exc:
+            raise QueryError(str(exc)) from exc
+
+    def variables(self) -> set[str]:
+        return self.target.variables() | self.index.variables()
+
+
+@dataclass(frozen=True)
+class ListExpr(Node):
+    items: tuple[Node, ...]
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        return [item.evaluate(env) for item in self.items]
+
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for item in self.items:
+            names |= item.variables()
+        return names
+
+
+_BINARY_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,   # OQL-style single '='
+    "in": lambda a, b: a in b,
+}
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    op: str
+    left: Node
+    right: Node
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        if self.op == "and":
+            return bool(self.left.evaluate(env)) and \
+                bool(self.right.evaluate(env))
+        if self.op == "or":
+            return bool(self.left.evaluate(env)) or \
+                bool(self.right.evaluate(env))
+        try:
+            return _BINARY_OPS[self.op](self.left.evaluate(env),
+                                        self.right.evaluate(env))
+        except (TypeError, ZeroDivisionError) as exc:
+            raise QueryError(f"{self.op}: {exc}") from exc
+
+    def variables(self) -> set[str]:
+        return self.left.variables() | self.right.variables()
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    op: str
+    operand: Node
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        value = self.operand.evaluate(env)
+        if self.op == "-":
+            return -value
+        if self.op == "not":
+            return not value
+        raise QueryError(f"unknown unary operator {self.op!r}")
+
+    def variables(self) -> set[str]:
+        return self.operand.variables()
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+_KEYWORDS = {"and", "or", "not", "in", "true", "false", "null", "none"}
+
+
+class Parser:
+    """Recursive-descent / Pratt parser over the token list."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "end":
+            self._pos += 1
+        return token
+
+    def expect(self, text: str) -> Token:
+        token = self.peek()
+        if token.text != text:
+            raise QueryError(
+                f"expected {text!r} at position {token.position}, "
+                f"got {token.text!r}")
+        return self.advance()
+
+    def at(self, text: str) -> bool:
+        return self.peek().text == text
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token.kind == "name" and token.text == word
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_expression(self) -> Node:
+        return self._or()
+
+    def _or(self) -> Node:
+        node = self._and()
+        while self.at_keyword("or"):
+            self.advance()
+            node = Binary("or", node, self._and())
+        return node
+
+    def _and(self) -> Node:
+        node = self._not()
+        while self.at_keyword("and"):
+            self.advance()
+            node = Binary("and", node, self._not())
+        return node
+
+    def _not(self) -> Node:
+        if self.at_keyword("not"):
+            self.advance()
+            return Unary("not", self._not())
+        return self._comparison()
+
+    def _comparison(self) -> Node:
+        node = self._additive()
+        while self.peek().text in ("==", "!=", "<", "<=", ">", ">=", "=") \
+                or self.at_keyword("in"):
+            op = self.advance().text
+            node = Binary(op, node, self._additive())
+        return node
+
+    def _additive(self) -> Node:
+        node = self._multiplicative()
+        while self.peek().text in ("+", "-"):
+            op = self.advance().text
+            node = Binary(op, node, self._multiplicative())
+        return node
+
+    def _multiplicative(self) -> Node:
+        node = self._unary()
+        while self.peek().text in ("*", "/", "%"):
+            op = self.advance().text
+            node = Binary(op, node, self._unary())
+        return node
+
+    def _unary(self) -> Node:
+        if self.at("-"):
+            self.advance()
+            return Unary("-", self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> Node:
+        node = self._primary()
+        while True:
+            if self.at("."):
+                self.advance()
+                name = self.advance()
+                if name.kind != "name":
+                    raise QueryError(
+                        f"expected attribute name at {name.position}")
+                node = Attribute(node, name.text)
+            elif self.at("("):
+                self.advance()
+                args = self._arguments(")")
+                node = Call(node, tuple(args))
+            elif self.at("["):
+                self.advance()
+                index = self.parse_expression()
+                self.expect("]")
+                node = Index(node, index)
+            else:
+                return node
+
+    def _arguments(self, closing: str) -> list[Node]:
+        args: list[Node] = []
+        if not self.at(closing):
+            args.append(self.parse_expression())
+            while self.at(","):
+                self.advance()
+                args.append(self.parse_expression())
+        self.expect(closing)
+        return args
+
+    def _primary(self) -> Node:
+        token = self.peek()
+        if token.kind == "num":
+            self.advance()
+            text = token.text
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind == "str":
+            self.advance()
+            return Literal(_unescape(token.text[1:-1]))
+        if token.kind == "name":
+            lowered = token.text.lower()
+            if lowered == "true":
+                self.advance()
+                return Literal(True)
+            if lowered == "false":
+                self.advance()
+                return Literal(False)
+            if lowered in ("null", "none"):
+                self.advance()
+                return Literal(None)
+            if token.text in _KEYWORDS:
+                raise QueryError(
+                    f"unexpected keyword {token.text!r} at {token.position}")
+            self.advance()
+            return Name(token.text)
+        if token.text == "(":
+            self.advance()
+            node = self.parse_expression()
+            self.expect(")")
+            return node
+        if token.text == "[":
+            self.advance()
+            return ListExpr(tuple(self._arguments("]")))
+        raise QueryError(
+            f"unexpected token {token.text!r} at position {token.position}")
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "'": "'", '"': '"',
+            "\\": "\\"}
+
+
+def _unescape(raw: str) -> str:
+    """Resolve backslash escapes without touching other characters
+    (``unicode_escape`` would mangle non-ASCII text)."""
+    if "\\" not in raw:
+        return raw
+    out: list[str] = []
+    index = 0
+    while index < len(raw):
+        char = raw[index]
+        if char == "\\" and index + 1 < len(raw):
+            out.append(_ESCAPES.get(raw[index + 1], raw[index + 1]))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def parse_expression(text: str) -> Node:
+    """Parse ``text`` into an AST, requiring full consumption."""
+    parser = Parser(tokenize(text))
+    node = parser.parse_expression()
+    tail = parser.peek()
+    if tail.kind != "end":
+        raise QueryError(
+            f"trailing input at position {tail.position}: {tail.text!r}")
+    return node
+
+
+def evaluate(text: str, env: Optional[dict[str, Any]] = None) -> Any:
+    """Parse and evaluate in one step."""
+    return parse_expression(text).evaluate(env or {})

@@ -1,0 +1,238 @@
+"""The layered active DBMS: a rule layer on top of the closed OODBMS.
+
+This is the architecture the paper *abandoned*, implemented honestly so
+its shortcomings can be measured (benchmark E2) rather than asserted:
+
+* method events only via generated wrapper classes;
+* state-change detection only by **polling** (snapshot diffing), which
+  misses intermediate values and costs time proportional to the monitored
+  population, not the change rate;
+* rule execution strictly serial, with **immediate and deferred coupling
+  only** — without nested transactions a failing rule cannot be isolated
+  (a rule error aborts the whole user transaction), and without
+  transaction-manager access or license seats the detached and causally
+  dependent modes are simply unavailable;
+* deferred rules drain at the *layer's* commit — applications that call
+  the closed OODBMS's own commit bypass the rule system entirely (the
+  frequent and fragile interface crossing of Section 2);
+* no deletion-triggered rules: persistence by reachability provides no
+  event to hang them on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Type
+
+from repro.errors import ClosedSystemError, RuleExecutionError
+from repro.layered.closed_oodb import ClosedOODB
+from repro.layered.wrappers import (
+    diff_states,
+    make_active_class,
+    snapshot_state,
+)
+
+
+@dataclass
+class LayeredRule:
+    """A rule in the layered system: immediate or deferred, nothing else."""
+
+    name: str
+    class_name: str
+    method: Optional[str]          # None = state-change (polling) rule
+    attribute: Optional[str] = None
+    condition: Optional[Callable[[dict], bool]] = None
+    action: Optional[Callable[[dict], None]] = None
+    deferred: bool = False
+    priority: int = 0
+    seq: int = field(default_factory=itertools.count(1).__next__)
+    fired_count: int = 0
+
+
+class LayeredActiveDBMS:
+    """Active capabilities layered over a :class:`ClosedOODB`."""
+
+    SUPPORTED_COUPLINGS = ("immediate", "deferred")
+
+    def __init__(self, store: Optional[ClosedOODB] = None):
+        self.store = store or ClosedOODB()
+        self._rules_by_event: dict[tuple[str, str], list[LayeredRule]] = {}
+        self._state_rules: list[LayeredRule] = []
+        self._active_classes: dict[str, Type] = {}
+        self._deferred_queue: list[tuple[LayeredRule, dict]] = []
+        self._watched: list[Any] = []
+        self._snapshots: dict[int, dict[str, Any]] = {}
+        self.stats = {"events": 0, "fired": 0, "polls": 0,
+                      "poll_objects_scanned": 0}
+
+    # ------------------------------------------------------------------
+    # Schema: the parallel class hierarchy
+    # ------------------------------------------------------------------
+
+    def activate_class(self, cls: Type) -> Type:
+        """Generate (or return) the active wrapper class for ``cls``.
+
+        Application code must be changed to instantiate the wrapper —
+        the exact burden Section 4 describes.
+        """
+        existing = self._active_classes.get(cls.__name__)
+        if existing is not None:
+            return existing
+        active_cls = make_active_class(cls, self._on_method_event)
+        self._active_classes[cls.__name__] = active_cls
+        return active_cls
+
+    def watch(self, obj: Any) -> None:
+        """Register an object for polling-based state-change detection."""
+        self._watched.append(obj)
+        self._snapshots[id(obj)] = snapshot_state(obj)
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    def register_rule(self, rule: LayeredRule,
+                      coupling: str = "immediate") -> LayeredRule:
+        if coupling not in self.SUPPORTED_COUPLINGS:
+            raise ClosedSystemError(
+                f"the layered architecture supports only "
+                f"{self.SUPPORTED_COUPLINGS}; {coupling!r} requires "
+                "transaction-manager access the closed OODBMS does not "
+                "provide")
+        rule.deferred = coupling == "deferred"
+        if rule.method is None:
+            self._state_rules.append(rule)
+        else:
+            key = (rule.class_name, rule.method)
+            self._rules_by_event.setdefault(key, []).append(rule)
+        return rule
+
+    def on_delete_rule(self, *args, **kwargs) -> None:
+        raise ClosedSystemError(
+            "deletion-triggered rules are not implementable: persistence "
+            "by reachability deletes objects without any observable event")
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+
+    def _on_method_event(self, instance: Any, method: str, args: tuple,
+                         kwargs: dict, result: Any) -> None:
+        self.stats["events"] += 1
+        base_name = type(instance).__mro__[1].__name__
+        rules = self._rules_by_event.get((base_name, method), ())
+        bindings = {"instance": instance, "method": method, "args": args,
+                    "kwargs": kwargs, "result": result, "store": self.store}
+        for name, value in zip(("x", "y", "z"), args):
+            bindings.setdefault(name, value)
+        for rule in sorted(rules, key=lambda r: (-r.priority, r.seq)):
+            if rule.deferred:
+                self._deferred_queue.append((rule, dict(bindings)))
+            else:
+                self._fire(rule, bindings)
+
+    def poll(self) -> int:
+        """Scan every watched object for state changes.
+
+        This is the only state-change detection available; its cost grows
+        with the watched population regardless of how little changed, and
+        any intermediate values between polls are lost.
+        """
+        self.stats["polls"] += 1
+        detected = 0
+        for obj in self._watched:
+            self.stats["poll_objects_scanned"] += 1
+            before = self._snapshots.get(id(obj), {})
+            after = snapshot_state(obj)
+            changes = diff_states(before, after)
+            if not changes:
+                continue
+            self._snapshots[id(obj)] = after
+            for attribute, old, new in changes:
+                detected += 1
+                bindings = {"instance": obj, "attribute": attribute,
+                            "old_value": old, "new_value": new,
+                            "store": self.store}
+                for rule in self._state_rules:
+                    if not isinstance(obj, self._resolve(rule.class_name)):
+                        continue
+                    if rule.attribute is not None and \
+                            rule.attribute != attribute:
+                        continue
+                    if rule.deferred:
+                        self._deferred_queue.append((rule, dict(bindings)))
+                    else:
+                        self._fire(rule, bindings)
+        return detected
+
+    def _resolve(self, class_name: str) -> Type:
+        active = self._active_classes.get(class_name)
+        if active is not None:
+            return active.__mro__[1]
+        return object
+
+    # ------------------------------------------------------------------
+    # Execution: strictly serial, no isolation for rule failures
+    # ------------------------------------------------------------------
+
+    def _fire(self, rule: LayeredRule, bindings: dict) -> None:
+        try:
+            if rule.condition is not None and not rule.condition(bindings):
+                return
+            if rule.action is not None:
+                rule.action(bindings)
+            rule.fired_count += 1
+            self.stats["fired"] += 1
+        except Exception as exc:
+            # No nested transactions: the rule's effects cannot be rolled
+            # back in isolation, so the whole user transaction must go.
+            if self.store.in_transaction():
+                self.store.abort()
+            raise RuleExecutionError(
+                f"layered rule {rule.name!r} failed and aborted the user "
+                f"transaction: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # The layer's transaction interface (the extra crossing)
+    # ------------------------------------------------------------------
+
+    def begin(self) -> None:
+        self.store.begin()
+
+    def commit(self) -> None:
+        """Poll, drain deferred rules, then commit the closed store."""
+        self.poll()
+        queue = sorted(self._deferred_queue,
+                       key=lambda pair: (-pair[0].priority, pair[0].seq))
+        self._deferred_queue.clear()
+        for rule, bindings in queue:
+            self._fire(rule, bindings)
+        self.store.commit()
+
+    def abort(self) -> None:
+        self._deferred_queue.clear()
+        self.store.abort()
+        # Snapshots are now stale: rolled-back state must not register as
+        # a fresh change at the next poll.
+        for obj in self._watched:
+            self._snapshots[id(obj)] = snapshot_state(obj)
+
+    def functionality_matrix(self) -> dict[str, bool]:
+        """What this architecture can and cannot do (for E2's report)."""
+        return {
+            "method events (wrapped classes)": True,
+            "method events (unchanged classes)": False,
+            "state-change events (exact)": False,
+            "state-change events (polled)": True,
+            "deletion events": False,
+            "transaction events": False,
+            "composite events": False,
+            "temporal events": False,
+            "immediate coupling": True,
+            "deferred coupling": True,
+            "detached coupling": False,
+            "causally dependent couplings": False,
+            "parallel rule execution": False,
+            "rule failure isolation": False,
+        }

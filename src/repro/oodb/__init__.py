@@ -1,0 +1,46 @@
+"""Open OODB substrate: the extensible object DBMS REACH is built on.
+
+This package reimplements, in Python, the parts of Texas Instruments' Open
+OODB toolkit that the paper's architecture depends on: the meta-architecture
+("software bus") with pluggable policy managers, the sentry mechanism for
+low-level event detection, flat and closed-nested transactions, a lock
+manager, persistence, an OQL-subset query processor, indexing, and change
+detection.
+"""
+
+from repro.oodb.oid import OID, ObjectRef
+from repro.oodb.sentry import sentried, is_sentried, SentryRegistry
+from repro.oodb.transactions import (
+    Transaction,
+    TransactionManager,
+    TransactionState,
+)
+from repro.oodb.locks import LockManager, LockMode
+from repro.oodb.data_dictionary import DataDictionary
+from repro.oodb.persistence import PersistencePolicyManager
+from repro.oodb.meta import MetaArchitecture, PolicyManager, SystemEventKind
+from repro.oodb.query import QueryProcessor
+from repro.oodb.indexing import HashIndex, IndexPolicyManager
+from repro.oodb.change import ChangePolicyManager
+
+__all__ = [
+    "OID",
+    "ObjectRef",
+    "sentried",
+    "is_sentried",
+    "SentryRegistry",
+    "Transaction",
+    "TransactionManager",
+    "TransactionState",
+    "LockManager",
+    "LockMode",
+    "DataDictionary",
+    "PersistencePolicyManager",
+    "MetaArchitecture",
+    "PolicyManager",
+    "SystemEventKind",
+    "QueryProcessor",
+    "HashIndex",
+    "IndexPolicyManager",
+    "ChangePolicyManager",
+]

@@ -1,0 +1,99 @@
+"""Address-space managers and translation (paper, Section 5).
+
+Open OODB's meta-architecture contains *address space managers* (ASMs):
+an **active** ASM allows computation — in an object-oriented environment it
+is where methods execute — while a **passive** ASM is simply a data
+repository.  At least one active ASM must exist, and object transfer
+between spaces goes through a *translation* mechanism.
+
+Here the active ASM is the in-memory identity map (OID -> live Python
+object) in which all method execution happens, the passive ASM wraps the
+EXODUS-like storage manager, and translation is the swizzling serializer
+that converts live objects to storable images and back.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator, Optional
+
+from repro.errors import ObjectNotFoundError
+from repro.oodb.meta import SupportModule
+from repro.oodb.oid import OID
+from repro.storage.storage_manager import StorageManager
+
+
+class ActiveAddressSpace(SupportModule):
+    """The computational space: identity map of resident objects.
+
+    Guarantees at most one live Python object per OID, so object identity
+    comparisons (``a is b``) work across repeated fetches.
+    """
+
+    name = "active-ASM (in-memory)"
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._residents: dict[OID, Any] = {}
+        self._oids: dict[int, OID] = {}  # id(obj) -> OID
+
+    def install(self, oid: OID, obj: Any) -> None:
+        with self._lock:
+            self._residents[oid] = obj
+            self._oids[id(obj)] = oid
+
+    def evict(self, oid: OID) -> None:
+        with self._lock:
+            obj = self._residents.pop(oid, None)
+            if obj is not None:
+                self._oids.pop(id(obj), None)
+
+    def resident(self, oid: OID) -> Optional[Any]:
+        with self._lock:
+            return self._residents.get(oid)
+
+    def oid_of(self, obj: Any) -> Optional[OID]:
+        with self._lock:
+            return self._oids.get(id(obj))
+
+    def iter_residents(self) -> Iterator[tuple[OID, Any]]:
+        with self._lock:
+            items = list(self._residents.items())
+        yield from items
+
+    def clear(self) -> None:
+        with self._lock:
+            self._residents.clear()
+            self._oids.clear()
+
+    @property
+    def resident_count(self) -> int:
+        with self._lock:
+            return len(self._residents)
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.resident_count} resident objects)"
+
+
+class PassiveAddressSpace(SupportModule):
+    """The repository space: durable OID -> image storage."""
+
+    name = "passive-ASM (EXODUS-like storage manager)"
+
+    def __init__(self, storage: StorageManager):
+        self.storage = storage
+
+    def read(self, tx_id: Optional[int], oid: OID) -> bytes:
+        return self.storage.read(tx_id, oid)
+
+    def write(self, tx_id: int, oid: OID, image: bytes) -> None:
+        self.storage.write(tx_id, oid, image)
+
+    def delete(self, tx_id: int, oid: OID) -> None:
+        self.storage.delete(tx_id, oid)
+
+    def exists(self, tx_id: Optional[int], oid: OID) -> bool:
+        return self.storage.exists(tx_id, oid)
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.storage.object_count()} stored objects)"

@@ -1,0 +1,307 @@
+"""Index policy manager — maintained *by the active paradigm*.
+
+The paper plans "to express other system properties such as index
+maintenance PMs with the active database paradigm" (Section 7).  This PM
+does exactly that: it keeps hash indexes consistent by reacting to the same
+system events REACH rules react to — state changes, persists, deletes — so
+index maintenance is an internal client of the event machinery rather than
+ad-hoc hooks in the update path.
+
+Index updates made inside a transaction register undo actions, so aborting
+the transaction leaves the index exactly as it was.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Optional
+
+from repro.errors import IndexError_
+from repro.oodb.data_dictionary import DataDictionary
+from repro.oodb.meta import (
+    PolicyManager,
+    SystemEvent,
+    SystemEventKind,
+)
+from repro.oodb.oid import OID
+from repro.oodb.transactions import TransactionManager
+
+
+class HashIndex:
+    """Equality index: attribute value -> set of OIDs."""
+
+    def __init__(self, class_name: str, attribute: str):
+        self.class_name = class_name
+        self.attribute = attribute
+        self._entries: dict[Any, set[OID]] = {}
+        self._lock = threading.RLock()
+        self.unindexable = 0  # values that were not hashable
+
+    def insert(self, value: Any, oid: OID) -> bool:
+        try:
+            hash(value)
+        except TypeError:
+            self.unindexable += 1
+            return False
+        with self._lock:
+            self._entries.setdefault(value, set()).add(oid)
+        return True
+
+    def remove(self, value: Any, oid: OID) -> bool:
+        try:
+            hash(value)
+        except TypeError:
+            return False
+        with self._lock:
+            bucket = self._entries.get(value)
+            if bucket is None:
+                return False
+            bucket.discard(oid)
+            if not bucket:
+                del self._entries[value]
+        return True
+
+    def lookup(self, value: Any) -> set[OID]:
+        try:
+            hash(value)
+        except TypeError:
+            return set()
+        with self._lock:
+            return set(self._entries.get(value, ()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(bucket) for bucket in self._entries.values())
+
+    def distinct_values(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class OrderedIndex:
+    """Ordered index: supports equality and range lookups.
+
+    Entries are kept as a sorted list of ``(value, oid)`` pairs
+    maintained with :mod:`bisect`; values must be mutually comparable
+    (enforce one attribute type per indexed attribute).
+    """
+
+    def __init__(self, class_name: str, attribute: str):
+        self.class_name = class_name
+        self.attribute = attribute
+        self._entries: list[tuple[Any, OID]] = []
+        self._lock = threading.RLock()
+        self.unindexable = 0
+
+    @staticmethod
+    def _comparable(value: Any) -> bool:
+        try:
+            value < value  # noqa: B015 — probe for ordering support
+        except TypeError:
+            return False
+        return True
+
+    def insert(self, value: Any, oid: OID) -> bool:
+        import bisect
+        if value is None or not self._comparable(value):
+            self.unindexable += 1
+            return False
+        with self._lock:
+            bisect.insort(self._entries, (value, oid))
+        return True
+
+    def remove(self, value: Any, oid: OID) -> bool:
+        import bisect
+        if value is None or not self._comparable(value):
+            return False
+        with self._lock:
+            index = bisect.bisect_left(self._entries, (value, oid))
+            if index < len(self._entries) and \
+                    self._entries[index] == (value, oid):
+                del self._entries[index]
+                return True
+        return False
+
+    def lookup(self, value: Any) -> set[OID]:
+        return self.range(low=value, high=value)
+
+    def range(self, low: Any = None, high: Any = None,
+              low_inclusive: bool = True,
+              high_inclusive: bool = True) -> set[OID]:
+        """OIDs with ``low <(=) value <(=) high`` (None = unbounded)."""
+        import bisect
+        with self._lock:
+            if low is None:
+                start = 0
+            elif low_inclusive:
+                start = bisect.bisect_left(self._entries, (low,))
+            else:
+                start = bisect.bisect_right(
+                    self._entries, (low, OID(2 ** 31)))
+            if high is None:
+                end = len(self._entries)
+            elif high_inclusive:
+                end = bisect.bisect_right(
+                    self._entries, (high, OID(2 ** 31)))
+            else:
+                end = bisect.bisect_left(self._entries, (high,))
+            return {oid for __, oid in self._entries[start:end]}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def distinct_values(self) -> int:
+        with self._lock:
+            return len({value for value, __ in self._entries})
+
+
+class IndexPolicyManager(PolicyManager):
+    """Creates and actively maintains hash indexes on class attributes."""
+
+    name = "Indexing PM"
+    subscribed_kinds = (
+        SystemEventKind.STATE_CHANGE,
+        SystemEventKind.PERSIST,
+        SystemEventKind.OBJECT_DELETE,
+    )
+
+    def __init__(self, dictionary: DataDictionary,
+                 tx_manager: TransactionManager,
+                 persistence: Any = None):
+        super().__init__()
+        self.dictionary = dictionary
+        self.tx_manager = tx_manager
+        self.persistence = persistence
+        self._indexes: dict[tuple[str, str], HashIndex] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+
+    def create_index(self, class_name: str, attribute: str,
+                     ordered: bool = False):
+        """Create (and backfill) an index on ``class_name.attribute``.
+
+        ``ordered=True`` builds an :class:`OrderedIndex` supporting range
+        predicates; the default :class:`HashIndex` serves equality only.
+        """
+        key = (class_name, attribute)
+        with self._lock:
+            if key in self._indexes:
+                raise IndexError_(f"index on {class_name}.{attribute} "
+                                  "already exists")
+            index = (OrderedIndex(class_name, attribute) if ordered
+                     else HashIndex(class_name, attribute))
+            self._indexes[key] = index
+        if self.persistence is not None:
+            for oid in self.dictionary.extent(class_name):
+                obj = self.persistence.fetch(oid)
+                value = getattr(obj, attribute, None)
+                index.insert(value, oid)
+        return index
+
+    def drop_index(self, class_name: str, attribute: str) -> None:
+        with self._lock:
+            self._indexes.pop((class_name, attribute), None)
+
+    def index_for(self, class_name: str,
+                  attribute: str) -> Optional[Any]:
+        """Find an index usable for ``class_name.attribute``.
+
+        An index declared on a base class serves subclass queries as long
+        as the extent semantics include subclasses (they do).
+        """
+        with self._lock:
+            index = self._indexes.get((class_name, attribute))
+            if index is not None:
+                return index
+            if self.dictionary.has_type(class_name):
+                cls = self.dictionary.type_named(class_name)
+                for base in cls.__mro__[1:]:
+                    index = self._indexes.get((base.__name__, attribute))
+                    if index is not None:
+                        return index
+        return None
+
+    def indexes(self) -> list[HashIndex]:
+        with self._lock:
+            return list(self._indexes.values())
+
+    # ------------------------------------------------------------------
+    # Active maintenance
+    # ------------------------------------------------------------------
+
+    def on_event(self, event: SystemEvent) -> None:
+        if event.kind is SystemEventKind.STATE_CHANGE:
+            self._on_state_change(event)
+        elif event.kind is SystemEventKind.PERSIST:
+            self._on_persist(event)
+        elif event.kind is SystemEventKind.OBJECT_DELETE:
+            self._on_delete(event)
+
+    def _relevant_indexes(self, obj: Any,
+                          attribute: Optional[str]) -> Iterable[HashIndex]:
+        with self._lock:
+            for (class_name, attr), index in self._indexes.items():
+                if attribute is not None and attr != attribute:
+                    continue
+                if not self.dictionary.has_type(class_name):
+                    continue
+                if isinstance(obj, self.dictionary.type_named(class_name)):
+                    yield index
+
+    def _undoable(self, apply_fn, undo_fn) -> None:
+        apply_fn()
+        tx = self.tx_manager.current()
+        if tx is not None:
+            tx.record_undo(undo_fn)
+
+    def _on_state_change(self, event: SystemEvent) -> None:
+        obj = event.info.get("instance")
+        attribute = event.info.get("attribute")
+        oid = event.info.get("oid")
+        if obj is None or attribute is None or oid is None:
+            return
+        old = event.info.get("old_value")
+        new = event.info.get("new_value")
+        had_old = event.info.get("had_old_value", False)
+        for index in self._relevant_indexes(obj, attribute):
+            def apply_fn(index=index):
+                if had_old:
+                    index.remove(old, oid)
+                index.insert(new, oid)
+
+            def undo_fn(index=index):
+                index.remove(new, oid)
+                if had_old:
+                    index.insert(old, oid)
+
+            self._undoable(apply_fn, undo_fn)
+
+    def _on_persist(self, event: SystemEvent) -> None:
+        obj = event.info.get("instance")
+        oid = event.info.get("oid")
+        if obj is None or oid is None:
+            return
+        for index in self._relevant_indexes(obj, None):
+            value = getattr(obj, index.attribute, None)
+            self._undoable(
+                lambda index=index, value=value: index.insert(value, oid),
+                lambda index=index, value=value: index.remove(value, oid))
+
+    def _on_delete(self, event: SystemEvent) -> None:
+        obj = event.info.get("instance")
+        oid = event.info.get("oid")
+        if oid is None:
+            return
+        for index in self._relevant_indexes(obj, None) if obj is not None \
+                else []:
+            value = getattr(obj, index.attribute, None)
+            self._undoable(
+                lambda index=index, value=value: index.remove(value, oid),
+                lambda index=index, value=value: index.insert(value, oid))
+
+    def describe(self) -> str:
+        with self._lock:
+            keys = ", ".join(f"{c}.{a}" for c, a in sorted(self._indexes))
+        return f"{self.name} (indexes: {keys or 'none'})"

@@ -1,0 +1,197 @@
+"""Lock manager: strict two-phase locking with deadlock detection.
+
+Locks are held by *transaction families* (a top-level transaction plus all
+of its nested descendants), implementing the standard closed-nested rule
+that a subtransaction may use any lock held by an ancestor.  Conflicts are
+the usual shared/exclusive matrix; upgrades from S to X are supported.
+
+Deadlocks are detected with a waits-for graph checked before every block;
+the requesting family is the victim and receives :class:`DeadlockError`.
+A configurable timeout bounds worst-case waiting in threaded executions.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from repro.errors import DeadlockError, LockTimeoutError
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+def _compatible(held: LockMode, requested: LockMode) -> bool:
+    return held is LockMode.SHARED and requested is LockMode.SHARED
+
+
+@dataclass
+class _LockState:
+    """Per-resource state: current holders and FIFO wait queue."""
+
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    waiters: list[tuple[int, LockMode]] = field(default_factory=list)
+
+
+class LockManager:
+    """S/X lock table keyed by arbitrary hashable resource ids."""
+
+    def __init__(self, timeout: float = 10.0):
+        self._table: dict[Hashable, _LockState] = {}
+        self._mutex = threading.Lock()
+        self._condition = threading.Condition(self._mutex)
+        self.timeout = timeout
+        self.deadlocks_detected = 0
+
+    # ------------------------------------------------------------------
+
+    def acquire(self, family: int, resource: Hashable,
+                mode: LockMode = LockMode.EXCLUSIVE) -> None:
+        """Acquire ``resource`` in ``mode`` on behalf of ``family``.
+
+        Re-acquiring a held lock is a no-op; requesting X while holding S
+        upgrades.  Raises :class:`DeadlockError` if the wait would create a
+        cycle, :class:`LockTimeoutError` on timeout.
+        """
+        with self._condition:
+            state = self._table.setdefault(resource, _LockState())
+            if self._grantable(state, family, mode):
+                self._grant(state, family, mode)
+                return
+            entry = (family, mode)
+            state.waiters.append(entry)
+            try:
+                deadline = None
+                while True:
+                    if self._would_deadlock(family):
+                        self.deadlocks_detected += 1
+                        raise DeadlockError(
+                            f"family {family} waiting on {resource!r} "
+                            "would deadlock"
+                        )
+                    if self._grantable(state, family, mode) and \
+                            self._is_next_compatible_waiter(state, entry):
+                        self._grant(state, family, mode)
+                        return
+                    if deadline is None:
+                        import time as _time
+                        deadline = _time.monotonic() + self.timeout
+                        remaining = self.timeout
+                    else:
+                        import time as _time
+                        remaining = deadline - _time.monotonic()
+                    if remaining <= 0:
+                        raise LockTimeoutError(
+                            f"family {family} timed out waiting for "
+                            f"{resource!r} ({mode.value})"
+                        )
+                    self._condition.wait(timeout=min(remaining, 0.1))
+            finally:
+                if entry in state.waiters:
+                    state.waiters.remove(entry)
+                self._condition.notify_all()
+
+    def _is_next_compatible_waiter(self, state: _LockState,
+                                   entry: tuple[int, LockMode]) -> bool:
+        """FIFO fairness: only the earliest waiter whose grant is possible
+        proceeds, except that compatible S requests may overtake nothing."""
+        for waiting in state.waiters:
+            if waiting is entry:
+                return True
+            # An earlier waiter exists; only let us pass if granting us
+            # cannot starve it (we are S and it is also currently blocked
+            # by an X holder that blocks us too — simplest: don't overtake).
+            return False
+        return True
+
+    def _grantable(self, state: _LockState, family: int,
+                   mode: LockMode) -> bool:
+        held = state.holders.get(family)
+        if held is not None:
+            if held is LockMode.EXCLUSIVE or mode is LockMode.SHARED:
+                return True
+            # Upgrade S -> X: grantable when we are the only holder.
+            return len(state.holders) == 1
+        return all(_compatible(h, mode) for h in state.holders.values())
+
+    def _grant(self, state: _LockState, family: int, mode: LockMode) -> None:
+        held = state.holders.get(family)
+        if held is LockMode.EXCLUSIVE:
+            return
+        if held is LockMode.SHARED and mode is LockMode.SHARED:
+            return
+        state.holders[family] = mode
+
+    # ------------------------------------------------------------------
+
+    def release_all(self, family: int) -> None:
+        """Release every lock held by ``family`` (end of 2PL phase two)."""
+        with self._condition:
+            for state in self._table.values():
+                state.holders.pop(family, None)
+            self._condition.notify_all()
+
+    def release(self, family: int, resource: Hashable) -> None:
+        with self._condition:
+            state = self._table.get(resource)
+            if state is not None:
+                state.holders.pop(family, None)
+                self._condition.notify_all()
+
+    def transfer(self, from_family: int, to_family: int) -> None:
+        """Move every lock from one family to another.
+
+        Needed by the exclusive causally dependent coupling mode: the paper
+        notes the need 'to transfer resources from one transaction to the
+        other once it is determined that the spawning transaction is to be
+        aborted' (Section 4).
+        """
+        with self._condition:
+            for state in self._table.values():
+                mode = state.holders.pop(from_family, None)
+                if mode is not None:
+                    existing = state.holders.get(to_family)
+                    if existing is not LockMode.EXCLUSIVE:
+                        if mode is LockMode.EXCLUSIVE or existing is None:
+                            state.holders[to_family] = mode
+            self._condition.notify_all()
+
+    # ------------------------------------------------------------------
+
+    def holders_of(self, resource: Hashable) -> dict[int, LockMode]:
+        with self._mutex:
+            state = self._table.get(resource)
+            return dict(state.holders) if state else {}
+
+    def locks_held_by(self, family: int) -> list[Hashable]:
+        with self._mutex:
+            return [res for res, state in self._table.items()
+                    if family in state.holders]
+
+    def _would_deadlock(self, requester: int) -> bool:
+        """Cycle check over the waits-for graph (caller holds the mutex)."""
+        edges: dict[int, set[int]] = {}
+        for state in self._table.values():
+            for waiter, mode in state.waiters:
+                blockers = {
+                    holder for holder, held in state.holders.items()
+                    if holder != waiter and not _compatible(held, mode)
+                }
+                if blockers:
+                    edges.setdefault(waiter, set()).update(blockers)
+        # DFS from requester looking for a cycle back to requester.
+        seen: set[int] = set()
+        stack = list(edges.get(requester, ()))
+        while stack:
+            node = stack.pop()
+            if node == requester:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(edges.get(node, ()))
+        return False

@@ -1,0 +1,169 @@
+"""The Open OODB meta-architecture: events, sentries, and policy managers.
+
+The paper (Section 5) describes Open OODB as a computational model that
+"transparently extends the behavior of operations in application programming
+languages": any operation can be an *event*; a *sentry* tracks primitive
+events and invokes the appropriate *policy manager* (PM) which implements
+the extended behavior.  The meta-architecture module is the "software bus"
+on which PMs are plugged.
+
+This module implements that bus.  System events (method invocation, state
+change, persist, fetch, delete, transaction begin/commit/abort, ...) are
+raised onto the bus; policy managers subscribe to the kinds they extend.
+The REACH rule system is itself just another policy manager plugged onto
+the bus — exactly the integration the paper argues for.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SystemEventKind(enum.Enum):
+    """Primitive operations whose behaviour the meta-architecture extends."""
+
+    METHOD_BEFORE = "method_before"
+    METHOD_AFTER = "method_after"
+    STATE_CHANGE = "state_change"
+    OBJECT_CREATE = "object_create"
+    OBJECT_DELETE = "object_delete"
+    PERSIST = "persist"
+    FETCH = "fetch"
+    TX_BEGIN = "tx_begin"
+    TX_PRE_COMMIT = "tx_pre_commit"   # EOT: after work, before commit
+    TX_COMMIT = "tx_commit"
+    TX_ABORT = "tx_abort"
+
+
+@dataclass
+class SystemEvent:
+    """One occurrence of a system event flowing over the bus.
+
+    ``info`` carries kind-specific payload: for method events the instance,
+    method name, arguments and result; for transaction events the
+    transaction object; and so on.
+    """
+
+    kind: SystemEventKind
+    info: dict[str, Any] = field(default_factory=dict)
+
+
+class PolicyManager:
+    """Base class for pluggable database components.
+
+    A policy manager declares the system event kinds it extends via
+    :attr:`subscribed_kinds` and receives each matching
+    :class:`SystemEvent` through :meth:`on_event`.  Managers are attached to
+    exactly one :class:`MetaArchitecture`.
+    """
+
+    #: Human-readable name shown in the architecture inventory (Figure 1).
+    name: str = "policy-manager"
+
+    #: Event kinds this manager extends.
+    subscribed_kinds: tuple[SystemEventKind, ...] = ()
+
+    def __init__(self) -> None:
+        self.meta: Optional[MetaArchitecture] = None
+
+    def attach(self, meta: "MetaArchitecture") -> None:
+        """Called when the manager is plugged onto the bus."""
+        self.meta = meta
+
+    def detach(self) -> None:
+        self.meta = None
+
+    def on_event(self, event: SystemEvent) -> None:
+        """Handle one system event.  Default: ignore."""
+
+    def describe(self) -> str:
+        """One-line description for the architecture inventory."""
+        kinds = ", ".join(k.value for k in self.subscribed_kinds) or "none"
+        return f"{self.name} (extends: {kinds})"
+
+
+class SupportModule:
+    """Base class for the meta-architecture's support modules.
+
+    The paper lists address space managers, communications, translation and
+    the data dictionary as support modules (Section 5, Figure 1).
+    """
+
+    name: str = "support-module"
+
+    def describe(self) -> str:
+        return self.name
+
+
+class MetaArchitecture:
+    """The software bus: registry plus dispatch for system events.
+
+    Dispatch is synchronous and in registration order; a policy manager that
+    needs asynchrony (e.g. REACH's event composers) queues internally.  The
+    bus also counts raised events per kind, which the sentry-overhead
+    benchmark (E1) uses.
+    """
+
+    def __init__(self) -> None:
+        self._managers: list[PolicyManager] = []
+        self._by_kind: dict[SystemEventKind, list[PolicyManager]] = {}
+        self._support: list[SupportModule] = []
+        self._lock = threading.RLock()
+        self.event_counts: dict[SystemEventKind, int] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def plug(self, manager: PolicyManager) -> PolicyManager:
+        """Plug a policy manager onto the bus and subscribe it."""
+        with self._lock:
+            self._managers.append(manager)
+            for kind in manager.subscribed_kinds:
+                self._by_kind.setdefault(kind, []).append(manager)
+        manager.attach(self)
+        return manager
+
+    def unplug(self, manager: PolicyManager) -> None:
+        with self._lock:
+            if manager in self._managers:
+                self._managers.remove(manager)
+            for managers in self._by_kind.values():
+                if manager in managers:
+                    managers.remove(manager)
+        manager.detach()
+
+    def add_support_module(self, module: SupportModule) -> SupportModule:
+        with self._lock:
+            self._support.append(module)
+        return module
+
+    def find_manager(self, name: str) -> Optional[PolicyManager]:
+        with self._lock:
+            for manager in self._managers:
+                if manager.name == name:
+                    return manager
+        return None
+
+    # -- dispatch -----------------------------------------------------------
+
+    def raise_event(self, kind: SystemEventKind, **info: Any) -> SystemEvent:
+        """Raise a system event onto the bus, notifying subscribed PMs."""
+        event = SystemEvent(kind, info)
+        with self._lock:
+            self.event_counts[kind] = self.event_counts.get(kind, 0) + 1
+            targets = list(self._by_kind.get(kind, ()))
+        for manager in targets:
+            manager.on_event(event)
+        return event
+
+    # -- introspection (Figure 1 inventory) ----------------------------------
+
+    def inventory(self) -> dict[str, list[str]]:
+        """Describe the booted architecture, mirroring Figure 1."""
+        with self._lock:
+            return {
+                "policy_managers": [m.describe() for m in self._managers],
+                "support_modules": [s.describe() for s in self._support],
+            }

@@ -1,0 +1,103 @@
+"""Object identifiers and persistent references.
+
+Every persistent object in the system is identified by an :class:`OID`.
+OIDs are allocated by the data dictionary, are never reused, and are the
+unit of reference both inside the storage manager (record lookup) and across
+detached-rule boundaries (the paper, Section 3.2: references to persistent
+objects may be passed to detached rules; references to transient objects may
+not).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass(frozen=True, order=True)
+class OID:
+    """An immutable object identifier.
+
+    The ``value`` is a positive integer unique within one database.  OID 0
+    is reserved as the invalid/null OID.
+    """
+
+    value: int
+
+    NULL_VALUE = 0
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("OID value must be non-negative")
+
+    @property
+    def is_null(self) -> bool:
+        return self.value == self.NULL_VALUE
+
+    def __repr__(self) -> str:
+        return f"OID({self.value})"
+
+
+NULL_OID = OID(OID.NULL_VALUE)
+
+
+class OIDAllocator:
+    """Thread-safe monotonically increasing OID source.
+
+    The allocator can be restarted above a floor after recovery so that OIDs
+    of recovered objects are never reissued.
+    """
+
+    def __init__(self, start: int = 1):
+        if start < 1:
+            raise ValueError("OID allocation must start at 1 or above")
+        self._lock = threading.Lock()
+        self._next = start
+
+    def allocate(self) -> OID:
+        with self._lock:
+            oid = OID(self._next)
+            self._next += 1
+            return oid
+
+    def ensure_above(self, floor: int) -> None:
+        """Guarantee that future OIDs are strictly greater than ``floor``."""
+        with self._lock:
+            if self._next <= floor:
+                self._next = floor + 1
+
+    @property
+    def next_value(self) -> int:
+        with self._lock:
+            return self._next
+
+
+@dataclass(frozen=True)
+class ObjectRef:
+    """A serializable reference to a persistent object.
+
+    ``ObjectRef`` is what an OID looks like *inside* stored object state:
+    when object A holds object B in an attribute and both are persistent,
+    the storage layer swizzles the in-memory pointer into an ``ObjectRef``
+    on write and back into the live object on fetch.
+    """
+
+    oid: OID
+    class_name: str
+
+    def __repr__(self) -> str:
+        return f"ObjectRef({self.class_name}#{self.oid.value})"
+
+
+_transient_counter = itertools.count(1)
+
+
+def transient_id() -> int:
+    """Identity for transient (non-persistent) objects.
+
+    Used by the event system to correlate events about the same in-memory
+    object that has no OID yet.
+    """
+    return next(_transient_counter)

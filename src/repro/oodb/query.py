@@ -1,0 +1,288 @@
+"""Query policy manager: an OQL subset over class extents.
+
+Open OODB generates its optimizer with Volcano and couples queries with the
+rest of the system through the meta-architecture (Section 5); the paper
+plans to combine ECA-rule descriptions with OQL[C++] (Section 7).  This
+module provides the query capability the reproduction needs::
+
+    select x from River x where x.level < 37 and x.basin == 'Rhein'
+    select x.name from Reactor x order by x.heat_output desc limit 3
+
+Evaluation scans the class extent (including subclasses), fetching each
+instance through the persistence PM.  When the ``where`` clause contains an
+equality predicate on an indexed attribute, the index policy manager is
+consulted instead of scanning — the integration the paper wants between
+declarative access and the active index-maintenance rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import QueryError
+from repro.expr import (
+    Attribute,
+    Binary,
+    Literal,
+    Name,
+    Node,
+    Parser,
+    tokenize,
+)
+from repro.oodb.data_dictionary import DataDictionary
+from repro.oodb.meta import PolicyManager
+from repro.oodb.persistence import PersistencePolicyManager
+
+
+_AGGREGATES = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass
+class Query:
+    """A parsed ``select`` statement."""
+
+    projection: Node
+    class_name: str
+    variable: str
+    where: Optional[Node]
+    order_by: Optional[Node]
+    descending: bool
+    limit: Optional[int]
+    distinct: bool = False
+    aggregate: Optional[str] = None      # count/sum/avg/min/max
+
+
+def parse_query(text: str) -> Query:
+    """Parse an OQL-subset ``select`` statement."""
+    parser = Parser(tokenize(text))
+    _expect_keyword(parser, "select")
+    distinct = False
+    if parser.peek().kind == "name" and parser.peek().text == "distinct":
+        parser.advance()
+        distinct = True
+    projection = parser.parse_expression()
+    aggregate = None
+    from repro.expr import Call, Name as _Name
+    if isinstance(projection, Call) and \
+            isinstance(projection.target, _Name) and \
+            projection.target.name in _AGGREGATES:
+        if len(projection.args) != 1:
+            raise QueryError(
+                f"{projection.target.name}() takes exactly one argument")
+        aggregate = projection.target.name
+        projection = projection.args[0]
+    _expect_keyword(parser, "from")
+    class_token = parser.advance()
+    if class_token.kind != "name":
+        raise QueryError("expected class name after 'from'")
+    var_token = parser.advance()
+    if var_token.kind != "name":
+        raise QueryError("expected range variable after class name")
+    where = None
+    order_by = None
+    descending = False
+    limit = None
+    while parser.peek().kind != "end":
+        token = parser.peek()
+        if token.kind == "name" and token.text == "where":
+            parser.advance()
+            where = parser.parse_expression()
+        elif token.kind == "name" and token.text == "order":
+            parser.advance()
+            _expect_keyword(parser, "by")
+            order_by = parser.parse_expression()
+            nxt = parser.peek()
+            if nxt.kind == "name" and nxt.text in ("asc", "desc"):
+                parser.advance()
+                descending = nxt.text == "desc"
+        elif token.kind == "name" and token.text == "limit":
+            parser.advance()
+            number = parser.advance()
+            if number.kind != "num" or "." in number.text:
+                raise QueryError("limit requires an integer")
+            limit = int(number.text)
+        else:
+            raise QueryError(
+                f"unexpected token {token.text!r} at {token.position}")
+    return Query(projection, class_token.text, var_token.text,
+                 where, order_by, descending, limit,
+                 distinct=distinct, aggregate=aggregate)
+
+
+def _expect_keyword(parser: Parser, word: str) -> None:
+    token = parser.advance()
+    if token.kind != "name" or token.text != word:
+        raise QueryError(f"expected {word!r}, got {token.text!r}")
+
+
+class QueryProcessor(PolicyManager):
+    """Executes parsed queries against extents, using indexes when it can."""
+
+    name = "Query PM"
+    subscribed_kinds = ()
+
+    def __init__(self, dictionary: DataDictionary,
+                 persistence: PersistencePolicyManager,
+                 index_manager: Optional[Any] = None):
+        super().__init__()
+        self.dictionary = dictionary
+        self.persistence = persistence
+        self.index_manager = index_manager
+        self.stats = {"queries": 0, "extent_scans": 0, "index_lookups": 0}
+
+    def execute(self, text: str,
+                env: Optional[dict[str, Any]] = None) -> list[Any]:
+        """Run ``text`` and return the list of projected results.
+
+        ``env`` supplies extra bound variables usable in the query (e.g.
+        parameters: ``select x from River x where x.level < threshold``).
+        """
+        query = parse_query(text)
+        self.stats["queries"] += 1
+        base_env = dict(env or {})
+        candidates = self._candidates(query, base_env)
+        rows: list[Any] = []
+        for obj in candidates:
+            row_env = dict(base_env)
+            row_env[query.variable] = obj
+            if query.where is not None and \
+                    not query.where.evaluate(row_env):
+                continue
+            rows.append((obj, row_env))
+        if query.order_by is not None:
+            rows.sort(key=lambda pair: query.order_by.evaluate(pair[1]),
+                      reverse=query.descending)
+        if query.limit is not None:
+            rows = rows[:query.limit]
+        values = [query.projection.evaluate(row_env)
+                  for __, row_env in rows]
+        if query.distinct:
+            seen = set()
+            unique = []
+            for value in values:
+                if value not in seen:
+                    seen.add(value)
+                    unique.append(value)
+            values = unique
+        if query.aggregate is not None:
+            return self._aggregate(query.aggregate, values)
+        return values
+
+    @staticmethod
+    def _aggregate(kind: str, values: list[Any]) -> Any:
+        if kind == "count":
+            return len(values)
+        if not values:
+            return None
+        if kind == "sum":
+            return sum(values)
+        if kind == "avg":
+            return sum(values) / len(values)
+        if kind == "min":
+            return min(values)
+        if kind == "max":
+            return max(values)
+        raise QueryError(f"unknown aggregate {kind!r}")
+
+    # ------------------------------------------------------------------
+
+    def _candidates(self, query: Query, env: dict[str, Any]) -> list[Any]:
+        """Pick the access path: index lookup if possible, else extent scan."""
+        indexed = self._index_probe(query, env)
+        if indexed is not None:
+            self.stats["index_lookups"] += 1
+            return indexed
+        self.stats["extent_scans"] += 1
+        if not self.dictionary.has_type(query.class_name):
+            raise QueryError(f"unknown class {query.class_name!r}")
+        return [self.persistence.fetch(oid)
+                for oid in sorted(self.dictionary.extent(query.class_name))]
+
+    def _index_probe(self, query: Query,
+                     env: dict[str, Any]) -> Optional[list[Any]]:
+        if self.index_manager is None or query.where is None:
+            return None
+        predicate = self._find_indexable_equality(query.where, query.variable,
+                                                  env)
+        if predicate is not None:
+            attribute, value = predicate
+            index = self.index_manager.index_for(query.class_name, attribute)
+            if index is not None:
+                return [self.persistence.fetch(oid)
+                        for oid in sorted(index.lookup(value))]
+        bounds = self._find_indexable_range(query.where, query.variable, env)
+        if bounds is not None:
+            attribute, low, low_inc, high, high_inc = bounds
+            index = self.index_manager.index_for(query.class_name, attribute)
+            if index is not None and hasattr(index, "range"):
+                oids = index.range(low=low, high=high,
+                                   low_inclusive=low_inc,
+                                   high_inclusive=high_inc)
+                return [self.persistence.fetch(oid)
+                        for oid in sorted(oids)]
+        return None
+
+    def _find_indexable_range(self, node: Node, variable: str,
+                              env: dict[str, Any]):
+        """Find ``var.attr <op> <constant>`` range predicates usable with
+        an ordered index; merges bounds found in one conjunction."""
+        comparisons = self._collect_range_comparisons(node, variable, env)
+        if not comparisons:
+            return None
+        by_attribute: dict[str, list] = {}
+        for attribute, op, value in comparisons:
+            by_attribute.setdefault(attribute, []).append((op, value))
+        # Prefer the attribute with the most bounds.
+        attribute = max(by_attribute, key=lambda a: len(by_attribute[a]))
+        low = high = None
+        low_inc = high_inc = True
+        for op, value in by_attribute[attribute]:
+            if op in (">", ">="):
+                if low is None or value > low:
+                    low, low_inc = value, op == ">="
+            else:
+                if high is None or value < high:
+                    high, high_inc = value, op == "<="
+        return attribute, low, low_inc, high, high_inc
+
+    def _collect_range_comparisons(self, node: Node, variable: str,
+                                   env: dict[str, Any]) -> list:
+        found: list = []
+        if isinstance(node, Binary) and node.op == "and":
+            found += self._collect_range_comparisons(node.left, variable,
+                                                     env)
+            found += self._collect_range_comparisons(node.right, variable,
+                                                     env)
+            return found
+        flips = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        if isinstance(node, Binary) and node.op in flips:
+            for attr_side, const_side, op in (
+                    (node.left, node.right, node.op),
+                    (node.right, node.left, flips[node.op])):
+                if isinstance(attr_side, Attribute) and \
+                        isinstance(attr_side.target, Name) and \
+                        attr_side.target.name == variable and \
+                        not const_side.variables() - set(env):
+                    found.append((attr_side.name, op,
+                                  const_side.evaluate(env)))
+                    break
+        return found
+
+    def _find_indexable_equality(self, node: Node, variable: str,
+                                 env: dict[str, Any]
+                                 ) -> Optional[tuple[str, Any]]:
+        """Find ``var.attr == <constant>`` in a conjunction, if any."""
+        if isinstance(node, Binary) and node.op == "and":
+            return (self._find_indexable_equality(node.left, variable, env)
+                    or self._find_indexable_equality(node.right, variable,
+                                                     env))
+        if isinstance(node, Binary) and node.op in ("==", "="):
+            for attr_side, const_side in ((node.left, node.right),
+                                          (node.right, node.left)):
+                if isinstance(attr_side, Attribute) and \
+                        isinstance(attr_side.target, Name) and \
+                        attr_side.target.name == variable and \
+                        not const_side.variables() - set(env):
+                    return attr_side.name, const_side.evaluate(env)
+        return None

@@ -1,0 +1,403 @@
+"""The sentry mechanism: transparent low-level event detection.
+
+Open OODB detects primitive events with *in-line wrappers*: a language
+preprocessor rewrites each extendible class before compilation so that every
+method body signals invocation and return, while type declarations, calls,
+inheritance, and pointer conversions remain exactly those of the unmonitored
+class (paper, Section 6.2).
+
+The Python analog is the :func:`sentried` class decorator, which rewrites
+the class's methods at class-creation time — before any instance exists —
+and leaves the class's public interface untouched:
+
+* declarations are identical (``@sentried`` is the only difference),
+* calls are identical (``river.update_water_level(3)`` either way),
+* ``isinstance``, inheritance, ``super()``, properties and descriptors all
+  behave as for the unmonitored class.
+
+Overhead categories (paper, Section 6.2) map directly:
+
+* *unmonitored*: class not decorated — zero overhead;
+* *useless overhead*: decorated, but no receiver subscribed — one list
+  truthiness test per call;
+* *potentially useful*: decorated with receivers registered for other
+  methods of the class;
+* *useful overhead*: a receiver consumes the notification.
+
+State changes (``__setattr__``) are also trapped, giving the integrated
+system the value-change detection that the paper's layered attempts could
+not get from closed OODBMSs (Section 4, "changes of state could not be
+detected as events").
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Type
+
+_MISSING = object()
+
+
+class Moment(enum.Enum):
+    """When, relative to the method body, a notification is delivered."""
+
+    BEFORE = "before"
+    AFTER = "after"
+
+
+@dataclass
+class MethodNotification:
+    """Delivered to method receivers around every monitored invocation."""
+
+    moment: Moment
+    instance: Any
+    cls: Type
+    method: str
+    args: tuple
+    kwargs: dict[str, Any]
+    result: Any = None
+    exception: Optional[BaseException] = None
+
+
+@dataclass
+class StateNotification:
+    """Delivered to state receivers on every monitored attribute write."""
+
+    instance: Any
+    cls: Type
+    attribute: str
+    old_value: Any
+    new_value: Any
+    had_old_value: bool
+
+
+@dataclass
+class CreateNotification:
+    """Delivered when a monitored class finishes constructing an instance."""
+
+    instance: Any
+    cls: Type
+    args: tuple
+    kwargs: dict[str, Any]
+
+
+class Subscription:
+    """Cancellable registration of one receiver."""
+
+    def __init__(self, bucket: list, entry: Any):
+        self._bucket = bucket
+        self._entry = entry
+        self.active = True
+
+    def cancel(self) -> None:
+        if self.active:
+            try:
+                self._bucket.remove(self._entry)
+            except ValueError:
+                pass
+            self.active = False
+
+
+class SentryRegistry:
+    """Process-wide registry connecting sentried classes to receivers.
+
+    The decorator stores per-method receiver lists on the class; the
+    registry resolves *watch* requests (possibly on subclasses) to the
+    defining class's list and installs type-filtered adapters.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self.notifications_delivered = 0
+
+    # -- bookkeeping used by the wrappers -----------------------------------
+
+    def _count(self, n: int = 1) -> None:
+        # A plain int add without the lock would be racy but only affects a
+        # statistic; take the cheap path under CPython's atomic int ops.
+        self.notifications_delivered += n
+
+    # -- watching -------------------------------------------------------------
+
+    def watch_method(self, cls: Type, method: str,
+                     receiver: Callable[[MethodNotification], None],
+                     moment: Moment = Moment.AFTER) -> Subscription:
+        """Subscribe ``receiver`` to invocations of ``cls.method``.
+
+        ``cls`` may be a subclass of the class defining the method; the
+        receiver then only fires for instances of ``cls``.
+        """
+        owner = _defining_class(cls, method)
+        buckets = owner.__dict__["__sentry_method_receivers__"]
+        if method not in buckets:
+            raise TypeError(
+                f"{owner.__name__}.{method} is not monitored by a sentry"
+            )
+        bucket = buckets[method]
+
+        if cls is owner:
+            entry = (moment, receiver)
+        else:
+            def filtered(note: MethodNotification,
+                         __cls=cls, __receiver=receiver) -> None:
+                if isinstance(note.instance, __cls):
+                    __receiver(note)
+            entry = (moment, filtered)
+        with self._lock:
+            bucket.append(entry)
+        return Subscription(bucket, entry)
+
+    def watch_state(self, cls: Type, attribute: Optional[str],
+                    receiver: Callable[[StateNotification], None]) -> Subscription:
+        """Subscribe to attribute writes on instances of ``cls``.
+
+        ``attribute=None`` receives writes to every attribute.
+        """
+        owner = _state_owner(cls)
+        bucket = owner.__dict__["__sentry_state_receivers__"]
+
+        def adapted(note: StateNotification,
+                    __cls=cls, __attr=attribute, __receiver=receiver) -> None:
+            if __attr is not None and note.attribute != __attr:
+                return
+            if __cls is not owner and not isinstance(note.instance, __cls):
+                return
+            __receiver(note)
+
+        with self._lock:
+            bucket.append(adapted)
+        return Subscription(bucket, adapted)
+
+    def watch_create(self, cls: Type,
+                     receiver: Callable[[CreateNotification], None]) -> Subscription:
+        owner = _state_owner(cls)
+        bucket = owner.__dict__["__sentry_create_receivers__"]
+
+        def adapted(note: CreateNotification,
+                    __cls=cls, __receiver=receiver) -> None:
+            if __cls is not owner and not isinstance(note.instance, __cls):
+                return
+            __receiver(note)
+
+        with self._lock:
+            bucket.append(adapted)
+        return Subscription(bucket, adapted)
+
+
+#: The default registry, shared by all databases in the process (mirrors the
+#: preprocessor emitting one set of sentry structures per program).
+registry = SentryRegistry()
+
+
+def _defining_class(cls: Type, method: str) -> Type:
+    for klass in cls.__mro__:
+        if "__sentry_method_receivers__" in klass.__dict__ and \
+                method in klass.__dict__["__sentry_method_receivers__"]:
+            return klass
+    raise TypeError(
+        f"{cls.__name__}.{method}: no sentried class in the MRO defines it"
+    )
+
+
+def _state_owner(cls: Type) -> Type:
+    for klass in cls.__mro__:
+        if "__sentry_state_receivers__" in klass.__dict__:
+            return klass
+    raise TypeError(f"{cls.__name__} is not a sentried class")
+
+
+def is_sentried(cls: Type) -> bool:
+    """True if ``cls`` (or an ancestor) was processed by :func:`sentried`."""
+    return any("__sentry_method_receivers__" in k.__dict__
+               for k in cls.__mro__)
+
+
+def sentried(cls: Optional[Type] = None, *,
+             track_state: bool = True,
+             methods: Optional[list[str]] = None) -> Any:
+    """Class decorator installing in-line wrapper sentries.
+
+    Args:
+        track_state: also trap ``__setattr__`` (state-change events and
+            transactional undo both depend on this; disable only for
+            write-hot classes whose state changes need not be observable).
+        methods: explicit list of method names to monitor; default is every
+            public callable defined directly on the class.
+
+    The decorated class is the *same* class object with its methods rebound,
+    so type identity, ``isinstance`` and subclassing are unaffected.
+    """
+    if cls is None:
+        return functools.partial(sentried, track_state=track_state,
+                                 methods=methods)
+
+    method_receivers: dict[str, list] = {}
+    cls.__sentry_method_receivers__ = method_receivers
+    cls.__sentry_state_receivers__ = []
+    cls.__sentry_create_receivers__ = []
+    cls.__sentried__ = True
+
+    if methods is None:
+        names = [
+            name for name, value in vars(cls).items()
+            if callable(value) and not name.startswith("_")
+            and not isinstance(value, (staticmethod, classmethod, type))
+        ]
+    else:
+        names = list(methods)
+
+    for name in names:
+        original = cls.__dict__.get(name)
+        if original is None or not callable(original):
+            raise TypeError(f"{cls.__name__}.{name} is not a wrappable method")
+        bucket: list = []
+        method_receivers[name] = bucket
+        setattr(cls, name, _wrap_method(cls, name, original, bucket))
+
+    _wrap_init(cls)
+    if track_state:
+        _wrap_setattr(cls)
+    return cls
+
+
+def _wrap_method(cls: Type, name: str, original: Callable,
+                 receivers: list) -> Callable:
+    @functools.wraps(original)
+    def wrapper(self, *args, **kwargs):
+        if not receivers:
+            # 'Useless overhead' path: sentry present, nothing listening.
+            return original(self, *args, **kwargs)
+        before = [r for moment, r in receivers if moment is Moment.BEFORE]
+        after = [r for moment, r in receivers if moment is Moment.AFTER]
+        if before:
+            note = MethodNotification(Moment.BEFORE, self, cls, name,
+                                      args, kwargs)
+            registry._count(len(before))
+            for receive in before:
+                receive(note)
+        try:
+            result = original(self, *args, **kwargs)
+        except BaseException as exc:
+            if after:
+                note = MethodNotification(Moment.AFTER, self, cls, name,
+                                          args, kwargs, exception=exc)
+                registry._count(len(after))
+                for receive in after:
+                    receive(note)
+            raise
+        if after:
+            note = MethodNotification(Moment.AFTER, self, cls, name,
+                                      args, kwargs, result=result)
+            registry._count(len(after))
+            for receive in after:
+                receive(note)
+        return result
+
+    wrapper.__sentry_wrapped__ = original
+    return wrapper
+
+
+def _wrap_init(cls: Type) -> None:
+    original = cls.__init__
+
+    @functools.wraps(original)
+    def wrapper(self, *args, **kwargs):
+        original(self, *args, **kwargs)
+        # Only the most-derived sentried class's wrapper announces, once;
+        # the announcement is delivered to every ancestor's receivers so
+        # that watching a base class covers subclass creations.
+        if _state_owner(type(self)) is not cls:
+            return
+        note = None
+        for klass in type(self).__mro__:
+            bucket = klass.__dict__.get("__sentry_create_receivers__")
+            if bucket:
+                if note is None:
+                    note = CreateNotification(self, type(self), args, kwargs)
+                registry._count(len(bucket))
+                for receive in list(bucket):
+                    receive(note)
+
+    cls.__init__ = wrapper
+
+
+class Surrogate:
+    """The *surrogate object* sentry mechanism (paper, Section 6.2).
+
+    "A surrogate object stands in for some other object ..., intercepts
+    all messages directed at the actual object, and performs any
+    necessary actions before forwarding the original message to the
+    actual object for execution."
+
+    The paper also records the mechanism's flaw, which this implementation
+    faithfully retains: "since in C++ [and Python] the state of an object
+    can be manipulated without using a member function, it is possible to
+    affect the object without activating the sentry" — reading or writing
+    ``surrogate.attr`` forwards to the target *silently*, so behavioural
+    extensions hang only on method calls.  The in-line wrapper
+    (:func:`sentried`) is the prime mechanism; surrogates remain available
+    "for special purposes" — e.g. monitoring single instances of classes
+    that cannot be decorated.
+    """
+
+    __slots__ = ("_surrogate_target", "_surrogate_receiver")
+
+    def __init__(self, target: Any,
+                 receiver: Callable[[MethodNotification], None]):
+        object.__setattr__(self, "_surrogate_target", target)
+        object.__setattr__(self, "_surrogate_receiver", receiver)
+
+    def __getattr__(self, name: str) -> Any:
+        target = object.__getattribute__(self, "_surrogate_target")
+        value = getattr(target, name)
+        if not callable(value) or name.startswith("_"):
+            return value  # the documented hole: state access is silent
+        receiver = object.__getattribute__(self, "_surrogate_receiver")
+
+        def intercepted(*args, **kwargs):
+            result = value(*args, **kwargs)
+            receiver(MethodNotification(
+                Moment.AFTER, target, type(target), name, args, kwargs,
+                result=result))
+            return result
+
+        return intercepted
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # Forwarded without notification — the mechanism's known flaw.
+        setattr(object.__getattribute__(self, "_surrogate_target"),
+                name, value)
+
+    @property
+    def surrogate_target(self) -> Any:
+        return object.__getattribute__(self, "_surrogate_target")
+
+
+def make_surrogate(target: Any,
+                   receiver: Callable[[MethodNotification], None]) -> Surrogate:
+    """Wrap one instance in a message-intercepting surrogate."""
+    return Surrogate(target, receiver)
+
+
+def _wrap_setattr(cls: Type) -> None:
+    original = cls.__setattr__
+    receivers = cls.__dict__["__sentry_state_receivers__"]
+
+    def wrapper(self, attribute, value):
+        if not receivers or attribute.startswith("_"):
+            original(self, attribute, value)
+            return
+        old = getattr(self, attribute, _MISSING)
+        original(self, attribute, value)
+        note = StateNotification(
+            instance=self, cls=cls, attribute=attribute,
+            old_value=None if old is _MISSING else old,
+            new_value=value, had_old_value=old is not _MISSING)
+        registry._count(len(receivers))
+        for receive in list(receivers):
+            receive(note)
+
+    cls.__setattr__ = wrapper

@@ -1,0 +1,364 @@
+"""Transaction policy manager: flat and closed-nested transactions.
+
+The paper (Sections 2-4) requires:
+
+* a **nested transaction model** — without it, only serial execution of
+  triggered rules is possible in the immediate and deferred modes;
+* the ability to **spawn new top-level transactions** for the detached
+  coupling modes;
+* **access to transaction-manager information** — ids, commit and abort
+  signals — to enforce the causal dependencies of the detached causally
+  dependent modes (this is exactly what the closed commercial systems
+  refused to expose).
+
+This module provides all three.  Commit and abort raise flow-control system
+events on the meta-architecture bus (BOT / EOT / Commit / Abort of Section
+3.2), which the REACH rule policy manager turns into primitive events and
+which the rule scheduler's dependency tracker consumes.
+
+Locking follows the closed-nested convention: all locks are held by the
+transaction *family* (top-level transaction and descendants) and released
+when the top level finishes.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import (
+    NestedTransactionError,
+    TransactionAborted,
+    TransactionStateError,
+)
+from repro.oodb.locks import LockManager, LockMode
+from repro.oodb.meta import MetaArchitecture, SystemEventKind
+
+
+class TransactionState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTING = "committing"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One (possibly nested) transaction.
+
+    Attributes of note:
+
+    * ``undo_log`` — callbacks restoring in-memory object state, run in
+      reverse order on abort; merged into the parent on nested commit.
+    * ``deferred_rules`` — (rule, context) pairs queued for execution at EOT
+      by the rule scheduler; merged into the parent on nested commit so that
+      deferral is always relative to the *top-level* user transaction.
+    * ``dirty_objects`` — persistent objects whose state must be flushed at
+      top-level commit (maintained by the persistence PM).
+    * ``deadline`` — optional absolute time used by milestone events.
+    * ``rule_depth`` — recursion depth of rule-triggered work, bounding
+      cascades.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, parent: Optional["Transaction"] = None,
+                 deadline: Optional[float] = None):
+        self.id = next(Transaction._ids)
+        self.parent = parent
+        self.family_id = parent.family_id if parent else self.id
+        self.state = TransactionState.ACTIVE
+        self.undo_log: list[Callable[[], None]] = []
+        self.deferred_rules: list[Any] = []
+        self.dirty_objects: set[Any] = set()
+        self.deleted_objects: set[Any] = set()
+        self.deadline = deadline
+        self.rule_depth = parent.rule_depth if parent else 0
+        self.active_children = 0
+        self.metadata: dict[str, Any] = {}
+        self.begin_time: float = 0.0
+
+    @property
+    def is_top_level(self) -> bool:
+        return self.parent is None
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is TransactionState.ACTIVE
+
+    def record_undo(self, restore: Callable[[], None]) -> None:
+        if self.state is not TransactionState.ACTIVE and \
+                self.state is not TransactionState.COMMITTING:
+            raise TransactionStateError(
+                f"transaction {self.id} is {self.state.value}")
+        self.undo_log.append(restore)
+
+    def top_level(self) -> "Transaction":
+        tx = self
+        while tx.parent is not None:
+            tx = tx.parent
+        return tx
+
+    def __repr__(self) -> str:
+        kind = "top" if self.is_top_level else f"sub-of-{self.parent.id}"
+        return f"<Transaction {self.id} {kind} {self.state.value}>"
+
+
+class TransactionManager:
+    """Creates, tracks, commits and aborts transactions.
+
+    Each thread has its own current-transaction stack, so detached rules
+    running on worker threads get independent transaction contexts, exactly
+    like the paper's Solaris threads.
+    """
+
+    def __init__(self, meta: MetaArchitecture, locks: LockManager,
+                 clock: Any = None):
+        self.meta = meta
+        self.locks = locks
+        self.clock = clock
+        self._local = threading.local()
+        self._outcomes: dict[int, TransactionState] = {}
+        self._outcome_lock = threading.Lock()
+        self._outcome_condition = threading.Condition(self._outcome_lock)
+        self._live: dict[int, Transaction] = {}
+        self._live_lock = threading.Lock()
+        self.pre_commit_hooks: list[Callable[[Transaction], None]] = []
+        self.post_commit_hooks: list[Callable[[Transaction], None]] = []
+        self.abort_hooks: list[Callable[[Transaction], None]] = []
+        self.stats = {"begun": 0, "committed": 0, "aborted": 0}
+
+    # -- current-transaction stack (per thread) -------------------------------
+
+    def _stack(self) -> list[Transaction]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Optional[Transaction]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def require_current(self) -> Transaction:
+        tx = self.current()
+        if tx is None:
+            raise TransactionStateError("no transaction is active")
+        return tx
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def begin(self, nested: Optional[bool] = None,
+              deadline: Optional[float] = None,
+              rule_depth: Optional[int] = None) -> Transaction:
+        """Begin a transaction.
+
+        ``nested=None`` (default) nests under the current transaction when
+        one exists, otherwise begins top-level.  ``nested=False`` forces a
+        new top-level transaction (used to spawn detached rules) even if a
+        transaction is current on this thread.
+        """
+        parent = self.current() if nested is not False else None
+        if nested is True and parent is None:
+            raise NestedTransactionError(
+                "nested=True requires an enclosing transaction")
+        # COMMITTING parents are allowed: deferred rules execute as
+        # subtransactions at EOT, after work but before commit.
+        if parent is not None and parent.state not in (
+                TransactionState.ACTIVE, TransactionState.COMMITTING):
+            raise TransactionStateError(
+                f"cannot nest under {parent}: not active")
+        tx = Transaction(parent=parent, deadline=deadline)
+        if rule_depth is not None:
+            # Set before TX_BEGIN is raised so flow-event suppression for
+            # rule-spawned transactions sees the true depth.
+            tx.rule_depth = rule_depth
+        if self.clock is not None:
+            tx.begin_time = self.clock.now()
+        if parent is not None:
+            parent.active_children += 1
+        self._stack().append(tx)
+        with self._live_lock:
+            self._live[tx.id] = tx
+        self.stats["begun"] += 1
+        self.meta.raise_event(SystemEventKind.TX_BEGIN, tx=tx)
+        return tx
+
+    def begin_child_of(self, parent: Transaction,
+                       deadline: Optional[float] = None,
+                       rule_depth: Optional[int] = None) -> Transaction:
+        """Begin a subtransaction of an explicit parent on *this* thread.
+
+        Used for parallel rule execution: sibling subtransactions of the
+        triggering transaction run on worker threads, each thread managing
+        its own stack while sharing the parent's lock family.
+        """
+        if parent.state not in (TransactionState.ACTIVE,
+                                TransactionState.COMMITTING):
+            raise TransactionStateError(
+                f"cannot nest under {parent}: not active")
+        tx = Transaction(parent=parent, deadline=deadline)
+        if rule_depth is not None:
+            tx.rule_depth = rule_depth
+        if self.clock is not None:
+            tx.begin_time = self.clock.now()
+        parent.active_children += 1
+        self._stack().append(tx)
+        with self._live_lock:
+            self._live[tx.id] = tx
+        self.stats["begun"] += 1
+        self.meta.raise_event(SystemEventKind.TX_BEGIN, tx=tx)
+        return tx
+
+    def commit(self, tx: Optional[Transaction] = None) -> None:
+        """Commit ``tx`` (default: the current transaction).
+
+        Top-level commit: raise EOT (running deferred rules), run
+        pre-commit hooks (persistence flush), mark committed, release the
+        family's locks, raise Commit, record the outcome for dependency
+        tracking, run post-commit hooks.
+
+        Nested commit: merge effects into the parent; the work becomes
+        permanent only if every ancestor commits.
+        """
+        tx = tx or self.require_current()
+        self._check_completable(tx)
+        try:
+            tx.state = TransactionState.COMMITTING
+            # EOT: deferred rules run now, as subtransactions of tx.  They
+            # may raise TransactionAborted to veto the commit.
+            self.meta.raise_event(SystemEventKind.TX_PRE_COMMIT, tx=tx)
+            if tx.is_top_level:
+                for hook in self.pre_commit_hooks:
+                    hook(tx)
+        except BaseException:
+            tx.state = TransactionState.ACTIVE
+            self.abort(tx)
+            raise
+        if tx.is_top_level:
+            tx.state = TransactionState.COMMITTED
+            self.locks.release_all(tx.family_id)
+            self._record_outcome(tx)
+            self._pop(tx)
+            self.stats["committed"] += 1
+            self.meta.raise_event(SystemEventKind.TX_COMMIT, tx=tx)
+            for hook in self.post_commit_hooks:
+                hook(tx)
+        else:
+            parent = tx.parent
+            parent.undo_log.extend(tx.undo_log)
+            parent.deferred_rules.extend(tx.deferred_rules)
+            parent.dirty_objects.update(tx.dirty_objects)
+            parent.deleted_objects.update(tx.deleted_objects)
+            parent.active_children -= 1
+            tx.state = TransactionState.COMMITTED
+            self._pop(tx)
+            self.stats["committed"] += 1
+            self.meta.raise_event(SystemEventKind.TX_COMMIT, tx=tx)
+
+    def abort(self, tx: Optional[Transaction] = None) -> None:
+        """Abort ``tx``: run its undo log in reverse and signal Abort."""
+        tx = tx or self.require_current()
+        if tx.state in (TransactionState.COMMITTED, TransactionState.ABORTED):
+            raise TransactionStateError(f"{tx} already finished")
+        if tx.active_children:
+            raise NestedTransactionError(
+                f"{tx} still has {tx.active_children} active children")
+        for restore in reversed(tx.undo_log):
+            restore()
+        tx.undo_log.clear()
+        tx.deferred_rules.clear()
+        tx.state = TransactionState.ABORTED
+        if tx.is_top_level:
+            for hook in self.abort_hooks:
+                hook(tx)
+            self.locks.release_all(tx.family_id)
+            self._record_outcome(tx)
+        else:
+            tx.parent.active_children -= 1
+        self._pop(tx)
+        self.stats["aborted"] += 1
+        self.meta.raise_event(SystemEventKind.TX_ABORT, tx=tx)
+
+    def _check_completable(self, tx: Transaction) -> None:
+        if tx.state is not TransactionState.ACTIVE:
+            raise TransactionStateError(
+                f"{tx} cannot commit: state is {tx.state.value}")
+        if tx.active_children:
+            raise NestedTransactionError(
+                f"{tx} cannot commit with {tx.active_children} active "
+                "children")
+
+    def _pop(self, tx: Transaction) -> None:
+        stack = self._stack()
+        if tx in stack:
+            # Usually the top; tolerate out-of-order completion from hooks.
+            stack.remove(tx)
+        with self._live_lock:
+            self._live.pop(tx.id, None)
+
+    def find_transaction(self, tx_id: int) -> Optional[Transaction]:
+        """Return a still-running transaction by id, if any.
+
+        Used to target deferred rules at the originating transaction when
+        composition completes on another thread, and by milestones."""
+        with self._live_lock:
+            return self._live.get(tx_id)
+
+    # -- convenience --------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self, nested: Optional[bool] = None,
+                    deadline: Optional[float] = None) -> Iterator[Transaction]:
+        """``with tm.transaction() as tx:`` — commit on success, abort on
+        exception (re-raising it)."""
+        tx = self.begin(nested=nested, deadline=deadline)
+        try:
+            yield tx
+        except BaseException:
+            if tx.state is TransactionState.ACTIVE:
+                self.abort(tx)
+            raise
+        else:
+            if tx.state is TransactionState.ACTIVE:
+                self.commit(tx)
+
+    def lock(self, resource: Any, mode: LockMode = LockMode.EXCLUSIVE,
+             tx: Optional[Transaction] = None) -> None:
+        tx = tx or self.require_current()
+        self.locks.acquire(tx.family_id, resource, mode)
+
+    # -- outcome tracking (for causal dependencies) ---------------------------------
+
+    def _record_outcome(self, tx: Transaction) -> None:
+        with self._outcome_condition:
+            self._outcomes[tx.id] = tx.state
+            self._outcome_condition.notify_all()
+
+    def outcome_of(self, tx_id: int) -> Optional[TransactionState]:
+        """COMMITTED/ABORTED once known, None while still running.
+
+        Only top-level transactions have recorded outcomes; a nested
+        transaction's fate is its top level's.
+        """
+        with self._outcome_lock:
+            return self._outcomes.get(tx_id)
+
+    def wait_for_outcome(self, tx_id: int,
+                         timeout: float = 30.0) -> Optional[TransactionState]:
+        """Block until the outcome of ``tx_id`` is known (threaded mode)."""
+        with self._outcome_condition:
+            deadline_reached = self._outcome_condition.wait_for(
+                lambda: tx_id in self._outcomes, timeout=timeout)
+            if not deadline_reached:
+                return None
+            return self._outcomes[tx_id]
+
+    def forget_outcomes_before(self, tx_id: int) -> None:
+        """Prune the outcome map (old entries are never consulted again)."""
+        with self._outcome_condition:
+            for key in [k for k in self._outcomes if k < tx_id]:
+                del self._outcomes[key]

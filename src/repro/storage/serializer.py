@@ -1,0 +1,205 @@
+"""Typed binary serializer for persistent object state.
+
+Object state is stored as a dictionary of attribute name to value.  Rather
+than pickling (opaque, version-fragile, and unsafe to load from untrusted
+files), values are encoded in a small self-describing tagged binary format.
+
+Supported value types: ``None``, ``bool``, ``int`` (arbitrary precision),
+``float``, ``str``, ``bytes``, ``list``, ``tuple``, ``dict`` (string or
+scalar keys), :class:`~repro.oodb.oid.OID`, and
+:class:`~repro.oodb.oid.ObjectRef` (swizzled persistent pointers).
+
+Wire format: each value is one tag byte followed by a type-specific payload.
+Variable-length payloads carry a 4-byte big-endian unsigned length prefix.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.oodb.oid import OID, ObjectRef
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_LIST = b"l"
+_TAG_TUPLE = b"t"
+_TAG_DICT = b"d"
+_TAG_OID = b"o"
+_TAG_REF = b"r"
+
+_LEN = struct.Struct(">I")
+_DOUBLE = struct.Struct(">d")
+
+#: Container nesting deeper than this is rejected rather than risking a
+#: RecursionError half way through an encode.
+MAX_DEPTH = 64
+
+
+def serialize(value: Any) -> bytes:
+    """Encode ``value`` into the tagged binary format.
+
+    Raises:
+        SerializationError: for unsupported types, cyclic containers (which
+            exceed :data:`MAX_DEPTH`), or non-serializable dict keys.
+    """
+    out = bytearray()
+    _encode(value, out, depth=0)
+    return bytes(out)
+
+
+def deserialize(data: bytes) -> Any:
+    """Decode one value previously produced by :func:`serialize`.
+
+    Raises:
+        SerializationError: if the byte string is truncated, has trailing
+            garbage, or contains an unknown tag.
+    """
+    value, offset = _decode(data, 0)
+    if offset != len(data):
+        raise SerializationError(
+            f"trailing bytes after value: {len(data) - offset} unused"
+        )
+    return value
+
+
+def _encode(value: Any, out: bytearray, depth: int) -> None:
+    if depth > MAX_DEPTH:
+        raise SerializationError("value nesting exceeds MAX_DEPTH (cycle?)")
+    # bool must be tested before int: bool is a subclass of int.
+    if value is None:
+        out += _TAG_NONE
+    elif value is True:
+        out += _TAG_TRUE
+    elif value is False:
+        out += _TAG_FALSE
+    elif type(value) is int:
+        payload = _encode_int(value)
+        out += _TAG_INT
+        out += _LEN.pack(len(payload))
+        out += payload
+    elif type(value) is float:
+        out += _TAG_FLOAT
+        out += _DOUBLE.pack(value)
+    elif type(value) is str:
+        payload = value.encode("utf-8")
+        out += _TAG_STR
+        out += _LEN.pack(len(payload))
+        out += payload
+    elif type(value) is bytes:
+        out += _TAG_BYTES
+        out += _LEN.pack(len(value))
+        out += value
+    elif type(value) is list:
+        out += _TAG_LIST
+        out += _LEN.pack(len(value))
+        for item in value:
+            _encode(item, out, depth + 1)
+    elif type(value) is tuple:
+        out += _TAG_TUPLE
+        out += _LEN.pack(len(value))
+        for item in value:
+            _encode(item, out, depth + 1)
+    elif type(value) is dict:
+        out += _TAG_DICT
+        out += _LEN.pack(len(value))
+        for key, item in value.items():
+            _encode(key, out, depth + 1)
+            _encode(item, out, depth + 1)
+    elif type(value) is OID:
+        out += _TAG_OID
+        out += _LEN.pack(value.value)
+    elif type(value) is ObjectRef:
+        name = value.class_name.encode("utf-8")
+        out += _TAG_REF
+        out += _LEN.pack(value.oid.value)
+        out += _LEN.pack(len(name))
+        out += name
+    else:
+        raise SerializationError(
+            f"cannot serialize value of type {type(value).__name__!r}"
+        )
+
+
+def _encode_int(value: int) -> bytes:
+    # Sign-magnitude: leading sign byte then big-endian magnitude.
+    sign = b"-" if value < 0 else b"+"
+    magnitude = abs(value)
+    length = max(1, (magnitude.bit_length() + 7) // 8)
+    return sign + magnitude.to_bytes(length, "big")
+
+
+def _read(data: bytes, offset: int, count: int) -> bytes:
+    end = offset + count
+    if end > len(data):
+        raise SerializationError("truncated value")
+    return data[offset:end]
+
+
+def _decode(data: bytes, offset: int) -> tuple[Any, int]:
+    tag = _read(data, offset, 1)
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        (length,) = _LEN.unpack(_read(data, offset, 4))
+        offset += 4
+        payload = _read(data, offset, length)
+        offset += length
+        if length < 2 or payload[0:1] not in (b"+", b"-"):
+            raise SerializationError("malformed integer payload")
+        magnitude = int.from_bytes(payload[1:], "big")
+        return (-magnitude if payload[0:1] == b"-" else magnitude), offset
+    if tag == _TAG_FLOAT:
+        (value,) = _DOUBLE.unpack(_read(data, offset, 8))
+        return value, offset + 8
+    if tag == _TAG_STR:
+        (length,) = _LEN.unpack(_read(data, offset, 4))
+        offset += 4
+        payload = _read(data, offset, length)
+        try:
+            return payload.decode("utf-8"), offset + length
+        except UnicodeDecodeError as exc:
+            raise SerializationError(f"invalid UTF-8 in string: {exc}") from exc
+    if tag == _TAG_BYTES:
+        (length,) = _LEN.unpack(_read(data, offset, 4))
+        offset += 4
+        return bytes(_read(data, offset, length)), offset + length
+    if tag in (_TAG_LIST, _TAG_TUPLE):
+        (count,) = _LEN.unpack(_read(data, offset, 4))
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode(data, offset)
+            items.append(item)
+        return (tuple(items) if tag == _TAG_TUPLE else items), offset
+    if tag == _TAG_DICT:
+        (count,) = _LEN.unpack(_read(data, offset, 4))
+        offset += 4
+        result: dict[Any, Any] = {}
+        for _ in range(count):
+            key, offset = _decode(data, offset)
+            value, offset = _decode(data, offset)
+            result[key] = value
+        return result, offset
+    if tag == _TAG_OID:
+        (value,) = _LEN.unpack(_read(data, offset, 4))
+        return OID(value), offset + 4
+    if tag == _TAG_REF:
+        (oid_value,) = _LEN.unpack(_read(data, offset, 4))
+        offset += 4
+        (length,) = _LEN.unpack(_read(data, offset, 4))
+        offset += 4
+        name = _read(data, offset, length).decode("utf-8")
+        return ObjectRef(OID(oid_value), name), offset + length
+    raise SerializationError(f"unknown tag byte {tag!r}")

@@ -1,0 +1,202 @@
+"""Write-ahead log.
+
+The storage manager logs logical, OID-level operations: object insert,
+update (with before and after images), and delete, bracketed by transaction
+begin/commit/abort records.  Recovery is ARIES-lite over logical records:
+
+1. *Analysis*: scan the log to classify transactions as winners (commit
+   record present) or losers.
+2. *Redo*: replay every operation of winning transactions in log order.
+3. *Undo*: nothing to do — losers' operations are simply not replayed,
+   because redo starts from the last checkpoint image of the database and
+   only applies winners.  (This is the classic shadow-ish simplification
+   that stays correct because data pages are only flushed at commit or
+   checkpoint, both of which force the log first.)
+
+On disk each record is::
+
+    u32 payload_length | u32 crc32(payload) | payload
+
+where the payload is the library's own tagged serialization of the record
+fields.  A torn tail (partial final record after a crash) is detected by the
+length/CRC check and discarded.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.errors import WALError
+from repro.storage.serializer import deserialize, serialize
+
+_FRAME = struct.Struct(">II")
+
+
+class LogRecordType(enum.Enum):
+    BEGIN = "begin"
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+    COMMIT = "commit"
+    ABORT = "abort"
+    CHECKPOINT = "checkpoint"
+
+
+@dataclass
+class LogRecord:
+    """One logical log record.
+
+    ``oid_value`` and the image fields are meaningful only for the data
+    operations (INSERT/UPDATE/DELETE).  ``payload`` carries checkpoint
+    metadata for CHECKPOINT records.
+    """
+
+    type: LogRecordType
+    tx_id: int
+    lsn: int = 0
+    oid_value: int = 0
+    before: Optional[bytes] = None
+    after: Optional[bytes] = None
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        return serialize({
+            "t": self.type.value,
+            "x": self.tx_id,
+            "l": self.lsn,
+            "o": self.oid_value,
+            "b": self.before,
+            "a": self.after,
+            "p": self.payload,
+        })
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LogRecord":
+        fields = deserialize(data)
+        return cls(
+            type=LogRecordType(fields["t"]),
+            tx_id=fields["x"],
+            lsn=fields["l"],
+            oid_value=fields["o"],
+            before=fields["b"],
+            after=fields["a"],
+            payload=fields["p"],
+        )
+
+
+class WriteAheadLog:
+    """Append-only log file with group flush.
+
+    ``append`` buffers in memory and assigns the LSN; ``flush`` forces the
+    buffer (and the OS cache) to disk.  ``flush_to(lsn)`` is the WAL-rule
+    hook used by the buffer pool before writing a data page.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+        self._lock = threading.RLock()
+        self._buffer: list[bytes] = []
+        self._next_lsn = 1
+        self._flushed_lsn = 0
+        self._bootstrap_lsns()
+
+    def _bootstrap_lsns(self) -> None:
+        """Continue LSN numbering after the existing log contents."""
+        last = 0
+        for record in self.iter_records():
+            last = record.lsn
+        self._next_lsn = last + 1
+        self._flushed_lsn = last
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, record: LogRecord) -> int:
+        """Assign the next LSN to ``record``, buffer it, return the LSN."""
+        with self._lock:
+            record.lsn = self._next_lsn
+            self._next_lsn += 1
+            payload = record.encode()
+            frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+            self._buffer.append(frame)
+            return record.lsn
+
+    def flush(self) -> None:
+        """Force all buffered records to stable storage."""
+        with self._lock:
+            if self._buffer:
+                os.write(self._fd, b"".join(self._buffer))
+                self._buffer.clear()
+            os.fsync(self._fd)
+            self._flushed_lsn = self._next_lsn - 1
+
+    def flush_to(self, lsn: int) -> None:
+        """Ensure every record up to ``lsn`` is durable (WAL rule)."""
+        with self._lock:
+            if lsn > self._flushed_lsn:
+                self.flush()
+
+    @property
+    def flushed_lsn(self) -> int:
+        with self._lock:
+            return self._flushed_lsn
+
+    @property
+    def next_lsn(self) -> int:
+        with self._lock:
+            return self._next_lsn
+
+    # -- reading ---------------------------------------------------------------
+
+    def iter_records(self) -> Iterator[LogRecord]:
+        """Scan durable records from the start of the log.
+
+        A torn final record (crash mid-write) terminates the scan silently;
+        corruption anywhere else raises :class:`WALError`.
+        """
+        with self._lock:
+            size = os.fstat(self._fd).st_size
+            data = os.pread(self._fd, size, 0)
+        offset = 0
+        end = len(data)
+        while offset < end:
+            if offset + _FRAME.size > end:
+                return  # torn frame header at tail
+            length, crc = _FRAME.unpack_from(data, offset)
+            start = offset + _FRAME.size
+            if start + length > end:
+                return  # torn payload at tail
+            payload = data[start:start + length]
+            if zlib.crc32(payload) != crc:
+                if start + length == end:
+                    return  # torn tail: final record corrupt
+                raise WALError(f"CRC mismatch at offset {offset}")
+            yield LogRecord.decode(payload)
+            offset = start + length
+
+    # -- maintenance -------------------------------------------------------------
+
+    def truncate(self) -> None:
+        """Erase the log (valid only after a checkpoint made it redundant)."""
+        with self._lock:
+            self.flush()
+            os.ftruncate(self._fd, 0)
+            os.fsync(self._fd)
+            # LSNs keep increasing across truncation so page LSNs stay
+            # monotonic relative to the log.
+            self._flushed_lsn = self._next_lsn - 1
+
+    def size_bytes(self) -> int:
+        with self._lock:
+            return os.fstat(self._fd).st_size
+
+    def close(self) -> None:
+        with self._lock:
+            self.flush()
+            os.close(self._fd)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExecutionConfig, ExecutionMode, ReachDatabase, VirtualClock
+from repro.bench.workloads import Reactor, River
+
+
+@pytest.fixture
+def db(tmp_path):
+    """A synchronous-mode database on a temporary directory."""
+    database = ReachDatabase(directory=str(tmp_path / "db"))
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def threaded_db(tmp_path):
+    """A threaded-mode database (worker pool, async composition)."""
+    config = ExecutionConfig(mode=ExecutionMode.THREADED, worker_threads=4)
+    database = ReachDatabase(directory=str(tmp_path / "tdb"), config=config)
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def plant(db):
+    """The paper's power-plant objects, registered and persisted."""
+    db.register_class(River)
+    db.register_class(Reactor)
+    river = River("Rhein")
+    reactor = Reactor("BlockA")
+    with db.transaction():
+        db.persist(river, "Rhein")
+        db.persist(reactor, "BlockA")
+    return db, river, reactor

@@ -1,0 +1,315 @@
+"""Composers: operator semantics, grouping, lifespan, GC."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algebra import (
+    Closure,
+    Conjunction,
+    Disjunction,
+    EventScope,
+    History,
+    Negation,
+    Sequence,
+)
+from repro.core.composer import Composer
+from repro.core.consumption import ConsumptionPolicy
+from repro.core.events import EventOccurrence, MethodEventSpec
+from repro.errors import EventDefinitionError
+
+A = MethodEventSpec("C", "a")
+B = MethodEventSpec("C", "b")
+X = MethodEventSpec("C", "x")
+
+
+def occ(spec, timestamp, tx=1):
+    return EventOccurrence(
+        spec=spec, category=spec.category(), timestamp=timestamp,
+        tx_ids=frozenset({tx}) if tx is not None else frozenset())
+
+
+class TestSequence:
+    def test_in_order_completes(self):
+        composer = Composer(Sequence(A, B))
+        assert composer.feed(occ(A, 1.0)) == []
+        emissions = composer.feed(occ(B, 2.0))
+        assert len(emissions) == 1
+        composite = emissions[0]
+        assert [c.spec.key() for c in composite.components] == \
+            [A.key(), B.key()]
+        assert composite.timestamp == 2.0
+
+    def test_out_of_order_does_not_complete(self):
+        composer = Composer(Sequence(A, B))
+        assert composer.feed(occ(B, 1.0)) == []
+        assert composer.feed(occ(A, 2.0)) == []
+        assert composer.pending_count() == 1
+
+    def test_same_event_cannot_be_both_parts(self):
+        composer = Composer(Sequence(A, A))
+        assert composer.feed(occ(A, 1.0)) == []
+        assert len(composer.feed(occ(A, 2.0))) == 1
+
+    def test_chronicle_pairs_fifo(self):
+        spec = Sequence(A, B).consumed(ConsumptionPolicy.CHRONICLE)
+        composer = Composer(spec)
+        first = occ(A, 1.0)
+        second = occ(A, 2.0)
+        composer.feed(first)
+        composer.feed(second)
+        one = composer.feed(occ(B, 3.0))
+        two = composer.feed(occ(B, 4.0))
+        assert one[0].components[0] is first
+        assert two[0].components[0] is second
+
+    def test_recent_reuses_newest(self):
+        spec = Sequence(A, B).consumed(ConsumptionPolicy.RECENT)
+        composer = Composer(spec)
+        composer.feed(occ(A, 1.0))
+        newest = occ(A, 2.0)
+        composer.feed(newest)
+        one = composer.feed(occ(B, 3.0))
+        two = composer.feed(occ(B, 4.0))
+        assert one[0].components[0] is newest
+        assert two[0].components[0] is newest
+
+    def test_cumulative_folds_all(self):
+        spec = Sequence(A, B).consumed(ConsumptionPolicy.CUMULATIVE)
+        composer = Composer(spec)
+        composer.feed(occ(A, 1.0))
+        composer.feed(occ(A, 2.0))
+        emissions = composer.feed(occ(B, 3.0))
+        assert len(emissions) == 1
+        assert len(emissions[0].components) == 3  # two A's + terminator
+
+    def test_continuous_emits_one_per_window(self):
+        spec = Sequence(A, B).consumed(ConsumptionPolicy.CONTINUOUS)
+        composer = Composer(spec)
+        composer.feed(occ(A, 1.0))
+        composer.feed(occ(A, 2.0))
+        emissions = composer.feed(occ(B, 3.0))
+        assert len(emissions) == 2
+
+
+class TestConjunction:
+    def test_either_order_completes(self):
+        for first, second in ((A, B), (B, A)):
+            composer = Composer(Conjunction(A, B))
+            composer.feed(occ(first, 1.0))
+            assert len(composer.feed(occ(second, 2.0))) == 1
+
+    def test_single_side_never_completes(self):
+        composer = Composer(Conjunction(A, B))
+        for t in range(5):
+            assert composer.feed(occ(A, float(t))) == []
+
+
+class TestDisjunction:
+    def test_each_side_emits(self):
+        composer = Composer(Disjunction(A, B))
+        assert len(composer.feed(occ(A, 1.0))) == 1
+        assert len(composer.feed(occ(B, 2.0))) == 1
+
+    def test_unrelated_event_ignored(self):
+        composer = Composer(Disjunction(A, B))
+        assert composer.feed(occ(X, 1.0)) == []
+
+
+class TestNegation:
+    def test_absence_detected(self):
+        composer = Composer(Negation(X, A, B))
+        composer.feed(occ(A, 1.0))
+        emissions = composer.feed(occ(B, 2.0))
+        assert len(emissions) == 1
+
+    def test_presence_vetoes(self):
+        composer = Composer(Negation(X, A, B))
+        composer.feed(occ(A, 1.0))
+        composer.feed(occ(X, 1.5))
+        assert composer.feed(occ(B, 2.0)) == []
+
+    def test_subject_before_window_does_not_veto(self):
+        composer = Composer(Negation(X, A, B))
+        composer.feed(occ(X, 0.5))
+        composer.feed(occ(A, 1.0))
+        assert len(composer.feed(occ(B, 2.0))) == 1
+
+    def test_window_restarts_on_new_start(self):
+        composer = Composer(Negation(X, A, B))
+        composer.feed(occ(A, 1.0))
+        composer.feed(occ(X, 1.5))
+        composer.feed(occ(A, 2.0))  # fresh window after the subject
+        assert len(composer.feed(occ(B, 3.0))) == 1
+
+    def test_end_without_window_is_silent(self):
+        composer = Composer(Negation(X, A, B))
+        assert composer.feed(occ(B, 1.0)) == []
+
+
+class TestClosure:
+    def test_accumulates_until_terminator(self):
+        composer = Composer(Closure(A, B))
+        composer.feed(occ(A, 1.0))
+        composer.feed(occ(A, 2.0))
+        emissions = composer.feed(occ(B, 3.0))
+        assert len(emissions) == 1
+        assert len(emissions[0].components) == 3
+
+    def test_signalled_once_not_per_occurrence(self):
+        composer = Composer(Closure(A, B))
+        for t in range(10):
+            composer.feed(occ(A, float(t)))
+        assert len(composer.feed(occ(B, 99.0))) == 1
+        # Accumulation restarts after the signal.
+        assert composer.feed(occ(B, 100.0)) == []
+
+    def test_empty_closure_does_not_signal(self):
+        composer = Composer(Closure(A, B))
+        assert composer.feed(occ(B, 1.0)) == []
+
+
+class TestHistory:
+    def test_fires_on_nth_within_window(self):
+        composer = Composer(History(A, count=3, window=10.0))
+        composer.feed(occ(A, 1.0))
+        composer.feed(occ(A, 2.0))
+        emissions = composer.feed(occ(A, 3.0))
+        assert len(emissions) == 1
+        assert len(emissions[0].components) == 3
+
+    def test_window_slides(self):
+        composer = Composer(History(A, count=3, window=5.0))
+        composer.feed(occ(A, 0.0))
+        composer.feed(occ(A, 1.0))
+        # Third occurrence outside the window of the first: no fire yet.
+        assert composer.feed(occ(A, 6.5)) == []
+
+    def test_consumed_after_firing_by_default(self):
+        composer = Composer(History(A, count=2, window=100.0))
+        composer.feed(occ(A, 1.0))
+        assert len(composer.feed(occ(A, 2.0))) == 1
+        assert composer.feed(occ(A, 3.0)) == []  # needs two fresh ones
+        assert len(composer.feed(occ(A, 4.0))) == 1
+
+
+class TestGrouping:
+    """Section 3.2: single-transaction composites must not mix
+    transactions."""
+
+    def test_single_tx_groups_do_not_mix(self):
+        composer = Composer(Sequence(A, B))
+        composer.feed(occ(A, 1.0, tx=1))
+        assert composer.feed(occ(B, 2.0, tx=2)) == []
+        assert len(composer.feed(occ(B, 3.0, tx=1))) == 1
+
+    def test_multi_tx_scope_mixes_transactions(self):
+        spec = Sequence(A, B).scoped(EventScope.MULTI_TX).within(100)
+        composer = Composer(spec)
+        composer.feed(occ(A, 1.0, tx=1))
+        emissions = composer.feed(occ(B, 2.0, tx=2))
+        assert len(emissions) == 1
+        assert emissions[0].tx_ids == {1, 2}
+
+    def test_graph_instance_per_transaction(self):
+        composer = Composer(Sequence(A, B))
+        composer.feed(occ(A, 1.0, tx=1))
+        composer.feed(occ(A, 1.0, tx=2))
+        composer.feed(occ(A, 1.0, tx=3))
+        assert composer.graph_instance_count() == 3
+
+
+class TestLifespan:
+    """Section 3.3: lifespans bound semi-composed events."""
+
+    def test_transaction_end_discards_graph(self):
+        composer = Composer(Sequence(A, B))
+        composer.feed(occ(A, 1.0, tx=7))
+        assert composer.pending_count() == 1
+        removed = composer.on_transaction_end(7)
+        assert removed == 1
+        assert composer.pending_count() == 0
+        # The late terminator finds nothing to pair with.
+        assert composer.feed(occ(B, 2.0, tx=7)) == []
+
+    def test_gc_expires_stale_partials(self):
+        spec = Sequence(A, B).scoped(EventScope.MULTI_TX).within(10)
+        composer = Composer(spec)
+        composer.feed(occ(A, 0.0, tx=1))
+        composer.feed(occ(A, 95.0, tx=2))
+        removed = composer.gc(now=100.0)
+        assert removed == 1
+        assert composer.pending_count() == 1
+        # Only the fresh A can still compose.
+        emissions = composer.feed(occ(B, 101.0, tx=3))
+        assert len(emissions) == 1
+        assert 2 in emissions[0].tx_ids
+
+    def test_gc_without_validity_is_noop(self):
+        composer = Composer(Sequence(A, B))
+        composer.feed(occ(A, 0.0, tx=1))
+        assert composer.gc(now=1e9) == 0
+
+    def test_multi_tx_requires_validity_at_construction(self):
+        from repro.errors import IllegalLifespanError
+        with pytest.raises(IllegalLifespanError):
+            Composer(Sequence(A, B).scoped(EventScope.MULTI_TX))
+
+
+class TestNested:
+    def test_nested_expression(self):
+        spec = Sequence(Conjunction(A, B), X)
+        composer = Composer(spec)
+        composer.feed(occ(B, 1.0))
+        composer.feed(occ(A, 2.0))
+        emissions = composer.feed(occ(X, 3.0))
+        assert len(emissions) == 1
+        primitives = emissions[0].all_primitive_components()
+        assert {p.spec.key() for p in primitives} == \
+            {A.key(), B.key(), X.key()}
+
+    def test_primitive_spec_rejected(self):
+        with pytest.raises(EventDefinitionError):
+            Composer(A)
+
+
+_events = st.lists(st.sampled_from(["a", "b"]), min_size=0, max_size=30)
+
+
+class TestSequenceOracle:
+    @given(_events)
+    @settings(max_examples=100)
+    def test_chronicle_sequence_matches_counting_oracle(self, stream):
+        """Under the chronicle policy, Seq(A,B) over a stream emits
+        min-style FIFO pairings: each B consumes the oldest unconsumed
+        earlier A.  The number of emissions equals the number of B's that
+        find an unmatched A before them."""
+        spec = Sequence(A, B).consumed(ConsumptionPolicy.CHRONICLE)
+        composer = Composer(spec)
+        emitted = 0
+        unmatched_a = 0
+        expected = 0
+        for index, kind in enumerate(stream):
+            timestamp = float(index)
+            if kind == "a":
+                composer.feed(occ(A, timestamp))
+                unmatched_a += 1
+            else:
+                emissions = composer.feed(occ(B, timestamp))
+                emitted += len(emissions)
+                if unmatched_a > 0:
+                    unmatched_a -= 1
+                    expected += 1
+        assert emitted == expected
+
+    @given(_events)
+    @settings(max_examples=100)
+    def test_components_are_ordered_for_sequences(self, stream):
+        spec = Sequence(A, B).consumed(ConsumptionPolicy.CHRONICLE)
+        composer = Composer(spec)
+        for index, kind in enumerate(stream):
+            spec_leaf = A if kind == "a" else B
+            for emission in composer.feed(occ(spec_leaf, float(index))):
+                first, second = emission.components
+                assert first.seq < second.seq
+                assert first.timestamp <= second.timestamp

@@ -1,0 +1,249 @@
+"""Property-based tests: composer invariants over random event streams.
+
+The composers are the trickiest machinery in the system; these tests
+drive random streams through random expressions and check invariants
+that must hold regardless of policy, scope, or structure:
+
+* every composite's components come from the stream, are never reused
+  within one composite, and satisfy the operator's ordering constraints;
+* single-transaction composites never mix transactions;
+* simple count oracles hold for disjunction and chronicle conjunction;
+* feeding is insensitive to interleaved irrelevant events;
+* pending state never exceeds what the stream could have buffered.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algebra import (
+    Closure,
+    Conjunction,
+    Disjunction,
+    EventScope,
+    History,
+    Negation,
+    Sequence,
+)
+from repro.core.composer import Composer
+from repro.core.consumption import ConsumptionPolicy
+from repro.core.events import EventOccurrence, MethodEventSpec
+
+A = MethodEventSpec("P", "a")
+B = MethodEventSpec("P", "b")
+C = MethodEventSpec("P", "c")
+SPECS = {"a": A, "b": B, "c": C}
+
+
+def occ(kind, timestamp, tx=1):
+    spec = SPECS[kind]
+    return EventOccurrence(spec, spec.category(), timestamp,
+                           tx_ids=frozenset({tx}))
+
+
+_streams = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c"]),
+              st.integers(min_value=1, max_value=3)),
+    min_size=0, max_size=40)
+
+_policies = st.sampled_from(list(ConsumptionPolicy))
+
+_binary_ops = st.sampled_from([Sequence, Conjunction, Disjunction])
+
+
+def _feed_stream(composer, stream):
+    emissions = []
+    occurrences = []
+    for index, (kind, tx) in enumerate(stream):
+        occurrence = occ(kind, float(index), tx=tx)
+        occurrences.append(occurrence)
+        emissions.extend(composer.feed(occurrence))
+    return occurrences, emissions
+
+
+class TestStructuralInvariants:
+    @given(_streams, _policies, _binary_ops)
+    @settings(max_examples=150)
+    def test_components_come_from_stream_without_reuse(self, stream,
+                                                       policy, op):
+        spec = op(A, B).consumed(policy)
+        composer = Composer(spec)
+        occurrences, emissions = _feed_stream(composer, stream)
+        fed_seqs = {o.seq for o in occurrences}
+        for emission in emissions:
+            primitives = emission.all_primitive_components()
+            seqs = [p.seq for p in primitives]
+            # All components were fed, and no component twice per composite.
+            assert set(seqs) <= fed_seqs
+            assert len(seqs) == len(set(seqs))
+
+    @given(_streams, _policies)
+    @settings(max_examples=150)
+    def test_sequence_components_are_ordered(self, stream, policy):
+        composer = Composer(Sequence(A, B).consumed(policy))
+        __, emissions = _feed_stream(composer, stream)
+        for emission in emissions:
+            *initiators, terminator = emission.components
+            for initiator in initiators:
+                assert initiator.seq < terminator.seq
+
+    @given(_streams, _policies, _binary_ops)
+    @settings(max_examples=150)
+    def test_single_tx_composites_never_mix_transactions(self, stream,
+                                                         policy, op):
+        spec = op(A, B).consumed(policy)
+        composer = Composer(spec)
+        __, emissions = _feed_stream(composer, stream)
+        for emission in emissions:
+            assert len(emission.tx_ids) == 1
+
+    @given(_streams, st.sampled_from([Conjunction, Disjunction]))
+    @settings(max_examples=100)
+    def test_multi_tx_variant_emits_at_least_as_often(self, stream, op):
+        """Widening the scope merges groups: under the chronicle policy
+        a conjunction emits min(#A, #B) per group, and min is
+        superadditive over a partition, so the merged group can only
+        pair more.  (Continuous/cumulative consume instances eagerly or
+        fold them, so their counts legitimately shrink when groups
+        merge — those semantics are pinned by the count oracles below.)"""
+        policy = ConsumptionPolicy.CHRONICLE
+        single = Composer(op(A, B).consumed(policy))
+        multi = Composer(op(A, B).consumed(policy)
+                         .scoped(EventScope.MULTI_TX).within(1e9))
+        single_emissions = 0
+        multi_emissions = 0
+        for index, (kind, tx) in enumerate(stream):
+            single_emissions += len(single.feed(occ(kind, float(index),
+                                                    tx=tx)))
+            multi_emissions += len(multi.feed(occ(kind, float(index),
+                                                  tx=tx)))
+        assert multi_emissions >= single_emissions
+
+    @given(_streams, _policies)
+    @settings(max_examples=100)
+    def test_pending_bounded_by_stream_length(self, stream, policy):
+        composer = Composer(Conjunction(A, B).consumed(policy))
+        _feed_stream(composer, stream)
+        assert composer.pending_count() <= len(stream)
+
+
+class TestCountOracles:
+    @given(_streams)
+    @settings(max_examples=150)
+    def test_disjunction_counts_every_match(self, stream):
+        composer = Composer(Disjunction(A, B))
+        __, emissions = _feed_stream(composer, stream)
+        expected = sum(1 for kind, __ in stream if kind in ("a", "b"))
+        assert len(emissions) == expected
+
+    @given(_streams)
+    @settings(max_examples=150)
+    def test_chronicle_conjunction_matches_min_count_per_tx(self, stream):
+        composer = Composer(Conjunction(A, B)
+                            .consumed(ConsumptionPolicy.CHRONICLE))
+        __, emissions = _feed_stream(composer, stream)
+        expected = 0
+        for tx in {t for __, t in stream}:
+            a_count = sum(1 for k, t in stream if k == "a" and t == tx)
+            b_count = sum(1 for k, t in stream if k == "b" and t == tx)
+            expected += min(a_count, b_count)
+        assert len(emissions) == expected
+
+    @given(_streams)
+    @settings(max_examples=150)
+    def test_closure_emission_count_equals_terminators_with_content(
+            self, stream):
+        composer = Composer(Closure(A, B)
+                            .consumed(ConsumptionPolicy.CHRONICLE))
+        __, emissions = _feed_stream(composer, stream)
+        # Oracle per transaction group: count b's preceded (since the
+        # last emitting b) by at least one a.
+        expected = 0
+        pending = {}
+        for kind, tx in stream:
+            if kind == "a":
+                pending[tx] = pending.get(tx, 0) + 1
+            elif kind == "b" and pending.get(tx, 0) > 0:
+                expected += 1
+                pending[tx] = 0
+        assert len(emissions) == expected
+
+    @given(_streams)
+    @settings(max_examples=100)
+    def test_irrelevant_events_change_nothing(self, stream):
+        """Interleaving 'c' events must not affect Seq(A, B)."""
+        composer_with = Composer(Sequence(A, B))
+        composer_without = Composer(Sequence(A, B))
+        with_count = 0
+        without_count = 0
+        for index, (kind, tx) in enumerate(stream):
+            with_count += len(composer_with.feed(
+                occ(kind, float(index), tx=tx)))
+            if kind != "c":
+                without_count += len(composer_without.feed(
+                    occ(kind, float(index), tx=tx)))
+        assert with_count == without_count
+
+
+class TestNegationProperties:
+    @given(_streams)
+    @settings(max_examples=150)
+    def test_negation_matches_interval_oracle(self, stream):
+        """Neg(C, A, B): fires at each b whose open a-window saw no c."""
+        composer = Composer(Negation(C, A, B))
+        __, emissions = _feed_stream(composer, stream)
+        expected = 0
+        window_open: dict[int, bool] = {}
+        vetoed: dict[int, bool] = {}
+        for kind, tx in stream:
+            if kind == "c" and window_open.get(tx):
+                vetoed[tx] = True
+            elif kind == "b":
+                if window_open.get(tx) and not vetoed.get(tx):
+                    expected += 1
+                window_open[tx] = False
+                vetoed[tx] = False
+            if kind == "a":
+                window_open[tx] = True
+                vetoed[tx] = False
+        assert len(emissions) == expected
+
+
+class TestHistoryProperties:
+    @given(_streams, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=100)
+    def test_history_components_fit_in_window(self, stream, count):
+        window = 5.0
+        composer = Composer(History(A, count=count, window=window))
+        __, emissions = _feed_stream(composer, stream)
+        for emission in emissions:
+            assert len(emission.components) == count
+            stamps = [c.timestamp for c in emission.components]
+            assert max(stamps) - min(stamps) <= window
+            assert stamps == sorted(stamps)
+
+
+class TestLifespanProperties:
+    @given(_streams)
+    @settings(max_examples=100)
+    def test_transaction_end_empties_that_group_only(self, stream):
+        composer = Composer(Sequence(A, B))
+        for index, (kind, tx) in enumerate(stream):
+            composer.feed(occ(kind, float(index), tx=tx))
+        transactions = {t for __, t in stream}
+        for tx in transactions:
+            composer.on_transaction_end(tx)
+        assert composer.pending_count() == 0
+        assert composer.graph_instance_count() == 0
+
+    @given(_streams)
+    @settings(max_examples=100)
+    def test_gc_at_infinity_clears_everything(self, stream):
+        composer = Composer(Sequence(A, B)
+                            .scoped(EventScope.MULTI_TX).within(10.0))
+        for index, (kind, tx) in enumerate(stream):
+            composer.feed(occ(kind, float(index), tx=tx))
+        composer.gc(now=1e9)
+        assert composer.pending_count() == 0

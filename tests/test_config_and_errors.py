@@ -1,0 +1,56 @@
+"""Configuration validation and the exception hierarchy."""
+
+import pytest
+
+import repro.errors as errors
+from repro import ExecutionConfig, ExecutionMode, TieBreakPolicy
+
+
+class TestExecutionConfig:
+    def test_defaults_are_synchronous_oldest_first(self):
+        config = ExecutionConfig()
+        assert config.mode is ExecutionMode.SYNCHRONOUS
+        assert config.tie_break is TieBreakPolicy.OLDEST_FIRST
+        assert not config.threaded
+        assert not config.parallel_rules
+
+    def test_threaded_property(self):
+        assert ExecutionConfig(mode=ExecutionMode.THREADED).threaded
+
+    @pytest.mark.parametrize("kwargs", [
+        {"worker_threads": 0},
+        {"max_rule_recursion": 0},
+        {"gc_interval": 0},
+        {"gc_interval": -1.0},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionConfig(**kwargs)
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_reach_error(self):
+        exception_types = [
+            obj for name, obj in vars(errors).items()
+            if isinstance(obj, type) and issubclass(obj, Exception)
+        ]
+        assert len(exception_types) > 20
+        for exc_type in exception_types:
+            assert issubclass(exc_type, errors.ReachError), exc_type
+
+    def test_family_relationships(self):
+        assert issubclass(errors.PageFullError, errors.StorageError)
+        assert issubclass(errors.DeadlockError, errors.TransactionError)
+        assert issubclass(errors.IllegalLifespanError, errors.EventError)
+        assert issubclass(errors.UnsupportedCouplingError, errors.RuleError)
+        assert issubclass(errors.RuleParseError, errors.RuleDefinitionError)
+        assert issubclass(errors.ClosedSystemError,
+                          errors.LayeredArchitectureError)
+        assert issubclass(errors.LicenseError, errors.TransactionError)
+
+    def test_one_except_clause_catches_the_library(self):
+        try:
+            raise errors.PageFullError("full")
+        except errors.ReachError:
+            caught = True
+        assert caught

@@ -1,0 +1,162 @@
+"""Consumption policies: SNOOP context semantics on buffers."""
+
+from dataclasses import dataclass, field
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consumption import (
+    ConsumptionPolicy,
+    OccurrenceBuffer,
+    REACH_MINIMUM,
+)
+
+_seq = itertools.count(1)
+
+
+@dataclass
+class Occ:
+    timestamp: float
+    seq: int = field(default_factory=lambda: next(_seq))
+
+
+class TestRecent:
+    """'The most recent occurrence of a primitive event is used.'"""
+
+    def test_only_newest_is_kept(self):
+        buffer = OccurrenceBuffer(ConsumptionPolicy.RECENT)
+        buffer.insert(Occ(1.0))
+        buffer.insert(Occ(2.0))
+        assert len(buffer) == 1
+        assert buffer.peek_all()[0].timestamp == 2.0
+
+    def test_selection_reuses_the_instance(self):
+        buffer = OccurrenceBuffer(ConsumptionPolicy.RECENT)
+        buffer.insert(Occ(1.0))
+        first = buffer.select()
+        second = buffer.select()
+        assert first == second
+        assert len(buffer) == 1
+
+
+class TestChronicle:
+    """'Primitive events are consumed in chronological order.'"""
+
+    def test_fifo_consumption(self):
+        buffer = OccurrenceBuffer(ConsumptionPolicy.CHRONICLE)
+        first, second = Occ(1.0), Occ(2.0)
+        buffer.insert(first)
+        buffer.insert(second)
+        assert buffer.select() == [[first]]
+        assert buffer.select() == [[second]]
+        assert buffer.select() == []
+
+    def test_each_instance_used_once(self):
+        buffer = OccurrenceBuffer(ConsumptionPolicy.CHRONICLE)
+        buffer.insert(Occ(1.0))
+        buffer.select()
+        assert len(buffer) == 0
+
+
+class TestContinuous:
+    """'Each occurrence opens a new window'; one terminator completes all."""
+
+    def test_every_buffered_occurrence_composes_separately(self):
+        buffer = OccurrenceBuffer(ConsumptionPolicy.CONTINUOUS)
+        occurrences = [Occ(float(i)) for i in range(3)]
+        for occ in occurrences:
+            buffer.insert(occ)
+        groups = buffer.select()
+        assert groups == [[occ] for occ in occurrences]
+        assert len(buffer) == 0
+
+
+class TestCumulative:
+    """'All occurrences are used up to the point where the composite event
+    is raised.'"""
+
+    def test_all_fold_into_one_group(self):
+        buffer = OccurrenceBuffer(ConsumptionPolicy.CUMULATIVE)
+        occurrences = [Occ(float(i)) for i in range(4)]
+        for occ in occurrences:
+            buffer.insert(occ)
+        groups = buffer.select()
+        assert groups == [occurrences]
+        assert len(buffer) == 0
+
+
+class TestEligibility:
+    def test_predicate_limits_candidates(self):
+        buffer = OccurrenceBuffer(ConsumptionPolicy.CHRONICLE)
+        early, late = Occ(1.0), Occ(9.0)
+        buffer.insert(early)
+        buffer.insert(late)
+        groups = buffer.select(eligible=lambda occ: occ.timestamp > 5)
+        assert groups == [[late]]
+        # The ineligible early occurrence stays buffered.
+        assert buffer.peek_all() == [early]
+
+    def test_no_eligible_candidates(self):
+        buffer = OccurrenceBuffer(ConsumptionPolicy.CUMULATIVE)
+        buffer.insert(Occ(1.0))
+        assert buffer.select(eligible=lambda occ: False) == []
+        assert len(buffer) == 1
+
+
+class TestLifespanHooks:
+    def test_discard_older_than(self):
+        buffer = OccurrenceBuffer(ConsumptionPolicy.CHRONICLE)
+        buffer.insert(Occ(1.0))
+        buffer.insert(Occ(5.0))
+        removed = buffer.discard_older_than(3.0)
+        assert removed == 1
+        assert buffer.peek_all()[0].timestamp == 5.0
+
+    def test_clear(self):
+        buffer = OccurrenceBuffer(ConsumptionPolicy.CUMULATIVE)
+        buffer.insert(Occ(1.0))
+        buffer.insert(Occ(2.0))
+        assert buffer.clear() == 2
+        assert len(buffer) == 0
+
+
+class TestMinimumSupport:
+    def test_reach_minimum_policies(self):
+        """Section 3.4: 'a system must support recent and chronological'."""
+        assert ConsumptionPolicy.RECENT in REACH_MINIMUM
+        assert ConsumptionPolicy.CHRONICLE in REACH_MINIMUM
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=100,
+                              allow_nan=False), min_size=1, max_size=20),
+           st.sampled_from(list(ConsumptionPolicy)))
+    @settings(max_examples=100)
+    def test_selection_never_invents_occurrences(self, stamps, policy):
+        buffer = OccurrenceBuffer(policy)
+        inserted = []
+        for stamp in stamps:
+            occ = Occ(stamp)
+            inserted.append(occ)
+            buffer.insert(occ)
+        for group in buffer.select():
+            for occ in group:
+                assert occ in inserted
+
+    @given(st.lists(st.floats(min_value=0, max_value=100,
+                              allow_nan=False), min_size=2, max_size=20))
+    @settings(max_examples=50)
+    def test_chronicle_consumes_in_insertion_order(self, stamps):
+        buffer = OccurrenceBuffer(ConsumptionPolicy.CHRONICLE)
+        inserted = [Occ(stamp) for stamp in stamps]
+        for occ in inserted:
+            buffer.insert(occ)
+        drained = []
+        while True:
+            groups = buffer.select()
+            if not groups:
+                break
+            drained.extend(groups[0])
+        assert drained == inserted

@@ -1,0 +1,159 @@
+"""Table 1: the complete coupling-mode x event-category support matrix."""
+
+import pytest
+
+from repro.core.coupling import (
+    SUPPORT_MATRIX,
+    CouplingMode,
+    cell_note,
+    check_supported,
+    format_table1,
+    is_supported,
+    supported_modes,
+)
+from repro.core.events import EventCategory
+from repro.errors import UnsupportedCouplingError
+
+#: Table 1 of the paper, cell by cell.
+PAPER_TABLE_1 = {
+    # (mode, category): supported
+    (CouplingMode.IMMEDIATE, EventCategory.SINGLE_METHOD): True,
+    (CouplingMode.IMMEDIATE, EventCategory.PURELY_TEMPORAL): False,
+    (CouplingMode.IMMEDIATE, EventCategory.COMPOSITE_SINGLE_TX): False,
+    (CouplingMode.IMMEDIATE, EventCategory.COMPOSITE_MULTI_TX): False,
+    (CouplingMode.DEFERRED, EventCategory.SINGLE_METHOD): True,
+    (CouplingMode.DEFERRED, EventCategory.PURELY_TEMPORAL): False,
+    (CouplingMode.DEFERRED, EventCategory.COMPOSITE_SINGLE_TX): True,
+    (CouplingMode.DEFERRED, EventCategory.COMPOSITE_MULTI_TX): False,
+    (CouplingMode.DETACHED, EventCategory.SINGLE_METHOD): True,
+    (CouplingMode.DETACHED, EventCategory.PURELY_TEMPORAL): True,
+    (CouplingMode.DETACHED, EventCategory.COMPOSITE_SINGLE_TX): True,
+    (CouplingMode.DETACHED, EventCategory.COMPOSITE_MULTI_TX): True,
+    (CouplingMode.PARALLEL_CAUSALLY_DEPENDENT,
+     EventCategory.SINGLE_METHOD): True,
+    (CouplingMode.PARALLEL_CAUSALLY_DEPENDENT,
+     EventCategory.PURELY_TEMPORAL): False,
+    (CouplingMode.PARALLEL_CAUSALLY_DEPENDENT,
+     EventCategory.COMPOSITE_SINGLE_TX): True,
+    (CouplingMode.PARALLEL_CAUSALLY_DEPENDENT,
+     EventCategory.COMPOSITE_MULTI_TX): True,
+    (CouplingMode.SEQUENTIAL_CAUSALLY_DEPENDENT,
+     EventCategory.SINGLE_METHOD): True,
+    (CouplingMode.SEQUENTIAL_CAUSALLY_DEPENDENT,
+     EventCategory.PURELY_TEMPORAL): False,
+    (CouplingMode.SEQUENTIAL_CAUSALLY_DEPENDENT,
+     EventCategory.COMPOSITE_SINGLE_TX): True,
+    (CouplingMode.SEQUENTIAL_CAUSALLY_DEPENDENT,
+     EventCategory.COMPOSITE_MULTI_TX): True,
+    (CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT,
+     EventCategory.SINGLE_METHOD): True,
+    (CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT,
+     EventCategory.PURELY_TEMPORAL): False,
+    (CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT,
+     EventCategory.COMPOSITE_SINGLE_TX): True,
+    (CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT,
+     EventCategory.COMPOSITE_MULTI_TX): True,
+}
+
+
+class TestMatrixMatchesPaper:
+    def test_matrix_is_complete(self):
+        assert set(SUPPORT_MATRIX) == set(PAPER_TABLE_1)
+
+    @pytest.mark.parametrize("mode", list(CouplingMode))
+    def test_row_matches_paper(self, mode):
+        for category in EventCategory:
+            assert SUPPORT_MATRIX[(mode, category)] == \
+                PAPER_TABLE_1[(mode, category)], (mode, category)
+
+    def test_single_method_supports_every_mode(self):
+        """'Rules triggered by a single-method event can be executed under
+        any coupling mode.'"""
+        assert supported_modes(EventCategory.SINGLE_METHOD) == \
+            list(CouplingMode)
+
+    def test_purely_temporal_only_detached(self):
+        """'Rules triggered by purely temporal events may only be executed
+        in a detached mode.'"""
+        assert supported_modes(EventCategory.PURELY_TEMPORAL) == \
+            [CouplingMode.DETACHED]
+
+    def test_composite_single_tx_excludes_immediate(self):
+        modes = supported_modes(EventCategory.COMPOSITE_SINGLE_TX)
+        assert CouplingMode.IMMEDIATE not in modes
+        assert CouplingMode.DEFERRED in modes
+
+    def test_composite_multi_tx_only_detached_family(self):
+        modes = supported_modes(EventCategory.COMPOSITE_MULTI_TX)
+        assert set(modes) == {
+            CouplingMode.DETACHED,
+            CouplingMode.PARALLEL_CAUSALLY_DEPENDENT,
+            CouplingMode.SEQUENTIAL_CAUSALLY_DEPENDENT,
+            CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT,
+        }
+
+
+class TestEnforcement:
+    def test_check_supported_passes_good_cell(self):
+        check_supported(CouplingMode.IMMEDIATE,
+                        EventCategory.SINGLE_METHOD)
+
+    def test_check_supported_raises_with_paper_reasoning(self):
+        with pytest.raises(UnsupportedCouplingError,
+                           match="negative acknowledgements"):
+            check_supported(CouplingMode.IMMEDIATE,
+                            EventCategory.COMPOSITE_SINGLE_TX)
+        with pytest.raises(UnsupportedCouplingError, match="ambiguity"):
+            check_supported(CouplingMode.IMMEDIATE,
+                            EventCategory.COMPOSITE_MULTI_TX)
+
+    def test_rule_name_included_in_error(self):
+        with pytest.raises(UnsupportedCouplingError, match="my-rule"):
+            check_supported(CouplingMode.DEFERRED,
+                            EventCategory.PURELY_TEMPORAL,
+                            rule_name="my-rule")
+
+
+class TestAnnotations:
+    def test_parenthesised_n_cell(self):
+        note = cell_note(CouplingMode.IMMEDIATE,
+                         EventCategory.COMPOSITE_SINGLE_TX)
+        assert "(N)" in note
+
+    def test_causal_dependency_notes(self):
+        assert "all commit" in cell_note(
+            CouplingMode.PARALLEL_CAUSALLY_DEPENDENT,
+            EventCategory.COMPOSITE_MULTI_TX)
+        assert "all abort" in cell_note(
+            CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT,
+            EventCategory.COMPOSITE_MULTI_TX)
+
+
+class TestRendering:
+    def test_format_contains_all_rows_and_columns(self):
+        table = format_table1()
+        for label in ("Immediate", "Deferred", "Detached", "Par.caus.dep.",
+                      "Seq.caus.dep.", "Exc.caus.dep."):
+            assert label in table
+        for header in ("Single Method", "Purely Temporal",
+                       "Composite 1 TX", "Composite n TXs"):
+            assert header in table
+        assert "(N)" in table
+        assert "Y (all abort)" in table
+
+
+class TestModeProperties:
+    def test_detached_family(self):
+        assert not CouplingMode.IMMEDIATE.is_detached
+        assert not CouplingMode.DEFERRED.is_detached
+        assert CouplingMode.DETACHED.is_detached
+        assert CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT.is_detached
+
+    def test_dependency_direction(self):
+        assert CouplingMode.PARALLEL_CAUSALLY_DEPENDENT \
+            .requires_trigger_commit
+        assert CouplingMode.SEQUENTIAL_CAUSALLY_DEPENDENT \
+            .requires_trigger_commit
+        assert CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT \
+            .requires_trigger_abort
+        assert not CouplingMode.DETACHED.requires_trigger_commit

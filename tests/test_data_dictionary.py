@@ -1,0 +1,131 @@
+"""Data dictionary: types, extents, names, catalog round-trip."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateNameError,
+    ObjectNotFoundError,
+    TypeRegistrationError,
+)
+from repro.oodb.data_dictionary import DataDictionary
+from repro.oodb.oid import OID
+
+
+class Vehicle:
+    pass
+
+
+class Car(Vehicle):
+    pass
+
+
+class Truck(Vehicle):
+    pass
+
+
+@pytest.fixture
+def dictionary():
+    return DataDictionary()
+
+
+class TestTypes:
+    def test_register_and_resolve(self, dictionary):
+        dictionary.register_type(Vehicle)
+        assert dictionary.type_named("Vehicle") is Vehicle
+
+    def test_reregistering_same_class_is_idempotent(self, dictionary):
+        dictionary.register_type(Vehicle)
+        dictionary.register_type(Vehicle)
+
+    def test_name_collision_rejected(self, dictionary):
+        dictionary.register_type(Vehicle)
+        Other = type("Vehicle", (), {})
+        with pytest.raises(TypeRegistrationError):
+            dictionary.register_type(Other)
+
+    def test_unknown_type_raises(self, dictionary):
+        with pytest.raises(TypeRegistrationError):
+            dictionary.type_named("Ghost")
+
+
+class TestExtents:
+    def test_allocation_populates_extent(self, dictionary):
+        oid = dictionary.allocate_oid(Car)
+        assert oid in dictionary.extent("Car")
+        assert dictionary.class_of(oid) == "Car"
+
+    def test_extent_includes_subclasses(self, dictionary):
+        for cls in (Vehicle, Car, Truck):
+            dictionary.register_type(cls)
+        car_oid = dictionary.allocate_oid(Car)
+        truck_oid = dictionary.allocate_oid(Truck)
+        vehicle_extent = dictionary.extent("Vehicle")
+        assert car_oid in vehicle_extent
+        assert truck_oid in vehicle_extent
+        assert dictionary.extent("Car") == {car_oid}
+
+    def test_extent_without_subclasses(self, dictionary):
+        for cls in (Vehicle, Car):
+            dictionary.register_type(cls)
+        car_oid = dictionary.allocate_oid(Car)
+        assert car_oid not in dictionary.extent(
+            "Vehicle", include_subclasses=False)
+
+    def test_drop_oid_cleans_everything(self, dictionary):
+        oid = dictionary.allocate_oid(Car)
+        dictionary.bind_name("mine", oid)
+        dictionary.drop_oid(oid)
+        assert oid not in dictionary.extent("Car")
+        assert not dictionary.has_name("mine")
+        with pytest.raises(ObjectNotFoundError):
+            dictionary.class_of(oid)
+
+
+class TestNames:
+    def test_bind_and_resolve(self, dictionary):
+        oid = dictionary.allocate_oid(Car)
+        dictionary.bind_name("BlockA", oid)
+        assert dictionary.resolve_name("BlockA") == oid
+
+    def test_duplicate_binding_rejected(self, dictionary):
+        first = dictionary.allocate_oid(Car)
+        second = dictionary.allocate_oid(Car)
+        dictionary.bind_name("n", first)
+        with pytest.raises(DuplicateNameError):
+            dictionary.bind_name("n", second)
+
+    def test_rebinding_same_oid_is_fine(self, dictionary):
+        oid = dictionary.allocate_oid(Car)
+        dictionary.bind_name("n", oid)
+        dictionary.bind_name("n", oid)
+
+    def test_unknown_name_raises(self, dictionary):
+        with pytest.raises(ObjectNotFoundError):
+            dictionary.resolve_name("nope")
+
+    def test_unbind_is_idempotent(self, dictionary):
+        dictionary.unbind_name("never-bound")
+
+
+class TestCatalog:
+    def test_round_trip(self, dictionary):
+        oid_a = dictionary.allocate_oid(Car)
+        oid_b = dictionary.allocate_oid(Truck)
+        dictionary.bind_name("a", oid_a)
+        catalog = dictionary.to_catalog()
+
+        restored = DataDictionary()
+        restored.register_type(Car)
+        restored.register_type(Truck)
+        restored.load_catalog(catalog)
+        assert restored.resolve_name("a") == oid_a
+        assert restored.class_of(oid_b) == "Truck"
+        # Allocation continues above the recovered OIDs.
+        assert restored.allocate_oid(Car).value > oid_b.value
+
+    def test_dirty_flag_lifecycle(self, dictionary):
+        assert not dictionary.dirty
+        dictionary.allocate_oid(Car)
+        assert dictionary.dirty
+        dictionary.load_catalog(dictionary.to_catalog())
+        assert not dictionary.dirty

@@ -1,0 +1,172 @@
+"""Event specs and the algebra: categories, scopes, validity, keys."""
+
+import pytest
+
+from repro.core.algebra import (
+    Closure,
+    Conjunction,
+    Disjunction,
+    EventScope,
+    History,
+    Negation,
+    Sequence,
+)
+from repro.core.consumption import ConsumptionPolicy
+from repro.core.events import (
+    AbsoluteEventSpec,
+    EventCategory,
+    EventOccurrence,
+    FlowEventKind,
+    FlowEventSpec,
+    MethodEventSpec,
+    PeriodicEventSpec,
+    SignalEventSpec,
+    StateChangeEventSpec,
+)
+from repro.errors import EventDefinitionError, IllegalLifespanError
+
+M1 = MethodEventSpec("River", "update_water_level")
+M2 = MethodEventSpec("Reactor", "set_heat_output")
+T1 = AbsoluteEventSpec(100.0)
+
+
+class TestCategories:
+    """Section 3.2's four kinds of events."""
+
+    def test_method_events_are_single_method(self):
+        assert M1.category() is EventCategory.SINGLE_METHOD
+
+    def test_transaction_events_count_as_single_method(self):
+        """'Simple method events (both application-method invocations and
+        transaction-related events, such as BOT, EOT, Commit, Abort)'."""
+        assert FlowEventSpec(FlowEventKind.COMMIT).category() is \
+            EventCategory.SINGLE_METHOD
+
+    def test_state_and_signal_are_single_method(self):
+        assert StateChangeEventSpec("River", "level").category() is \
+            EventCategory.SINGLE_METHOD
+        assert SignalEventSpec("go").category() is \
+            EventCategory.SINGLE_METHOD
+
+    def test_temporal_events_are_purely_temporal(self):
+        assert T1.category() is EventCategory.PURELY_TEMPORAL
+        assert PeriodicEventSpec(5.0).category() is \
+            EventCategory.PURELY_TEMPORAL
+
+    def test_composite_defaults_to_single_tx(self):
+        assert Sequence(M1, M2).category() is \
+            EventCategory.COMPOSITE_SINGLE_TX
+
+    def test_composite_with_temporal_leaf_infers_multi_tx(self):
+        assert Sequence(M1, T1).category() is \
+            EventCategory.COMPOSITE_MULTI_TX
+
+    def test_explicit_scope_override(self):
+        spec = Sequence(M1, M2).scoped(EventScope.MULTI_TX)
+        assert spec.category() is EventCategory.COMPOSITE_MULTI_TX
+
+
+class TestOperatorSugar:
+    def test_rshift_builds_sequence(self):
+        assert isinstance(M1 >> M2, Sequence)
+
+    def test_ampersand_builds_conjunction(self):
+        assert isinstance(M1 & M2, Conjunction)
+
+    def test_pipe_builds_disjunction(self):
+        assert isinstance(M1 | M2, Disjunction)
+
+
+class TestValidity:
+    def test_multi_tx_without_validity_is_illegal(self):
+        spec = Sequence(M1, M2).scoped(EventScope.MULTI_TX)
+        with pytest.raises(IllegalLifespanError):
+            spec.validate()
+
+    def test_explicit_validity_legalizes(self):
+        spec = Sequence(M1, M2).scoped(EventScope.MULTI_TX).within(60)
+        spec.validate()
+        assert spec.effective_validity() == 60
+
+    def test_validity_inherited_from_component(self):
+        """Section 3.3: 'determined by the smallest validity interval of
+        the composing events'."""
+        inner = Conjunction(M1, M2).within(30)
+        outer = Sequence(inner, MethodEventSpec("R", "m")).scoped(
+            EventScope.MULTI_TX)
+        assert outer.effective_validity() == 30
+        outer.validate()
+
+    def test_smallest_component_validity_wins(self):
+        a = Conjunction(M1, M2).within(30)
+        b = Conjunction(M1, M2).within(10)
+        outer = Sequence(a, b).scoped(EventScope.MULTI_TX)
+        assert outer.effective_validity() == 10
+
+    def test_single_tx_needs_no_validity(self):
+        Sequence(M1, M2).validate()
+
+    def test_single_tx_with_temporal_leaf_rejected(self):
+        spec = Sequence(M1, T1).scoped(EventScope.SINGLE_TX)
+        with pytest.raises(EventDefinitionError):
+            spec.validate()
+
+    def test_nonpositive_validity_rejected(self):
+        with pytest.raises(EventDefinitionError):
+            Sequence(M1, M2).within(0)
+
+
+class TestStructure:
+    def test_leaves_flatten(self):
+        spec = Sequence(Conjunction(M1, M2), Disjunction(M1, T1))
+        keys = [leaf.key() for leaf in spec.leaves()]
+        assert keys == [M1.key(), M2.key(), M1.key(), T1.key()]
+
+    def test_keys_distinguish_structure(self):
+        assert Sequence(M1, M2).key() != Sequence(M2, M1).key()
+        assert Sequence(M1, M2).key() != Conjunction(M1, M2).key()
+
+    def test_fluent_modifiers_return_new_specs(self):
+        base = Sequence(M1, M2)
+        modified = base.within(5).consumed(ConsumptionPolicy.RECENT)
+        assert base.validity is None
+        assert modified.validity == 5
+        assert modified.consumption is ConsumptionPolicy.RECENT
+
+    def test_negation_requires_three_operands(self):
+        with pytest.raises(EventDefinitionError):
+            Negation(M1, M2, None)
+
+    def test_history_parameter_validation(self):
+        with pytest.raises(EventDefinitionError):
+            History(M1, count=0, window=10)
+        with pytest.raises(EventDefinitionError):
+            History(M1, count=3, window=0)
+
+    def test_closure_requires_operands(self):
+        with pytest.raises(EventDefinitionError):
+            Closure(M1, None)
+
+    def test_periodic_parameter_validation(self):
+        with pytest.raises(EventDefinitionError):
+            PeriodicEventSpec(0)
+        with pytest.raises(EventDefinitionError):
+            PeriodicEventSpec(5, count=0)
+
+
+class TestOccurrences:
+    def test_sequence_numbers_increase(self):
+        a = EventOccurrence(M1, M1.category(), 1.0)
+        b = EventOccurrence(M1, M1.category(), 1.0)
+        assert b.seq > a.seq
+
+    def test_primitive_components_flatten(self):
+        a = EventOccurrence(M1, M1.category(), 1.0)
+        b = EventOccurrence(M2, M2.category(), 2.0)
+        composite = EventOccurrence(
+            Sequence(M1, M2), EventCategory.COMPOSITE_SINGLE_TX, 2.0,
+            components=(a, b))
+        nested = EventOccurrence(
+            Sequence(M1, M2), EventCategory.COMPOSITE_SINGLE_TX, 2.0,
+            components=(composite,))
+        assert nested.all_primitive_components() == [a, b]

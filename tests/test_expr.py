@@ -1,0 +1,140 @@
+"""Expression language: parsing, evaluation, safety."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.expr import evaluate, parse_expression
+
+
+class Thing:
+    def __init__(self, value):
+        self.value = value
+        self._hidden = "secret"
+
+    def double(self):
+        return self.value * 2
+
+    def add(self, other):
+        return self.value + other
+
+
+class TestLiterals:
+    @pytest.mark.parametrize("text, expected", [
+        ("42", 42),
+        ("3.5", 3.5),
+        ("'hello'", "hello"),
+        ('"world"', "world"),
+        ("true", True),
+        ("false", False),
+        ("null", None),
+        ("[1, 2, 3]", [1, 2, 3]),
+        ("[]", []),
+    ])
+    def test_literal(self, text, expected):
+        assert evaluate(text) == expected
+
+
+class TestArithmeticAndLogic:
+    @pytest.mark.parametrize("text, expected", [
+        ("1 + 2 * 3", 7),
+        ("(1 + 2) * 3", 9),
+        ("10 / 4", 2.5),
+        ("10 % 3", 1),
+        ("-5 + 2", -3),
+        ("1 < 2 and 2 < 3", True),
+        ("1 > 2 or 3 > 2", True),
+        ("not false", True),
+        ("not (1 == 1)", False),
+        ("2 in [1, 2, 3]", True),
+        ("1 <= 1", True),
+        ("'a' != 'b'", True),
+        ("1 + 2 == 3 and 4 * 5 == 20", True),
+    ])
+    def test_expression(self, text, expected):
+        assert evaluate(text) == expected
+
+    def test_and_short_circuits(self):
+        # The right side would raise if evaluated.
+        assert evaluate("false and missing", {}) is False
+
+    def test_or_short_circuits(self):
+        assert evaluate("true or missing", {}) is True
+
+
+class TestObjectAccess:
+    def test_attribute_access(self):
+        assert evaluate("t.value", {"t": Thing(5)}) == 5
+
+    def test_arrow_is_dot(self):
+        assert evaluate("t->value", {"t": Thing(5)}) == 5
+
+    def test_method_call(self):
+        assert evaluate("t.double()", {"t": Thing(5)}) == 10
+
+    def test_method_call_with_args(self):
+        assert evaluate("t.add(3)", {"t": Thing(5)}) == 8
+
+    def test_chained_access(self):
+        outer = Thing(Thing(7))
+        assert evaluate("t.value.double()", {"t": outer}) == 14
+
+    def test_indexing(self):
+        assert evaluate("xs[1]", {"xs": [10, 20, 30]}) == 20
+        assert evaluate("d['k']", {"d": {"k": 9}}) == 9
+
+
+class TestSafety:
+    def test_unbound_variable_raises(self):
+        with pytest.raises(QueryError):
+            evaluate("ghost")
+
+    def test_private_attribute_blocked(self):
+        with pytest.raises(QueryError):
+            evaluate("t._hidden", {"t": Thing(1)})
+
+    def test_dunder_access_blocked(self):
+        with pytest.raises(QueryError):
+            evaluate("t.__class__", {"t": Thing(1)})
+
+    def test_calling_noncallable_raises(self):
+        with pytest.raises(QueryError):
+            evaluate("t.value()", {"t": Thing(1)})
+
+    def test_division_by_zero_wrapped(self):
+        with pytest.raises(QueryError):
+            evaluate("1 / 0")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QueryError):
+            parse_expression("1 + 2 junk ===")
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(QueryError):
+            parse_expression("1 @ 2")
+
+
+class TestVariablesIntrospection:
+    def test_free_variables_reported(self):
+        node = parse_expression("a.b + c(d) and 5 < e")
+        assert node.variables() == {"a", "c", "d", "e"}
+
+
+class TestProperties:
+    @given(st.integers(min_value=-10**6, max_value=10**6),
+           st.integers(min_value=-10**6, max_value=10**6))
+    @settings(max_examples=100)
+    def test_arithmetic_matches_python(self, a, b):
+        env = {"a": a, "b": b}
+        assert evaluate("a + b", env) == a + b
+        assert evaluate("a * b", env) == a * b
+        assert evaluate("a - b", env) == a - b
+        assert evaluate("a < b", env) == (a < b)
+
+    @given(st.text(alphabet=st.characters(
+        blacklist_categories=("Cs",), blacklist_characters="'\\"),
+        max_size=30))
+    @settings(max_examples=100)
+    def test_string_literals_round_trip(self, text):
+        assert evaluate(f"'{text}'") == text

@@ -1,0 +1,256 @@
+"""The layered baseline: capabilities present and — crucially — absent."""
+
+import pytest
+
+from repro.errors import (
+    ClosedSystemError,
+    LicenseError,
+    ObjectNotFoundError,
+    RuleExecutionError,
+)
+from repro.layered import (
+    ClosedOODB,
+    LayeredActiveDBMS,
+    LayeredRule,
+    make_active_class,
+)
+
+
+class River:
+    def __init__(self):
+        self.level = 50
+
+    def update_water_level(self, x):
+        self.level = x
+        return x
+
+
+class TestClosedOODB:
+    def test_flat_transactions_only(self):
+        store = ClosedOODB()
+        store.begin()
+        with pytest.raises(ClosedSystemError):
+            store.begin()
+        store.abort()
+
+    def test_commit_and_abort_semantics(self):
+        store = ClosedOODB()
+        river = River()
+        store.begin()
+        store.bind_root("r", river)
+        river.level = 10
+        store.commit()
+        store.begin()
+        store.register_write(river)
+        river.level = 99
+        store.abort()
+        assert river.level == 10
+
+    def test_roots_resolve(self):
+        store = ClosedOODB()
+        river = River()
+        store.begin()
+        store.bind_root("r", river)
+        store.commit()
+        assert store.root("r") is river
+        with pytest.raises(ObjectNotFoundError):
+            store.root("ghost")
+
+    def test_no_transaction_manager_access(self):
+        store = ClosedOODB()
+        with pytest.raises(ClosedSystemError):
+            store.transaction_info()
+        with pytest.raises(ClosedSystemError):
+            store.on_commit(lambda: None)
+        with pytest.raises(ClosedSystemError):
+            store.on_abort(lambda: None)
+
+    def test_no_explicit_delete(self):
+        store = ClosedOODB()
+        with pytest.raises(ClosedSystemError):
+            store.delete(River())
+
+    def test_no_method_hooks(self):
+        store = ClosedOODB()
+        with pytest.raises(ClosedSystemError):
+            store.install_method_hook(River, "update_water_level",
+                                      lambda *a: None)
+
+    def test_license_manager_limits_concurrency(self):
+        store = ClosedOODB(license_seats=1)
+        store.begin()
+        # A second 'process' (thread) trying to fork a transaction.
+        import threading
+        errors = []
+
+        def fork():
+            try:
+                store.begin()
+            except LicenseError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=fork)
+        thread.start()
+        thread.join()
+        assert len(errors) == 1
+        store.abort()
+
+    def test_reachability(self):
+        store = ClosedOODB()
+        inner = River()
+        outer = River()
+        outer.feeds = inner
+        store.begin()
+        store.bind_root("o", outer)
+        store.commit()
+        reachable = store.reachable_objects()
+        assert id(inner) in reachable
+        assert id(outer) in reachable
+
+
+class TestWrappers:
+    def test_wrapper_announces_method_calls(self):
+        events = []
+        Active = make_active_class(
+            River, lambda obj, m, a, k, r: events.append((m, a, r)))
+        river = Active()
+        river.update_water_level(30)
+        assert events == [("update_water_level", (30,), 30)]
+
+    def test_wrapper_is_subclass(self):
+        Active = make_active_class(River, lambda *a: None)
+        assert issubclass(Active, River)
+        assert isinstance(Active(), River)
+
+    def test_plain_instances_escape_detection(self):
+        """The layered architecture's core deficiency."""
+        events = []
+        make_active_class(River, lambda *a: events.append(1))
+        River().update_water_level(5)  # original class: invisible
+        assert events == []
+
+    def test_direct_attribute_writes_escape_detection(self):
+        events = []
+        Active = make_active_class(River, lambda *a: events.append(1))
+        river = Active()
+        river.level = 99  # no method call, no event
+        assert events == []
+
+
+class TestLayeredADBMS:
+    def _setup(self):
+        layer = LayeredActiveDBMS()
+        Active = layer.activate_class(River)
+        return layer, Active
+
+    def test_immediate_rule_fires(self):
+        layer, Active = self._setup()
+        fired = []
+        layer.register_rule(LayeredRule(
+            "wl", "River", "update_water_level",
+            condition=lambda b: b["x"] < 37,
+            action=lambda b: fired.append(b["x"])))
+        river = Active()
+        layer.begin()
+        river.update_water_level(30)
+        river.update_water_level(40)
+        layer.commit()
+        assert fired == [30]
+
+    def test_deferred_rule_waits_for_layer_commit(self):
+        layer, Active = self._setup()
+        order = []
+        layer.register_rule(LayeredRule(
+            "wl", "River", "update_water_level",
+            action=lambda b: order.append("rule")), coupling="deferred")
+        river = Active()
+        layer.begin()
+        river.update_water_level(1)
+        order.append("work")
+        layer.commit()
+        assert order == ["work", "rule"]
+
+    def test_detached_coupling_unavailable(self):
+        layer, __ = self._setup()
+        for coupling in ("detached", "parallel", "sequential", "exclusive"):
+            with pytest.raises(ClosedSystemError):
+                layer.register_rule(LayeredRule(
+                    "r", "River", "update_water_level"), coupling=coupling)
+
+    def test_deletion_rules_unavailable(self):
+        layer, __ = self._setup()
+        with pytest.raises(ClosedSystemError):
+            layer.on_delete_rule()
+
+    def test_state_rule_needs_polling(self):
+        layer, Active = self._setup()
+        fired = []
+        layer.register_rule(LayeredRule(
+            "state", "River", None, attribute="level",
+            action=lambda b: fired.append(b["new_value"])))
+        river = Active()
+        layer.watch(river)
+        layer.begin()
+        layer.store.register_write(river)
+        river.level = 7     # direct write: nothing happens yet
+        assert fired == []
+        layer.commit()       # the commit-time poll finds it
+        assert fired == [7]
+
+    def test_polling_misses_intermediate_values(self):
+        """Detection by snapshot diffing loses intermediate states —
+        integrated state-change trapping does not."""
+        layer, Active = self._setup()
+        fired = []
+        layer.register_rule(LayeredRule(
+            "state", "River", None, attribute="level",
+            action=lambda b: fired.append(b["new_value"])))
+        river = Active()
+        layer.watch(river)
+        layer.begin()
+        layer.store.register_write(river)
+        river.level = 7
+        river.level = 8
+        river.level = 9
+        layer.commit()
+        assert fired == [9]  # 7 and 8 were never seen
+
+    def test_rule_failure_aborts_user_transaction(self):
+        """No nested transactions: a failing rule cannot be isolated."""
+        layer, Active = self._setup()
+
+        def explode(bindings):
+            raise ValueError("rule bug")
+
+        layer.register_rule(LayeredRule(
+            "bad", "River", "update_water_level", action=explode))
+        river = Active()
+        layer.begin()
+        layer.store.register_write(river)
+        with pytest.raises(RuleExecutionError):
+            river.update_water_level(30)
+        assert not layer.store.in_transaction()  # aborted underneath us
+        assert river.level == 50
+
+    def test_priority_ordering(self):
+        layer, Active = self._setup()
+        order = []
+        layer.register_rule(LayeredRule(
+            "low", "River", "update_water_level", priority=1,
+            action=lambda b: order.append("low")))
+        layer.register_rule(LayeredRule(
+            "high", "River", "update_water_level", priority=9,
+            action=lambda b: order.append("high")))
+        river = Active()
+        layer.begin()
+        river.update_water_level(1)
+        layer.commit()
+        assert order == ["high", "low"]
+
+    def test_functionality_matrix_shape(self):
+        layer, __ = self._setup()
+        matrix = layer.functionality_matrix()
+        assert matrix["composite events"] is False
+        assert matrix["detached coupling"] is False
+        assert matrix["immediate coupling"] is True
+        assert matrix["method events (unchanged classes)"] is False

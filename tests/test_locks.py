@@ -1,0 +1,123 @@
+"""Lock manager: compatibility, upgrades, deadlock detection, transfer."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockError, LockTimeoutError
+from repro.oodb.locks import LockManager, LockMode
+
+
+@pytest.fixture
+def locks():
+    return LockManager(timeout=2.0)
+
+
+class TestCompatibility:
+    def test_shared_locks_coexist(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(2, "r", LockMode.SHARED)
+        assert set(locks.holders_of("r")) == {1, 2}
+
+    def test_exclusive_blocks_others(self, locks):
+        locks.timeout = 0.2
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire(2, "r", LockMode.SHARED)
+
+    def test_reacquire_is_noop(self, locks):
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        locks.acquire(1, "r", LockMode.SHARED)  # weaker request: still X
+        assert locks.holders_of("r") == {1: LockMode.EXCLUSIVE}
+
+    def test_upgrade_when_sole_holder(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        assert locks.holders_of("r") == {1: LockMode.EXCLUSIVE}
+
+    def test_upgrade_blocked_by_other_sharer(self, locks):
+        locks.timeout = 0.2
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(2, "r", LockMode.SHARED)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire(1, "r", LockMode.EXCLUSIVE)
+
+
+class TestRelease:
+    def test_release_all_frees_everything(self, locks):
+        locks.acquire(1, "a")
+        locks.acquire(1, "b")
+        locks.release_all(1)
+        assert locks.locks_held_by(1) == []
+        locks.acquire(2, "a")  # no longer blocked
+
+    def test_release_unblocks_waiter(self, locks):
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        acquired = threading.Event()
+
+        def waiter():
+            locks.acquire(2, "r", LockMode.EXCLUSIVE)
+            acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired.is_set()
+        locks.release_all(1)
+        thread.join(timeout=2.0)
+        assert acquired.is_set()
+
+
+class TestDeadlock:
+    def test_two_family_cycle_detected(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        blocked = threading.Event()
+
+        def family_one():
+            blocked.set()
+            try:
+                locks.acquire(1, "b", LockMode.EXCLUSIVE)
+            except (DeadlockError, LockTimeoutError):
+                pass
+            finally:
+                locks.release_all(1)
+
+        thread = threading.Thread(target=family_one)
+        thread.start()
+        blocked.wait()
+        time.sleep(0.05)
+        # Family 2 requesting "a" completes the cycle; it is the victim.
+        with pytest.raises(DeadlockError):
+            locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        locks.release_all(2)
+        thread.join(timeout=3.0)
+        assert locks.deadlocks_detected >= 1
+
+    def test_no_false_positive_without_cycle(self, locks):
+        locks.acquire(1, "a")
+        locks.acquire(2, "b")
+        # Straight-line wait, no cycle: must time out, not deadlock.
+        locks.timeout = 0.15
+        with pytest.raises(LockTimeoutError):
+            locks.acquire(3, "a")
+
+
+class TestTransfer:
+    def test_transfer_moves_locks(self, locks):
+        """Section 4: exclusive causally dependent mode needs resource
+        transfer from the aborting trigger to the contingency rule."""
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(1, "b", LockMode.SHARED)
+        locks.transfer(1, 2)
+        assert locks.locks_held_by(1) == []
+        assert set(locks.locks_held_by(2)) == {"a", "b"}
+        assert locks.holders_of("a") == {2: LockMode.EXCLUSIVE}
+
+    def test_transfer_does_not_downgrade_existing(self, locks):
+        locks.acquire(1, "a", LockMode.SHARED)
+        locks.acquire(2, "a", LockMode.SHARED)
+        locks.transfer(1, 2)
+        assert locks.holders_of("a") == {2: LockMode.SHARED}

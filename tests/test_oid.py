@@ -1,0 +1,72 @@
+"""OIDs, allocation, references."""
+
+import threading
+
+import pytest
+
+from repro.oodb.oid import NULL_OID, OID, ObjectRef, OIDAllocator
+
+
+class TestOID:
+    def test_equality_and_hash(self):
+        assert OID(3) == OID(3)
+        assert hash(OID(3)) == hash(OID(3))
+        assert OID(3) != OID(4)
+
+    def test_ordering(self):
+        assert OID(1) < OID(2)
+        assert sorted([OID(5), OID(1), OID(3)]) == [OID(1), OID(3), OID(5)]
+
+    def test_null_oid(self):
+        assert NULL_OID.is_null
+        assert not OID(1).is_null
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OID(-1)
+
+
+class TestAllocator:
+    def test_monotonic_unique(self):
+        allocator = OIDAllocator()
+        oids = [allocator.allocate() for __ in range(100)]
+        assert len(set(oids)) == 100
+        assert oids == sorted(oids)
+
+    def test_ensure_above(self):
+        allocator = OIDAllocator()
+        allocator.ensure_above(500)
+        assert allocator.allocate().value == 501
+
+    def test_ensure_above_never_rewinds(self):
+        allocator = OIDAllocator(start=1000)
+        allocator.ensure_above(5)
+        assert allocator.allocate().value == 1000
+
+    def test_thread_safety(self):
+        allocator = OIDAllocator()
+        results: list[OID] = []
+
+        def worker():
+            for __ in range(200):
+                results.append(allocator.allocate())
+
+        threads = [threading.Thread(target=worker) for __ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({oid.value for oid in results}) == 1600
+
+    def test_invalid_start_rejected(self):
+        with pytest.raises(ValueError):
+            OIDAllocator(start=0)
+
+
+class TestObjectRef:
+    def test_equality(self):
+        assert ObjectRef(OID(1), "River") == ObjectRef(OID(1), "River")
+        assert ObjectRef(OID(1), "River") != ObjectRef(OID(2), "River")
+
+    def test_repr_is_informative(self):
+        assert "River#1" in repr(ObjectRef(OID(1), "River"))

@@ -1,0 +1,135 @@
+"""Rule objects: definition validation, ordering, evaluation."""
+
+import pytest
+
+from repro.core.coupling import CouplingMode
+from repro.core.events import MethodEventSpec, SignalEventSpec
+from repro.core.algebra import Sequence
+from repro.core.rules import Rule, RuleContext, sort_for_firing
+from repro.errors import RuleDefinitionError, RuleExecutionError
+
+EVENT = MethodEventSpec("River", "update_water_level")
+
+
+def _ctx(rule, **bindings):
+    from repro.core.events import EventOccurrence
+    occ = EventOccurrence(EVENT, EVENT.category(), 0.0,
+                          parameters=dict(bindings))
+    return RuleContext(rule=rule, event=occ, db=None, bindings=bindings)
+
+
+class TestDefinition:
+    def test_minimal_rule(self):
+        rule = Rule("r", EVENT, action=lambda ctx: None)
+        assert rule.cond_coupling is CouplingMode.IMMEDIATE
+        assert rule.action_coupling is CouplingMode.IMMEDIATE
+
+    def test_coupling_shorthand_sets_both(self):
+        rule = Rule("r", EVENT, action=lambda ctx: None,
+                    coupling=CouplingMode.DEFERRED)
+        assert rule.cond_coupling is CouplingMode.DEFERRED
+        assert rule.action_coupling is CouplingMode.DEFERRED
+
+    def test_split_coupling_imm_cond_deferred_action(self):
+        rule = Rule("r", EVENT, action=lambda ctx: None,
+                    cond_coupling=CouplingMode.IMMEDIATE,
+                    action_coupling=CouplingMode.DEFERRED)
+        assert rule.cond_coupling is CouplingMode.IMMEDIATE
+        assert rule.action_coupling is CouplingMode.DEFERRED
+
+    def test_action_earlier_than_condition_rejected(self):
+        with pytest.raises(RuleDefinitionError):
+            Rule("r", EVENT, action=lambda ctx: None,
+                 cond_coupling=CouplingMode.DEFERRED,
+                 action_coupling=CouplingMode.IMMEDIATE)
+
+    def test_detached_condition_must_match_action(self):
+        with pytest.raises(RuleDefinitionError):
+            Rule("r", EVENT, action=lambda ctx: None,
+                 cond_coupling=CouplingMode.DETACHED,
+                 action_coupling=CouplingMode.SEQUENTIAL_CAUSALLY_DEPENDENT)
+
+    def test_nameless_rule_rejected(self):
+        with pytest.raises(RuleDefinitionError):
+            Rule("", EVENT, action=lambda ctx: None)
+
+    def test_eventless_rule_rejected(self):
+        with pytest.raises(RuleDefinitionError):
+            Rule("r", None, action=lambda ctx: None)
+
+
+class TestEvaluation:
+    def test_missing_condition_is_true(self):
+        rule = Rule("r", EVENT, action=lambda ctx: None)
+        assert rule.evaluate_condition(_ctx(rule)) is True
+
+    def test_condition_result_coerced_to_bool(self):
+        rule = Rule("r", EVENT, action=lambda ctx: None,
+                    condition=lambda ctx: 42)
+        assert rule.evaluate_condition(_ctx(rule)) is True
+
+    def test_condition_exception_wrapped(self):
+        rule = Rule("r", EVENT, action=lambda ctx: None,
+                    condition=lambda ctx: 1 / 0)
+        with pytest.raises(RuleExecutionError, match="condition"):
+            rule.evaluate_condition(_ctx(rule))
+
+    def test_action_exception_wrapped(self):
+        rule = Rule("r", EVENT,
+                    action=lambda ctx: (_ for _ in ()).throw(ValueError()))
+        with pytest.raises(RuleExecutionError, match="action"):
+            rule.execute_action(_ctx(rule))
+
+    def test_context_access_helpers(self):
+        rule = Rule("r", EVENT, action=lambda ctx: None)
+        ctx = _ctx(rule, x=5)
+        assert ctx["x"] == 5
+        assert ctx.get("missing", "default") == "default"
+
+    def test_enable_disable(self):
+        rule = Rule("r", EVENT, action=lambda ctx: None)
+        rule.disable()
+        assert not rule.enabled
+        rule.enable()
+        assert rule.enabled
+
+
+class TestOrdering:
+    """Section 6.4: priority first, then tie-break by rule timestamp."""
+
+    def _rules(self):
+        low = Rule("low", EVENT, action=lambda ctx: None, priority=1)
+        older = Rule("older", EVENT, action=lambda ctx: None, priority=5)
+        newer = Rule("newer", EVENT, action=lambda ctx: None, priority=5)
+        return low, older, newer
+
+    def test_priority_dominates(self):
+        low, older, newer = self._rules()
+        ordered = sort_for_firing([low, newer, older])
+        assert ordered[-1] is low
+
+    def test_oldest_first_default_tie_break(self):
+        low, older, newer = self._rules()
+        ordered = sort_for_firing([newer, older, low])
+        assert [r.name for r in ordered] == ["older", "newer", "low"]
+
+    def test_newest_first_optional_tie_break(self):
+        low, older, newer = self._rules()
+        ordered = sort_for_firing([older, newer, low], newest_first=True)
+        assert [r.name for r in ordered] == ["newer", "older", "low"]
+
+    def test_simple_events_first_policy(self):
+        """Third deferred-queue policy: rules with simple events ahead of
+        rules with complex events."""
+        composite = Sequence(EVENT, SignalEventSpec("s"))
+        on_composite = Rule("composite", composite,
+                            action=lambda ctx: None, priority=5,
+                            coupling=CouplingMode.DEFERRED)
+        on_simple = Rule("simple", EVENT, action=lambda ctx: None,
+                         priority=5, coupling=CouplingMode.DEFERRED)
+        ordered = sort_for_firing([on_composite, on_simple],
+                                  simple_events_first=True)
+        assert [r.name for r in ordered] == ["simple", "composite"]
+        # Without the policy, the older rule (composite) goes first.
+        ordered = sort_for_firing([on_composite, on_simple])
+        assert [r.name for r in ordered] == ["composite", "simple"]

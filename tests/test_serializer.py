@@ -1,0 +1,122 @@
+"""Serializer: round-trips, wire-format errors, and property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.oodb.oid import OID, ObjectRef
+from repro.storage.serializer import MAX_DEPTH, deserialize, serialize
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", [
+        None, True, False,
+        0, 1, -1, 255, -255, 2 ** 80, -(2 ** 80),
+        0.0, 3.1415, -2.5e300, float("inf"),
+        "", "hello", "üñïçödé ☃",
+        b"", b"\x00\xff" * 10,
+        [], [1, 2, 3], [None, [True, "x"]],
+        (), (1, "two", 3.0),
+        {}, {"a": 1, "b": [2, 3]}, {1: "one", 2.5: "two-five"},
+    ])
+    def test_scalar_and_container_round_trip(self, value):
+        assert deserialize(serialize(value)) == value
+
+    def test_round_trip_preserves_types(self):
+        assert isinstance(deserialize(serialize((1, 2))), tuple)
+        assert isinstance(deserialize(serialize([1, 2])), list)
+        assert deserialize(serialize(1)) == 1
+        assert not isinstance(deserialize(serialize(1)), bool)
+        assert deserialize(serialize(True)) is True
+
+    def test_oid_round_trip(self):
+        assert deserialize(serialize(OID(42))) == OID(42)
+
+    def test_object_ref_round_trip(self):
+        ref = ObjectRef(OID(7), "River")
+        assert deserialize(serialize(ref)) == ref
+
+    def test_nested_refs_in_containers(self):
+        value = {"links": [ObjectRef(OID(1), "A"), ObjectRef(OID(2), "B")]}
+        assert deserialize(serialize(value)) == value
+
+    def test_float_nan_round_trips_as_nan(self):
+        import math
+        result = deserialize(serialize(float("nan")))
+        assert math.isnan(result)
+
+
+class TestErrors:
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SerializationError):
+            serialize(object())
+
+    def test_set_rejected(self):
+        with pytest.raises(SerializationError):
+            serialize({1, 2})
+
+    def test_truncated_input_rejected(self):
+        data = serialize("hello world")
+        with pytest.raises(SerializationError):
+            deserialize(data[:-3])
+
+    def test_trailing_garbage_rejected(self):
+        data = serialize(5)
+        with pytest.raises(SerializationError):
+            deserialize(data + b"junk")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            deserialize(b"Z")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SerializationError):
+            deserialize(b"")
+
+    def test_cycle_detected_via_depth_limit(self):
+        lst: list = []
+        lst.append(lst)
+        with pytest.raises(SerializationError):
+            serialize(lst)
+
+    def test_deep_but_legal_nesting_accepted(self):
+        value = 1
+        for __ in range(MAX_DEPTH - 1):
+            value = [value]
+        assert deserialize(serialize(value)) == value
+
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=60),
+    st.binary(max_size=60),
+    st.builds(OID, st.integers(min_value=0, max_value=2 ** 31 - 1)),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.lists(children, max_size=5).map(tuple),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+class TestProperties:
+    @given(_values)
+    @settings(max_examples=200)
+    def test_round_trip_is_identity(self, value):
+        assert deserialize(serialize(value)) == value
+
+    @given(_values, _values)
+    @settings(max_examples=50)
+    def test_encoding_is_self_delimiting(self, first, second):
+        """Concatenated encodings decode back to their own values."""
+        blob = serialize([first, second])
+        assert deserialize(blob) == [first, second]

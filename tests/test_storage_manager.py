@@ -1,0 +1,223 @@
+"""Storage manager: transactional durability, recovery, fragmentation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RecordNotFoundError, StorageError
+from repro.oodb.oid import OID
+from repro.storage.pages import MAX_RECORD_SIZE
+from repro.storage.storage_manager import StorageManager
+
+
+@pytest.fixture
+def store(tmp_path):
+    sm = StorageManager(str(tmp_path / "store"))
+    yield sm
+    sm.close()
+
+
+class TestTransactionalProtocol:
+    def test_committed_write_is_readable(self, store):
+        store.begin(1)
+        store.write(1, OID(5), b"value")
+        store.commit(1)
+        assert store.read(None, OID(5)) == b"value"
+
+    def test_uncommitted_write_visible_only_to_owner(self, store):
+        store.begin(1)
+        store.write(1, OID(5), b"mine")
+        assert store.read(1, OID(5)) == b"mine"
+        with pytest.raises(RecordNotFoundError):
+            store.read(None, OID(5))
+        store.commit(1)
+
+    def test_abort_discards_writes(self, store):
+        store.begin(1)
+        store.write(1, OID(5), b"gone")
+        store.abort(1)
+        assert not store.exists(None, OID(5))
+
+    def test_update_replaces_image(self, store):
+        store.begin(1)
+        store.write(1, OID(5), b"v1")
+        store.commit(1)
+        store.begin(2)
+        store.write(2, OID(5), b"v2")
+        store.commit(2)
+        assert store.read(None, OID(5)) == b"v2"
+
+    def test_delete_removes_object(self, store):
+        store.begin(1)
+        store.write(1, OID(5), b"v")
+        store.commit(1)
+        store.begin(2)
+        store.delete(2, OID(5))
+        store.commit(2)
+        assert not store.exists(None, OID(5))
+
+    def test_delete_in_tx_hides_from_owner(self, store):
+        store.begin(1)
+        store.write(1, OID(5), b"v")
+        store.commit(1)
+        store.begin(2)
+        store.delete(2, OID(5))
+        with pytest.raises(RecordNotFoundError):
+            store.read(2, OID(5))
+        store.abort(2)
+        assert store.read(None, OID(5)) == b"v"
+
+    def test_delete_of_missing_object_raises(self, store):
+        store.begin(1)
+        with pytest.raises(RecordNotFoundError):
+            store.delete(1, OID(99))
+        store.abort(1)
+
+    def test_double_begin_rejected(self, store):
+        store.begin(1)
+        with pytest.raises(StorageError):
+            store.begin(1)
+        store.abort(1)
+
+    def test_operations_require_active_tx(self, store):
+        with pytest.raises(StorageError):
+            store.write(42, OID(1), b"x")
+
+
+class TestRecovery:
+    def test_crash_before_commit_loses_nothing_committed(self, tmp_path):
+        path = str(tmp_path / "store")
+        sm = StorageManager(path)
+        sm.begin(1)
+        sm.write(1, OID(2), b"durable")
+        sm.commit(1)
+        sm.begin(2)
+        sm.write(2, OID(3), b"in-flight")
+        sm.crash()
+        recovered = StorageManager(path)
+        assert recovered.read(None, OID(2)) == b"durable"
+        assert not recovered.exists(None, OID(3))
+        recovered.close()
+
+    def test_crash_after_commit_before_page_flush_redoes(self, tmp_path):
+        path = str(tmp_path / "store")
+        sm = StorageManager(path)
+        sm.begin(1)
+        sm.write(1, OID(2), b"A" * 5000)   # multi-fragment record
+        sm.commit(1)
+        sm.crash()  # dirty pages dropped, but the commit record is durable
+        recovered = StorageManager(path)
+        assert recovered.read(None, OID(2)) == b"A" * 5000
+        recovered.close()
+
+    def test_recovery_replays_deletes(self, tmp_path):
+        path = str(tmp_path / "store")
+        sm = StorageManager(path)
+        sm.begin(1)
+        sm.write(1, OID(2), b"short-lived")
+        sm.commit(1)
+        sm.flush()
+        sm.begin(2)
+        sm.delete(2, OID(2))
+        sm.commit(2)
+        sm.crash()
+        recovered = StorageManager(path)
+        assert not recovered.exists(None, OID(2))
+        recovered.close()
+
+    def test_checkpoint_then_restart(self, tmp_path):
+        path = str(tmp_path / "store")
+        sm = StorageManager(path)
+        sm.begin(1)
+        sm.write(1, OID(2), b"checkpointed")
+        sm.commit(1)
+        sm.checkpoint()
+        sm.close()
+        recovered = StorageManager(path)
+        assert recovered.read(None, OID(2)) == b"checkpointed"
+        recovered.close()
+
+    def test_checkpoint_with_active_tx_rejected(self, store):
+        store.begin(1)
+        with pytest.raises(StorageError):
+            store.checkpoint()
+        store.abort(1)
+
+
+class TestFragmentation:
+    def test_large_object_spans_pages(self, store):
+        blob = bytes(range(256)) * 64  # 16 KiB > one page
+        assert len(blob) > MAX_RECORD_SIZE
+        store.begin(1)
+        store.write(1, OID(9), blob)
+        store.commit(1)
+        assert store.read(None, OID(9)) == blob
+        assert store.stats()["pages"] >= 4
+
+    def test_shrinking_update_reclaims_fragments(self, store):
+        store.begin(1)
+        store.write(1, OID(9), b"z" * 20000)
+        store.commit(1)
+        store.begin(2)
+        store.write(2, OID(9), b"tiny")
+        store.commit(2)
+        assert store.read(None, OID(9)) == b"tiny"
+
+    def test_empty_image_round_trips(self, store):
+        store.begin(1)
+        store.write(1, OID(4), b"")
+        store.commit(1)
+        assert store.read(None, OID(4)) == b""
+
+
+class TestIntrospection:
+    def test_iter_and_max_oid(self, store):
+        store.begin(1)
+        for value in (3, 8, 5):
+            store.write(1, OID(value), b"x")
+        store.commit(1)
+        assert [oid.value for oid in store.iter_oids()] == [3, 5, 8]
+        assert store.max_oid_value() == 8
+        assert store.object_count() == 3
+
+
+@st.composite
+def _history(draw):
+    ops = []
+    for __ in range(draw(st.integers(min_value=1, max_value=15))):
+        commit = draw(st.booleans())
+        writes = draw(st.lists(
+            st.tuples(st.integers(min_value=1, max_value=6),
+                      st.binary(min_size=0, max_size=200)),
+            min_size=1, max_size=4))
+        ops.append((commit, writes))
+    return ops
+
+
+class TestRecoveryProperty:
+    @given(_history())
+    @settings(max_examples=30, deadline=None)
+    def test_recovered_state_equals_committed_model(self, tmp_path_factory,
+                                                    history):
+        path = str(tmp_path_factory.mktemp("sm") / "store")
+        sm = StorageManager(path)
+        model: dict[int, bytes] = {}
+        tx_id = 0
+        for commit, writes in history:
+            tx_id += 1
+            sm.begin(tx_id)
+            staged = {}
+            for oid_value, payload in writes:
+                sm.write(tx_id, OID(oid_value), payload)
+                staged[oid_value] = payload
+            if commit:
+                sm.commit(tx_id)
+                model.update(staged)
+            else:
+                sm.abort(tx_id)
+        sm.crash()
+        recovered = StorageManager(path)
+        got = {oid.value: recovered.read(None, oid)
+               for oid in recovered.iter_oids()}
+        recovered.close()
+        assert got == model

@@ -1,0 +1,90 @@
+"""The surrogate-object sentry mechanism and its documented flaw."""
+
+import pytest
+
+from repro.oodb.sentry import Moment, make_surrogate
+
+
+class Motor:
+    def __init__(self):
+        self.rpm = 0
+
+    def spin(self, rpm):
+        self.rpm = rpm
+        return rpm
+
+    def stop(self):
+        self.rpm = 0
+
+
+class TestSurrogateInterception:
+    def test_method_calls_are_intercepted(self):
+        notes = []
+        motor = Motor()
+        surrogate = make_surrogate(motor, notes.append)
+        assert surrogate.spin(1200) == 1200
+        assert motor.rpm == 1200
+        assert len(notes) == 1
+        note = notes[0]
+        assert note.method == "spin"
+        assert note.args == (1200,)
+        assert note.result == 1200
+        assert note.instance is motor
+        assert note.moment is Moment.AFTER
+
+    def test_multiple_calls_each_notify(self):
+        notes = []
+        surrogate = make_surrogate(Motor(), notes.append)
+        surrogate.spin(1)
+        surrogate.stop()
+        assert [n.method for n in notes] == ["spin", "stop"]
+
+    def test_attribute_reads_forward(self):
+        surrogate = make_surrogate(Motor(), lambda note: None)
+        surrogate.spin(500)
+        assert surrogate.rpm == 500
+
+    def test_target_accessible(self):
+        motor = Motor()
+        surrogate = make_surrogate(motor, lambda note: None)
+        assert surrogate.surrogate_target is motor
+
+
+class TestTheDocumentedFlaw:
+    """Section 6.2: 'it is possible to affect the object without
+    activating the sentry, a semantic error that would cause the
+    behavioural extensions to be omitted.'"""
+
+    def test_direct_state_writes_escape_detection(self):
+        notes = []
+        motor = Motor()
+        surrogate = make_surrogate(motor, notes.append)
+        surrogate.rpm = 9999          # a write, silently forwarded
+        assert motor.rpm == 9999      # the object was affected...
+        assert notes == []            # ...without activating the sentry
+
+    def test_direct_access_to_target_escapes_entirely(self):
+        notes = []
+        motor = Motor()
+        make_surrogate(motor, notes.append)
+        motor.spin(100)               # caller kept the real reference
+        assert notes == []
+
+    def test_inline_wrapper_does_not_share_the_flaw(self):
+        """The prime mechanism traps exactly what the surrogate misses."""
+        from repro.oodb.sentry import registry, sentried
+
+        @sentried
+        class WrappedMotor:
+            def __init__(self):
+                self.rpm = 0
+
+        notes = []
+        subscription = registry.watch_state(WrappedMotor, "rpm",
+                                            notes.append)
+        try:
+            wrapped = WrappedMotor()
+            wrapped.rpm = 9999        # the same direct write...
+        finally:
+            subscription.cancel()
+        assert any(n.new_value == 9999 for n in notes)   # ...is trapped

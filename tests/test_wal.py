@@ -1,0 +1,105 @@
+"""Write-ahead log: framing, LSNs, torn tails, truncation."""
+
+import os
+
+import pytest
+
+from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
+
+
+@pytest.fixture
+def wal(tmp_path):
+    log = WriteAheadLog(str(tmp_path / "wal.log"))
+    yield log
+    log.close()
+
+
+class TestAppendAndScan:
+    def test_lsns_are_monotonic(self, wal):
+        lsns = [wal.append(LogRecord(LogRecordType.BEGIN, tx_id=i))
+                for i in range(5)]
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == 5
+
+    def test_records_round_trip(self, wal):
+        record = LogRecord(LogRecordType.UPDATE, tx_id=9, oid_value=4,
+                           before=b"old", after=b"new")
+        wal.append(record)
+        wal.flush()
+        scanned = list(wal.iter_records())
+        assert len(scanned) == 1
+        got = scanned[0]
+        assert got.type is LogRecordType.UPDATE
+        assert got.tx_id == 9
+        assert got.oid_value == 4
+        assert got.before == b"old"
+        assert got.after == b"new"
+
+    def test_unflushed_records_are_not_durable(self, wal, tmp_path):
+        wal.append(LogRecord(LogRecordType.BEGIN, tx_id=1))
+        # A fresh handle on the same file sees nothing until flush.
+        other = WriteAheadLog(str(tmp_path / "wal.log"))
+        assert list(other.iter_records()) == []
+        wal.flush()
+        assert len(list(WriteAheadLog(str(tmp_path / "wal.log"))
+                        .iter_records())) == 1
+
+    def test_flushed_lsn_tracks_flushes(self, wal):
+        assert wal.flushed_lsn == 0
+        lsn = wal.append(LogRecord(LogRecordType.COMMIT, tx_id=1))
+        wal.flush()
+        assert wal.flushed_lsn == lsn
+
+    def test_flush_to_is_noop_when_already_durable(self, wal):
+        lsn = wal.append(LogRecord(LogRecordType.COMMIT, tx_id=1))
+        wal.flush()
+        wal.flush_to(lsn)  # must not raise or rewind
+        assert wal.flushed_lsn == lsn
+
+
+class TestCrashTolerance:
+    def test_torn_tail_is_ignored(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        log.append(LogRecord(LogRecordType.BEGIN, tx_id=1))
+        log.append(LogRecord(LogRecordType.COMMIT, tx_id=1))
+        log.flush()
+        log.close()
+        # Simulate a crash mid-append: truncate the file mid-record.
+        size = os.path.getsize(path)
+        with open(path, "ab") as f:
+            f.write(b"\x00\x00\x00\x40garbage")
+        recovered = WriteAheadLog(path)
+        records = list(recovered.iter_records())
+        assert [r.type for r in records] == [LogRecordType.BEGIN,
+                                             LogRecordType.COMMIT]
+        recovered.close()
+
+    def test_lsns_continue_after_reopen(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        first = log.append(LogRecord(LogRecordType.BEGIN, tx_id=1))
+        log.flush()
+        log.close()
+        reopened = WriteAheadLog(path)
+        second = reopened.append(LogRecord(LogRecordType.COMMIT, tx_id=1))
+        assert second == first + 1
+        reopened.close()
+
+
+class TestTruncate:
+    def test_truncate_erases_records_keeps_lsn_counter(self, wal):
+        lsn = wal.append(LogRecord(LogRecordType.COMMIT, tx_id=1))
+        wal.truncate()
+        assert list(wal.iter_records()) == []
+        next_lsn = wal.append(LogRecord(LogRecordType.BEGIN, tx_id=2))
+        assert next_lsn > lsn
+
+    def test_size_shrinks_after_truncate(self, wal):
+        for i in range(50):
+            wal.append(LogRecord(LogRecordType.UPDATE, tx_id=1,
+                                 oid_value=i, after=b"x" * 100))
+        wal.flush()
+        before = wal.size_bytes()
+        wal.truncate()
+        assert wal.size_bytes() < before

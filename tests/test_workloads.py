@@ -1,0 +1,101 @@
+"""Workload generators: determinism and statistical shape."""
+
+import pytest
+
+from repro.bench.workloads import (
+    PowerPlantWorkload,
+    Reactor,
+    River,
+    Stock,
+    StockTickerWorkload,
+    WorkflowTask,
+    WorkflowWorkload,
+)
+
+
+class TestPowerPlant:
+    def test_deterministic_for_same_seed(self):
+        first = list(PowerPlantWorkload(updates=100, seed=3).events())
+        second = list(PowerPlantWorkload(updates=100, seed=3).events())
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = list(PowerPlantWorkload(updates=100, seed=3).events())
+        second = list(PowerPlantWorkload(updates=100, seed=4).events())
+        assert first != second
+
+    def test_alarm_fraction_respected(self):
+        workload = PowerPlantWorkload(updates=2000, alarm_fraction=0.10,
+                                      seed=1)
+        events = list(workload.events())
+        alarms = sum(1 for kind, __ in events if kind == "alarm")
+        assert len(events) == 2000
+        assert 0.06 < alarms / 2000 < 0.14
+
+    def test_alarm_event_satisfies_the_rule_condition(self):
+        workload = PowerPlantWorkload(updates=50, alarm_fraction=1.0,
+                                      seed=1)
+        river, reactor = workload.build_plant()
+        for kind, value in workload.events():
+            workload.apply(river, reactor, kind, value)
+            assert kind == "alarm"
+            assert river.level < 37
+            assert river.get_water_temp() > 24.5
+            assert reactor.get_heat_output() > 1_000_000
+
+    def test_apply_updates_the_right_target(self):
+        workload = PowerPlantWorkload()
+        river, reactor = workload.build_plant()
+        workload.apply(river, reactor, "level", 42.0)
+        assert river.level == 42
+        workload.apply(river, reactor, "temp", 19.5)
+        assert river.water_temp == 19.5
+        workload.apply(river, reactor, "heat", 777777.0)
+        assert reactor.heat_output == 777777.0
+
+
+class TestStockTicker:
+    def test_deterministic_prices(self):
+        first = list(StockTickerWorkload(seed=9).events())
+        second = list(StockTickerWorkload(seed=9).events())
+        assert first == second
+
+    def test_symbol_indices_in_range(self):
+        workload = StockTickerWorkload(symbols=4, ticks=200)
+        for index, price in workload.events():
+            assert 0 <= index < 4
+            assert price >= 1.0
+
+    def test_build_symbols(self):
+        stocks = StockTickerWorkload(symbols=3).build_symbols()
+        assert [s.symbol for s in stocks] == ["SYM00", "SYM01", "SYM02"]
+
+    def test_tick_accumulates_volume(self):
+        stock = Stock("X", 10.0)
+        stock.tick(11.0, volume=5)
+        stock.tick(12.0, volume=2)
+        assert stock.price == 12.0
+        assert stock.volume == 7
+
+
+class TestWorkflow:
+    def test_task_lifecycle(self):
+        task = WorkflowTask(1, steps=2)
+        assert task.status == "pending"
+        task.start()
+        assert task.status == "running"
+        task.complete_step()
+        assert task.status == "running"
+        task.complete_step()
+        assert task.status == "done"
+
+    def test_escalation(self):
+        task = WorkflowTask(1, steps=5)
+        task.escalate()
+        assert task.status == "escalated"
+
+    def test_build_tasks_deterministic(self):
+        first = WorkflowWorkload(tasks=20, seed=2).build_tasks()
+        second = WorkflowWorkload(tasks=20, seed=2).build_tasks()
+        assert [t.steps for t in first] == [t.steps for t in second]
+        assert all(1 <= t.steps <= 5 for t in first)
