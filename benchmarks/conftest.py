@@ -10,10 +10,14 @@ single run.
 from __future__ import annotations
 
 import os
+from typing import Any
 
 import pytest
 
+from repro.bench.metrics import merge_bench_json
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BENCH_OBS_PATH = os.path.join(RESULTS_DIR, "BENCH_obs.json")
 
 
 def report(experiment: str, lines: list[str]) -> str:
@@ -26,6 +30,16 @@ def report(experiment: str, lines: list[str]) -> str:
     return text
 
 
+def obs_report(experiment: str, payload: dict[str, Any]) -> dict[str, Any]:
+    """Merge one experiment's metrics into ``results/BENCH_obs.json``."""
+    return merge_bench_json(BENCH_OBS_PATH, experiment, payload)
+
+
 @pytest.fixture
 def results_report():
     return report
+
+
+@pytest.fixture
+def bench_obs_report():
+    return obs_report

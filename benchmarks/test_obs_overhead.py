@@ -1,0 +1,142 @@
+"""Observability overhead on the E1 sentry path.
+
+The observability subsystem claims near-zero cost when disabled and low
+overhead when enabled (``ExecutionConfig(observability=True)`` turns on
+span creation at sentry detection, ECA dispatch, rule firing and commit,
+plus counter/histogram updates along the same path).
+
+This harness quantifies the enabled cost on the E1-style *useful
+overhead* workload: a sentried method with a receiver that consumes
+every notification — here a rule whose condition reads the call's
+parameter and whose action mutates state, fired immediately.  Each
+monitored call runs in its own top-level transaction, the shape in which
+REACH consumes external events (the event is detected, the rule fires as
+a nested subtransaction, and the triggering transaction commits), so the
+denominator is one whole event-processing cycle rather than a bare
+method call.
+
+Methodology, tuned for a noisy shared machine:
+
+* disabled and enabled rounds are interleaved so machine drift hits both
+  sides equally;
+* the comparison uses each side's best round — the noise-free floor;
+* local histories are bounded (``history_capacity``) so the global
+  history merge at commit costs the same in round 40 as in round 1.
+"""
+
+import time
+
+from repro import ExecutionConfig, MethodEventSpec, ReachDatabase, sentried
+
+EVENTS_PER_ROUND = 100
+ROUNDS = 40
+
+
+# Two identical sentried classes: the sentry registry is process-wide,
+# so each database watches its own class to keep the workloads disjoint.
+@sentried(track_state=False)
+class ProbeDisabled:
+    def ping(self, value):
+        self.setting = value
+        return value
+
+
+@sentried(track_state=False)
+class ProbeEnabled:
+    def ping(self, value):
+        self.setting = value
+        return value
+
+
+class _Tally:
+    """Plain mutable target for the rule action (no sentry, no cascade)."""
+
+    def __init__(self):
+        self.value = 0
+
+
+def _database(tmp_path, observability, probe_cls, tally):
+    db = ReachDatabase(directory=str(tmp_path),
+                       config=ExecutionConfig(observability=observability,
+                                              history_capacity=256))
+    db.register_class(probe_cls)
+
+    def bump(ctx):
+        tally.value += ctx["value"]
+
+    db.on(MethodEventSpec(probe_cls.__name__, "ping",
+                          param_names=("value",))) \
+      .when(lambda ctx: ctx["value"] >= 0) \
+      .do(bump).named("probe-rule")
+    return db
+
+
+def _one_round(db, probe):
+    for index in range(EVENTS_PER_ROUND):
+        with db.transaction():
+            probe.ping(index)
+
+
+def test_enabled_overhead_under_25_percent(tmp_path, bench_obs_report):
+    """Full-pipeline tracing must cost < 25% per event-processing cycle."""
+    tally_disabled = _Tally()
+    tally_enabled = _Tally()
+    disabled_db = _database(tmp_path / "disabled", observability=False,
+                            probe_cls=ProbeDisabled, tally=tally_disabled)
+    enabled_db = _database(tmp_path / "enabled", observability=True,
+                           probe_cls=ProbeEnabled, tally=tally_enabled)
+    probe_disabled = ProbeDisabled()
+    probe_enabled = ProbeEnabled()
+
+    # Warm-up: caches, allocator arenas and the WAL file need priming on
+    # both sides before timing starts.
+    _one_round(disabled_db, probe_disabled)
+    _one_round(enabled_db, probe_enabled)
+
+    disabled_samples = []
+    enabled_samples = []
+    for __ in range(ROUNDS):
+        start = time.perf_counter()
+        _one_round(disabled_db, probe_disabled)
+        disabled_samples.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        _one_round(enabled_db, probe_enabled)
+        enabled_samples.append(time.perf_counter() - start)
+
+    disabled_best = min(disabled_samples)
+    enabled_best = min(enabled_samples)
+    overhead = enabled_best / disabled_best - 1.0
+
+    # Both rules really ran on every call.
+    expected = sum(range(EVENTS_PER_ROUND)) * (ROUNDS + 1)
+    assert tally_disabled.value == expected
+    assert tally_enabled.value == expected
+
+    # The enabled side really traced: every call produced a span tree and
+    # bumped the pipeline counters.
+    snapshot = enabled_db.metrics().snapshot()
+    fired = snapshot["counters"]["rules.fired.immediate"]
+    assert fired == (ROUNDS + 1) * EVENTS_PER_ROUND
+    assert enabled_db.trace() is not None
+    # The disabled side really did not.
+    assert disabled_db.trace() is None
+    assert disabled_db.metrics().snapshot()["counters"] == {}
+
+    bench_obs_report("obs_overhead", {
+        "events_per_round": EVENTS_PER_ROUND,
+        "rounds": ROUNDS,
+        "disabled_best_s": disabled_best,
+        "enabled_best_s": enabled_best,
+        "overhead_fraction": overhead,
+        "enabled_metrics": snapshot,
+    })
+    print(f"\nobs overhead: disabled={disabled_best * 1e3:.2f}ms "
+          f"enabled={enabled_best * 1e3:.2f}ms "
+          f"({overhead * 100:+.1f}%)")
+
+    disabled_db.close()
+    enabled_db.close()
+
+    assert overhead < 0.25, (
+        f"enabled observability costs {overhead * 100:.1f}% on the sentry "
+        f"path (budget: 25%)")

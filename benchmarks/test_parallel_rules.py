@@ -36,11 +36,13 @@ class Trigger:
 FIRE = MethodEventSpec("Trigger", "fire")
 
 
-def _database(tmp_path, parallel: bool, rules: int, action_cost: float):
+def _database(tmp_path, parallel: bool, rules: int, action_cost: float,
+              observability: bool = False):
     config = ExecutionConfig(
         mode=ExecutionMode.THREADED if parallel
         else ExecutionMode.SYNCHRONOUS,
-        parallel_rules=parallel, worker_threads=max(4, rules))
+        parallel_rules=parallel, worker_threads=max(4, rules),
+        observability=observability)
     db = ReachDatabase(directory=str(tmp_path), config=config)
     db.register_class(Trigger)
 
@@ -79,26 +81,48 @@ def test_cheap_actions(benchmark, tmp_path, strategy):
     db.close()
 
 
-def test_crossover_report(benchmark, tmp_path, results_report):
-    """Sweep action cost; find where parallel starts winning."""
+def test_crossover_report(tmp_path, results_report,
+                          bench_obs_report):
+    """Sweep action cost; find where parallel starts winning.
+
+    Runs with observability enabled and measures through the database's
+    own :class:`MetricsRegistry` — event latency goes into a histogram on
+    the registry, and the reproduced rows are cross-checked against the
+    engine's ``rules.fired.*`` counters and ``rule.action.latency``
+    histogram before everything is exported to ``results/BENCH_obs.json``.
+    """
     rows = []
+    obs_rows = []
     rules = 6
     for cost_ms in (0.0, 0.2, 1.0, 5.0):
         timings = {}
+        obs_row = {"action_cost_ms": cost_ms}
         for strategy in ("sequential", "parallel"):
             db = _database(
                 tmp_path / f"x-{strategy}-{cost_ms}",
                 parallel=(strategy == "parallel"), rules=rules,
-                action_cost=cost_ms / 1000.0)
+                action_cost=cost_ms / 1000.0, observability=True)
             _run_event(db)  # warm-up
-            samples = []
+            latency = db.metrics().histogram("e3.event_latency")
             for __ in range(10):
-                start = time.perf_counter()
-                _run_event(db)
-                samples.append(time.perf_counter() - start)
-            timings[strategy] = sorted(samples)[len(samples) // 2]
+                with latency.time():
+                    _run_event(db)
+            timings[strategy] = latency.percentile(50)
+            snapshot = db.metrics().snapshot()
+            fired = sum(value
+                        for name, value in snapshot["counters"].items()
+                        if name.startswith("rules.fired."))
+            # 11 events (warm-up + 10 measured), each firing every rule.
+            assert fired == 11 * rules
+            obs_row[strategy] = {
+                "event_latency": snapshot["histograms"]["e3.event_latency"],
+                "action_latency":
+                    snapshot["histograms"]["rule.action.latency"],
+                "rules_fired": fired,
+            }
             db.close()
         rows.append((cost_ms, timings["sequential"], timings["parallel"]))
+        obs_rows.append(obs_row)
 
     lines = [f"E3: sequential vs parallel rule execution "
              f"({rules} rules fired by one event)", "",
@@ -109,6 +133,12 @@ def test_crossover_report(benchmark, tmp_path, results_report):
                      f"{par * 1000:>10.2f}ms {seq / par:>7.2f}x")
     text = results_report("E3_parallel_rules", lines)
     print("\n" + text)
+
+    bench_obs_report("E3_parallel_rules", {
+        "rules": rules,
+        "samples_per_point": 10,
+        "rows": obs_rows,
+    })
 
     # Shape: with 5 ms blocking actions, parallel must win clearly; with
     # free actions, sequential must not lose (setup overhead dominates).

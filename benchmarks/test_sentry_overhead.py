@@ -16,7 +16,7 @@ single cheap test — which is exactly what the in-line wrapper does.
 
 import pytest
 
-from repro.bench.metrics import LatencyRecorder
+from repro.obs.metrics import MetricsRegistry
 from repro.oodb.sentry import Moment, registry, sentried
 
 
@@ -77,19 +77,26 @@ def test_useful_overhead(benchmark):
         subscription.cancel()
 
 
-def test_overhead_shape_report(benchmark, results_report):
-    """Measure all four categories in one process and check the shape."""
-    import time
+def test_overhead_shape_report(results_report, bench_obs_report):
+    """Measure all four categories in one process and check the shape.
 
-    def measure(setup):
+    Latency collection runs through the observability subsystem's
+    :class:`MetricsRegistry` — one histogram per overhead category plus
+    the sentry registry's own ``sentry.notifications`` counter — and the
+    full snapshot lands in ``results/BENCH_obs.json``.
+    """
+    metrics = MetricsRegistry(enabled=True)
+    saved_counter = registry._m_notifications
+    registry.attach_metrics(metrics)
+
+    def measure(name, setup):
         valve, teardown = setup()
-        recorder = LatencyRecorder()
+        histogram = metrics.histogram(f"e1.round_latency.{name}")
         for __ in range(30):
-            start = time.perf_counter()
-            _run_calls(valve)
-            recorder.record(time.perf_counter() - start)
+            with histogram.time():
+                _run_calls(valve)
         teardown()
-        return recorder
+        return histogram
 
     def unmonitored():
         return UnmonitoredValve(), (lambda: None)
@@ -107,14 +114,19 @@ def test_overhead_shape_report(benchmark, results_report):
                                     lambda note: None)
         return SentriedValve(), sub.cancel
 
-    rows = {
-        "unmonitored": measure(unmonitored),
-        "useless overhead": measure(useless),
-        "potentially useful": measure(potentially),
-        "useful overhead": measure(useful),
-    }
-    per_call = {name: recorder.percentile(50) / CALLS_PER_ROUND * 1e9
-                for name, recorder in rows.items()}
+    try:
+        rows = {
+            "unmonitored": measure("unmonitored", unmonitored),
+            "useless overhead": measure("useless", useless),
+            "potentially useful": measure("potentially", potentially),
+            "useful overhead": measure("useful", useful),
+        }
+        notifications = metrics.counter("sentry.notifications").value
+    finally:
+        registry._m_notifications = saved_counter
+
+    per_call = {name: histogram.percentile(50) / CALLS_PER_ROUND * 1e9
+                for name, histogram in rows.items()}
     base = per_call["unmonitored"]
     lines = ["E1: sentry overhead per method call (category, ns/call, "
              "x unmonitored):", ""]
@@ -123,6 +135,17 @@ def test_overhead_shape_report(benchmark, results_report):
                      f"{nanos / base:6.2f}x")
     text = results_report("E1_sentry_overhead", lines)
     print("\n" + text)
+
+    bench_obs_report("E1_sentry_overhead", {
+        "calls_per_round": CALLS_PER_ROUND,
+        "per_call_ns_p50": per_call,
+        "sentry_notifications": notifications,
+        "metrics": metrics.snapshot(),
+    })
+
+    # Only the useful-overhead rounds deliver notifications (the other
+    # categories must stay off the receiver path entirely).
+    assert notifications == 30 * CALLS_PER_ROUND
 
     # Shape: useful overhead strictly dominates the unmonitored baseline,
     # and the useless path stays much closer to the baseline than the

@@ -4,17 +4,26 @@ Demonstrates the core loop of the REACH reproduction:
 
 1. declare a *sentried* class (transparent event detection),
 2. open a database and register the class,
-3. define an ECA rule on a method event,
+3. define an ECA rule on a method event with the fluent builder
+   (``db.on(event).when(...).do(...).named(...)``),
 4. run transactions — the rule fires at the detection point, inside a
    subtransaction of the trigger, and its effects roll back if the
-   trigger aborts.
+   trigger aborts,
+5. inspect what happened through ``db.trace()`` and ``db.statistics()``
+   (observability is enabled here; it is off by default).
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import CouplingMode, MethodEventSpec, ReachDatabase, sentried
+from repro import (
+    CouplingMode,
+    ExecutionConfig,
+    MethodEventSpec,
+    ReachDatabase,
+    sentried,
+)
 
 
 @sentried
@@ -34,21 +43,21 @@ class Thermostat:
 
 
 def main():
-    db = ReachDatabase()  # transient database in a temp directory
+    # Transient database in a temp directory; observability on so the
+    # session can be inspected with db.trace() afterwards.
+    db = ReachDatabase(config=ExecutionConfig(observability=True))
     db.register_class(Thermostat)
 
     # ECA rule: Event  = after Thermostat.read_temperature
     #           Cond   = reading below 18 degrees
     #           Action = switch the heater on
-    db.rule(
-        "KeepWarm",
-        event=MethodEventSpec("Thermostat", "read_temperature",
-                              param_names=("value",)),
-        condition=lambda ctx: ctx["value"] < 18.0,
-        action=lambda ctx: ctx["instance"].switch_heater(True),
-        coupling=CouplingMode.IMMEDIATE,
-        priority=5,
-    )
+    db.on(MethodEventSpec("Thermostat", "read_temperature",
+                          param_names=("value",))) \
+      .when(lambda ctx: ctx["value"] < 18.0) \
+      .do(lambda ctx: ctx["instance"].switch_heater(True)) \
+      .coupling(CouplingMode.IMMEDIATE) \
+      .priority(5) \
+      .named("KeepWarm")
 
     living_room = Thermostat("living room")
     with db.transaction():
@@ -81,6 +90,15 @@ def main():
     for record in db.scheduler.firing_log:
         print(f"  {record.rule_name:10s} {record.mode.value:10s} "
               f"-> {record.outcome}")
+
+    # Observability: the last trace is the aborted trigger's span tree —
+    # sentry detection, ECA dispatch, the rule firing, its commit.
+    print("\nlast trace:")
+    print(db.trace().format())
+    stats = db.statistics()
+    print(f"\nevents detected: {stats['events_detected']}, "
+          f"rules fired (immediate): "
+          f"{stats['observability']['counters']['rules.fired.immediate']}")
     db.close()
 
 

@@ -10,9 +10,23 @@ Public API highlights:
   policies and coupling modes.
 * :class:`ExecutionConfig` / :class:`ExecutionMode` — synchronous vs
   threaded execution.
+* Observability (``repro.obs``): :class:`Tracer`/:class:`Trace`/
+  :class:`Span` and :class:`MetricsRegistry`, surfaced on the facade as
+  ``db.trace()`` and ``db.metrics()`` when
+  ``ExecutionConfig(observability=True)``.
+* :class:`RuleBuilder` — the fluent form of rule definition, started
+  with ``db.on(event)``.
 * ``repro.layered`` — the Section 4 baseline: an active layer on top of a
   simulated closed commercial OODBMS.
+
+``__all__`` below is the supported surface.  Engine internals (the event
+service, scheduler, composer, transaction manager, ...) can still be
+reached through this package for migration purposes, but such reach-ins
+emit :class:`DeprecationWarning` — import them from their defining
+modules instead.
 """
+
+import warnings as _warnings
 
 from repro.clock import Clock, SystemClock, VirtualClock
 from repro.config import ExecutionConfig, ExecutionMode, TieBreakPolicy
@@ -35,6 +49,7 @@ from repro.core.events import (
     AbsoluteEventSpec,
     EventCategory,
     EventOccurrence,
+    EventSpec,
     FlowEventKind,
     FlowEventSpec,
     MethodEventSpec,
@@ -45,7 +60,9 @@ from repro.core.events import (
     SignalEventSpec,
     StateChangeEventSpec,
 )
+from repro.core.rule_builder import RuleBuilder
 from repro.core.rules import Rule, RuleContext
+from repro.obs import MetricsRegistry, Span, Trace, Tracer
 from repro.oodb.oid import OID
 from repro.oodb.sentry import sentried, is_sentried
 
@@ -73,9 +90,15 @@ __all__ = [
     "is_supported",
     "supported_modes",
     "ReachDatabase",
+    "RuleBuilder",
+    "Tracer",
+    "Trace",
+    "Span",
+    "MetricsRegistry",
     "AbsoluteEventSpec",
     "EventCategory",
     "EventOccurrence",
+    "EventSpec",
     "FlowEventKind",
     "FlowEventSpec",
     "MethodEventSpec",
@@ -92,3 +115,38 @@ __all__ = [
     "is_sentried",
     "__version__",
 ]
+
+#: Engine internals resolvable from the top level for migration only;
+#: each access emits a DeprecationWarning pointing at the home module.
+_DEPRECATED_INTERNALS = {
+    "EventService": "repro.core.eca_manager",
+    "PrimitiveECAManager": "repro.core.eca_manager",
+    "CompositeECAManager": "repro.core.eca_manager",
+    "ReachRulePolicyManager": "repro.core.eca_manager",
+    "Composer": "repro.core.composer",
+    "RuleScheduler": "repro.core.scheduler",
+    "LocalHistory": "repro.core.history",
+    "GlobalHistory": "repro.core.history",
+    "TemporalEventSource": "repro.core.temporal",
+    "Transaction": "repro.oodb.transactions",
+    "TransactionManager": "repro.oodb.transactions",
+    "LockManager": "repro.oodb.locks",
+    "SentryRegistry": "repro.oodb.sentry",
+    "MetaArchitecture": "repro.oodb.meta",
+    "StorageManager": "repro.storage.storage_manager",
+    "WriteAheadLog": "repro.storage.wal",
+    "BufferPool": "repro.storage.buffer",
+}
+
+
+def __getattr__(name: str):
+    module_path = _DEPRECATED_INTERNALS.get(name)
+    if module_path is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    _warnings.warn(
+        f"importing {name!r} from {__name__!r} is deprecated; it is an "
+        f"engine internal — import it from {module_path!r} if you really "
+        "need it, or use the ReachDatabase facade",
+        DeprecationWarning, stacklevel=2)
+    import importlib
+    return getattr(importlib.import_module(module_path), name)

@@ -1,6 +1,6 @@
 """Workload generators and measurement helpers for the benchmarks."""
 
-from repro.bench.metrics import LatencyRecorder, Timer
+from repro.bench.metrics import LatencyRecorder, Timer, merge_bench_json
 from repro.bench.workloads import (
     PowerPlantWorkload,
     StockTickerWorkload,
@@ -10,6 +10,7 @@ from repro.bench.workloads import (
 __all__ = [
     "LatencyRecorder",
     "Timer",
+    "merge_bench_json",
     "PowerPlantWorkload",
     "StockTickerWorkload",
     "WorkflowWorkload",

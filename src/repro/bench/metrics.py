@@ -1,9 +1,21 @@
-"""Measurement helpers shared by the benchmark harnesses."""
+"""Measurement helpers shared by the benchmark harnesses.
+
+Latency collection is built on the observability subsystem's
+:class:`repro.obs.metrics.Histogram` (:class:`LatencyRecorder` is a thin
+compatibility veneer over it), and :func:`merge_bench_json` accumulates
+per-experiment metric sections into one JSON artifact
+(``benchmarks/results/BENCH_obs.json``) so a benchmark run leaves a
+machine-readable trail next to the human-readable ``.txt`` reports.
+"""
 
 from __future__ import annotations
 
+import json
+import os
 import time
-from typing import Optional
+from typing import Any, Optional
+
+from repro.obs.metrics import Histogram
 
 
 class Timer:
@@ -21,46 +33,48 @@ class Timer:
         self.elapsed = time.perf_counter() - self._start
 
 
-class LatencyRecorder:
-    """Collects latency samples and reports summary statistics."""
+class LatencyRecorder(Histogram):
+    """A benchmark-sized latency histogram.
 
-    def __init__(self) -> None:
-        self.samples: list[float] = []
+    Subclasses the observability histogram with an unbounded-ish
+    reservoir (benchmarks want exact percentiles over every sample) and
+    keeps the original recorder API (``record``, ``count``, text
+    ``summary``) for the existing harnesses.
+    """
+
+    def __init__(self, name: str = "latency") -> None:
+        super().__init__(name, reservoir_size=1_000_000)
 
     def record(self, seconds: float) -> None:
-        self.samples.append(seconds)
+        self.observe(seconds)
 
-    def time(self):
-        recorder = self
-
-        class _Sample:
-            def __enter__(self):
-                self._start = time.perf_counter()
-                return self
-
-            def __exit__(self, *exc_info):
-                recorder.record(time.perf_counter() - self._start)
-
-        return _Sample()
-
-    @property
-    def count(self) -> int:
-        return len(self.samples)
-
-    @property
-    def mean(self) -> float:
-        return sum(self.samples) / len(self.samples) if self.samples else 0.0
-
-    def percentile(self, q: float) -> float:
-        if not self.samples:
-            return 0.0
-        ordered = sorted(self.samples)
-        index = min(len(ordered) - 1, int(round(q / 100 * (len(ordered) - 1))))
-        return ordered[index]
-
-    def summary(self, unit: float = 1e6) -> str:
+    def summary(self, unit: float = 1e6) -> str:  # type: ignore[override]
         """One-line summary; default unit microseconds."""
         return (f"n={self.count} mean={self.mean * unit:.1f} "
                 f"p50={self.percentile(50) * unit:.1f} "
                 f"p95={self.percentile(95) * unit:.1f} "
                 f"p99={self.percentile(99) * unit:.1f}")
+
+
+def merge_bench_json(path: str, section: str,
+                     payload: dict[str, Any]) -> dict[str, Any]:
+    """Merge one experiment's metrics into a shared JSON artifact.
+
+    Reads ``path`` (tolerating absence or corruption), replaces
+    ``section`` with ``payload``, writes the file back, and returns the
+    merged document.  Benchmarks call this with their experiment id and
+    a ``MetricsRegistry.snapshot()``-shaped payload so one run of the
+    suite accumulates ``BENCH_obs.json`` section by section.
+    """
+    document: dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as f:
+                document = json.load(f)
+        except (OSError, ValueError):
+            document = {}
+    document[section] = payload
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(document, f, indent=2, sort_keys=True)
+    return document

@@ -11,7 +11,7 @@ monitoring applications the original project targeted.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.oodb.sentry import sentried

@@ -19,7 +19,7 @@ import heapq
 import itertools
 import threading
 import time
-from typing import Callable, Optional
+from typing import Callable
 
 
 class Clock:

@@ -10,8 +10,9 @@ run; tests default to the deterministic synchronous mode.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
+from typing import Optional
 
 
 class ExecutionMode(Enum):
@@ -58,6 +59,19 @@ class ExecutionConfig:
             when False, the set is mapped to an ordered firing sequence —
             the first-prototype strategy whose cost Section 6.4 proposes
             to measure against the parallel one.
+        observability: enable the tracing/metrics subsystem
+            (``repro.obs``).  Off by default: a disabled pipeline pays
+            one no-op call per instrumentation point and ``db.trace()``
+            returns ``None``.
+        trace_capacity: number of traces the tracer retains before
+            evicting oldest-first (only meaningful with observability
+            enabled).
+        history_capacity: bound on each ECA-manager's local event
+            history.  ``None`` (the default) keeps every occurrence, as
+            the paper's compensation view requires; long-running
+            processes and benchmarks can set a bound so the global
+            history merge at commit scans a fixed window instead of the
+            database's whole life.
     """
 
     mode: ExecutionMode = ExecutionMode.SYNCHRONOUS
@@ -68,6 +82,9 @@ class ExecutionConfig:
     max_rule_recursion: int = 16
     detached_start_timeout: float = 30.0
     parallel_rules: bool = False
+    observability: bool = False
+    trace_capacity: int = 256
+    history_capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.worker_threads < 1:
@@ -76,6 +93,10 @@ class ExecutionConfig:
             raise ValueError("max_rule_recursion must be >= 1")
         if self.gc_interval <= 0:
             raise ValueError("gc_interval must be positive")
+        if self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be >= 1")
+        if self.history_capacity is not None and self.history_capacity < 1:
+            raise ValueError("history_capacity must be >= 1 or None")
 
     @property
     def threaded(self) -> bool:

@@ -37,7 +37,7 @@ from repro.core.algebra import (
     Negation,
     Sequence,
 )
-from repro.core.consumption import ConsumptionPolicy, OccurrenceBuffer
+from repro.core.consumption import OccurrenceBuffer
 from repro.core.events import (
     EventCategory,
     EventOccurrence,
@@ -45,6 +45,8 @@ from repro.core.events import (
     PrimitiveEventSpec,
 )
 from repro.errors import EventDefinitionError
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 _GLOBAL_GROUP: Hashable = "*"
 
@@ -348,7 +350,9 @@ def _build(spec: EventSpec) -> _Node:
 class Composer:
     """One small compositor for one composite event expression."""
 
-    def __init__(self, spec: CompositeEventSpec, name: str = ""):
+    def __init__(self, spec: CompositeEventSpec, name: str = "",
+                 tracer: Tracer = NULL_TRACER,
+                 metrics: MetricsRegistry = NULL_METRICS):
         if not isinstance(spec, CompositeEventSpec):
             raise EventDefinitionError(
                 "Composer requires a composite event spec")
@@ -362,9 +366,16 @@ class Composer:
             leaf.key() for leaf in spec.leaves())
         self._graphs: dict[Hashable, _Node] = {}
         self._lock = threading.RLock()
+        self.tracer = tracer
         self.emitted = 0
+        self.consumed = 0
         self.gc_removed = 0
         self.ignored_no_transaction = 0
+        self._span_name = f"compose:{self.name}"
+        self._m_fed = metrics.counter("composer.fed")
+        self._m_composed = metrics.counter("events.composed")
+        self._m_consumed = metrics.counter("events.consumed")
+        self._m_gc_removed = metrics.counter("composer.gc_removed")
 
     # ------------------------------------------------------------------
 
@@ -380,19 +391,46 @@ class Composer:
         return next(iter(occ.tx_ids))
 
     def feed(self, occ: EventOccurrence) -> list[EventOccurrence]:
-        """Feed one primitive occurrence; return completed composites."""
+        """Feed one primitive occurrence; return completed composites.
+
+        Completed composite occurrences inherit the trace context of the
+        composition span, so rules fired by the composite chain back to
+        the primitive detection that completed it; the span's attributes
+        record which primitive occurrences (and traces) contributed.
+        """
         if occ.spec_key not in self.interested_keys:
             return []
-        with self._lock:
-            group = self._group_of(occ)
-            if group is None:
-                return []
-            graph = self._graphs.get(group)
-            if graph is None:
-                graph = _build(self.spec)
-                self._graphs[group] = graph
-            emissions = graph.feed(occ)
-            self.emitted += len(emissions)
+        self._m_fed.inc()
+        with self.tracer.span(self._span_name, "composer",
+                              trace_id=occ.trace_id,
+                              parent_id=occ.span_id,
+                              seq=occ.seq) as span:
+            with self._lock:
+                group = self._group_of(occ)
+                if group is None:
+                    return []
+                graph = self._graphs.get(group)
+                if graph is None:
+                    graph = _build(self.spec)
+                    self._graphs[group] = graph
+                emissions = graph.feed(occ)
+                self.emitted += len(emissions)
+            if emissions:
+                self._m_composed.inc(len(emissions))
+                components = [c for e in emissions
+                              for c in e.all_primitive_components()]
+                self.consumed += len(components)
+                self._m_consumed.inc(len(components))
+                if span is not None:
+                    span.attributes["completed"] = len(emissions)
+                    span.attributes["component_seqs"] = sorted(
+                        {c.seq for c in components})
+                    span.attributes["contributing_traces"] = sorted(
+                        {c.trace_id for c in components
+                         if c.trace_id is not None})
+                    for emission in emissions:
+                        emission.trace_id = span.trace_id
+                        emission.span_id = span.span_id
             return emissions
 
     # ------------------------------------------------------------------
@@ -409,6 +447,7 @@ class Composer:
                 return 0
             removed = graph.pending()
             self.gc_removed += removed
+            self._m_gc_removed.inc(removed)
             return removed
 
     def gc(self, now: float) -> int:
@@ -421,6 +460,7 @@ class Composer:
             for graph in self._graphs.values():
                 removed += graph.discard_older_than(cutoff)
             self.gc_removed += removed
+            self._m_gc_removed.inc(removed)
         return removed
 
     def pending_count(self) -> int:

@@ -24,7 +24,7 @@ composer buffers — it is orthogonal to event lifespan (Section 3.4).
 from __future__ import annotations
 
 import enum
-from typing import Any, Optional
+from typing import Any
 
 
 class ConsumptionPolicy(enum.Enum):

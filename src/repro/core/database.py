@@ -40,16 +40,14 @@ import os
 import tempfile
 import threading
 from contextlib import contextmanager
-from typing import Any, Callable, Iterator, Optional, Type, Union
+from typing import Any, Iterator, Optional, Type, Union
 
 from repro.clock import Clock, VirtualClock
 from repro.config import ExecutionConfig
 from repro.core.algebra import CompositeEventSpec
 from repro.core.coupling import CouplingMode, check_supported
 from repro.core.eca_manager import (
-    CompositeECAManager,
     EventService,
-    PrimitiveECAManager,
     ReachRulePolicyManager,
 )
 from repro.core.events import (
@@ -58,6 +56,7 @@ from repro.core.events import (
     SignalEventSpec,
     TemporalEventSpec,
 )
+from repro.core.rule_builder import RuleBuilder
 from repro.core.rules import Action, Condition, Rule
 from repro.core.scheduler import RuleScheduler
 from repro.core.temporal import TemporalEventSource
@@ -67,6 +66,8 @@ from repro.oodb.change import ChangePolicyManager
 from repro.oodb.data_dictionary import DataDictionary
 from repro.oodb.indexing import HashIndex, IndexPolicyManager
 from repro.oodb.locks import LockManager
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Trace, Tracer
 from repro.oodb.meta import (
     MetaArchitecture,
     PolicyManager,
@@ -125,13 +126,29 @@ class ReachDatabase:
             directory = tempfile.mkdtemp(prefix="reach-db-")
         self.directory = directory
 
+        # -- observability (repro.obs) -----------------------------------
+        # Built first so every subsystem can bind its instruments at
+        # construction; both are inert null-object pipelines unless
+        # ``config.observability`` is set.
+        self.metrics_registry = MetricsRegistry(
+            enabled=self.config.observability)
+        self.tracer = Tracer(enabled=self.config.observability,
+                             capacity=self.config.trace_capacity)
+        if self.config.observability:
+            # The sentry registry is process-wide; only an enabled
+            # database claims its delivery counter (last one wins).
+            default_sentry_registry.attach_metrics(self.metrics_registry)
+
         # -- meta-architecture and support modules (Figure 1) ------------
         self.meta = MetaArchitecture()
-        self.locks = LockManager()
+        self.locks = LockManager(metrics=self.metrics_registry)
         self.tx_manager = TransactionManager(self.meta, self.locks,
-                                             clock=self.clock)
+                                             clock=self.clock,
+                                             tracer=self.tracer,
+                                             metrics=self.metrics_registry)
         self.storage = StorageManager(directory,
-                                      buffer_capacity=buffer_capacity)
+                                      buffer_capacity=buffer_capacity,
+                                      metrics=self.metrics_registry)
         self.dictionary = DataDictionary()
         self.active_space = ActiveAddressSpace()
         self.passive_space = PassiveAddressSpace(self.storage)
@@ -161,11 +178,14 @@ class ReachDatabase:
         self.meta.plug(TransactionPolicyManager(self.tx_manager))
 
         # -- REACH ----------------------------------------------------------
-        self.scheduler = RuleScheduler(self, self.tx_manager, self.config)
+        self.scheduler = RuleScheduler(self, self.tx_manager, self.config,
+                                       tracer=self.tracer,
+                                       metrics=self.metrics_registry)
         self.events = EventService(
             self.meta, self.tx_manager, self.scheduler,
             default_sentry_registry, self.clock, self.config,
-            resolve_class=self.dictionary.type_named)
+            resolve_class=self.dictionary.type_named,
+            tracer=self.tracer, metrics=self.metrics_registry)
         self.rule_pm = self.meta.plug(ReachRulePolicyManager(
             self.events, self.scheduler))
         self.temporal = TemporalEventSource(
@@ -174,6 +194,18 @@ class ReachDatabase:
             anchor_subscribe=self._subscribe_anchor)
         self.temporal.schedule_recurring(self.config.gc_interval,
                                          self.events.collect_garbage)
+
+        # Pull-based queue-depth gauges: evaluated only when a metrics
+        # snapshot is taken, never on the detection path.
+        self.metrics_registry.gauge_fn(
+            "scheduler.detached.depth",
+            self.scheduler.pending_detached_count)
+        self.metrics_registry.gauge_fn(
+            "scheduler.deferred.depth",
+            self.tx_manager.pending_deferred_count)
+        self.metrics_registry.gauge_fn(
+            "composer.semi_composed.pending",
+            self.events.pending_semi_composed)
 
         self._rules: dict[str, tuple[Rule, Any]] = {}
         self._closed = False
@@ -281,6 +313,22 @@ class ReachDatabase:
                     transfer_locks=transfer_locks,
                     description=description)
         return self.register_rule(rule)
+
+    def on(self, event: EventSpec) -> RuleBuilder:
+        """Start a fluent rule definition::
+
+            db.on(MethodEventSpec("River", "update_water_level",
+                                  param_names=("x",))) \\
+              .when(lambda ctx: ctx["x"] < 37) \\
+              .do(lambda ctx: reduce_power(ctx)) \\
+              .coupling(CouplingMode.IMMEDIATE) \\
+              .named("WaterLevel")
+
+        Nothing is registered until the terminal ``.named(name)`` call,
+        which delegates to :meth:`rule` and returns the
+        :class:`~repro.core.rules.Rule`.
+        """
+        return RuleBuilder(self, event)
 
     def register_rule(self, rule: Rule) -> Rule:
         with self._lock:
@@ -423,15 +471,107 @@ class ReachDatabase:
         """The Figure 1 view: plugged policy managers + support modules."""
         return self.meta.inventory()
 
+    # -- observability ---------------------------------------------------
+
+    def metrics(self) -> MetricsRegistry:
+        """The database's metrics registry (null instruments when
+        ``config.observability`` is off)."""
+        return self.metrics_registry
+
+    def trace(self, trace_id: Optional[int] = None) -> Optional[Trace]:
+        """The most recent trace, or the trace with ``trace_id``.
+
+        ``None`` when tracing is disabled or nothing has been recorded.
+        Each :class:`~repro.obs.tracer.Trace` is the span tree of one
+        sentried call: detection, ECA dispatch, composition, rule firings
+        and their commits.
+        """
+        return self.tracer.trace(trace_id)
+
+    def traces(self) -> list[Trace]:
+        """Every retained trace, oldest first."""
+        return self.tracer.traces()
+
+    def dump_observability(self, json_format: bool = False) -> str:
+        """Text (default) or JSON dump of metrics plus retained traces."""
+        if json_format:
+            import json as _json
+            return _json.dumps({
+                "metrics": self.metrics_registry.snapshot(),
+                "traces": [trace.to_dict() for trace in self.traces()],
+            }, indent=2)
+        parts = [self.metrics_registry.dump_text()]
+        for trace in self.traces():
+            parts.append(trace.format())
+        return "\n\n".join(parts)
+
+    #: The frozen top-level key set of :meth:`statistics`.  Every key is
+    #: present from construction onward; additions require a new entry
+    #: here (tests assert equality, catching accidental drift).
+    STATISTICS_KEYS = frozenset({
+        "transactions", "scheduler", "events", "events_detected",
+        "semi_composed_pending", "composers", "eca_managers", "storage",
+        "rules", "queries", "observability",
+    })
+
     def statistics(self) -> dict[str, Any]:
+        """A consistent snapshot of every subsystem's counters.
+
+        The key set is exactly :attr:`STATISTICS_KEYS`, and every value is
+        well-defined before the first transaction (zeros/empty sections).
+        All values come from always-maintained plain attributes, so they
+        are correct whether or not ``config.observability`` is enabled;
+        the ``observability`` section carries the metrics snapshot (null
+        when disabled).
+
+        Keys:
+
+        * ``transactions`` — begun/committed/aborted counts;
+        * ``scheduler`` — firing counts per policy (immediate,
+          deferred_enqueued, deferred_run, detached_run, ...);
+        * ``events`` — detected/composed/consumed plus pending
+          semi-composed occurrences;
+        * ``events_detected``, ``semi_composed_pending`` — flat aliases
+          retained for backward compatibility;
+        * ``composers`` — composer count, emissions, live graph instances;
+        * ``eca_managers`` — primitive/composite manager counts and
+          occurrences handled;
+        * ``storage`` — pages, WAL and buffer-pool counters;
+        * ``rules`` — registered rule count;
+        * ``queries`` — query-processor counters;
+        * ``observability`` — ``metrics().snapshot()``.
+        """
+        composers = self.events.composers()
+        primitive = self.events.primitive_managers()
+        composite = self.events.composite_managers()
         return {
             "transactions": dict(self.tx_manager.stats),
             "scheduler": dict(self.scheduler.stats),
+            "events": {
+                "detected": self.events.events_detected,
+                "composed": sum(c.emitted for c in composers),
+                "consumed": sum(c.consumed for c in composers),
+                "semi_composed_pending":
+                    self.events.pending_semi_composed(),
+            },
             "events_detected": self.events.events_detected,
             "semi_composed_pending": self.events.pending_semi_composed(),
+            "composers": {
+                "count": len(composers),
+                "emitted": sum(c.emitted for c in composers),
+                "graph_instances":
+                    sum(c.graph_instance_count() for c in composers),
+            },
+            "eca_managers": {
+                "primitive": len(primitive),
+                "composite": len(composite),
+                "handled": sum(m.handled for m in primitive)
+                + sum(m.handled for m in composite),
+            },
             "storage": self.storage.stats(),
             "rules": len(self._rules),
             "queries": dict(self.query_processor.stats),
+            "observability": self.metrics_registry.snapshot(),
         }
 
     def checkpoint(self) -> None:

@@ -31,16 +31,13 @@ from typing import Any, Callable, Hashable, Optional
 
 from repro.config import ExecutionConfig
 from repro.core.composer import Composer
-from repro.core.coupling import check_supported
 from repro.core.events import (
-    EventCategory,
     EventOccurrence,
     EventSpec,
     FlowEventKind,
     FlowEventSpec,
     MethodEventSpec,
     MilestoneEventSpec,
-    SignalEventSpec,
     StateChangeEventSpec,
     TemporalEventSpec,
 )
@@ -48,8 +45,9 @@ from repro.core.algebra import CompositeEventSpec
 from repro.core.history import GlobalHistory, LocalHistory
 from repro.core.rules import Rule
 from repro.core.scheduler import RuleScheduler
-from repro.errors import EventDefinitionError, RuleDefinitionError
 from repro.clock import Clock
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.oodb.meta import (
     MetaArchitecture,
     PolicyManager,
@@ -58,7 +56,6 @@ from repro.oodb.meta import (
 )
 from repro.oodb.sentry import (
     MethodNotification,
-    Moment,
     SentryRegistry,
     Subscription,
 )
@@ -69,17 +66,24 @@ class PrimitiveECAManager:
     """ECA-manager dedicated to one primitive event type."""
 
     def __init__(self, spec: EventSpec, scheduler: RuleScheduler,
-                 global_history: GlobalHistory):
+                 global_history: GlobalHistory,
+                 tracer: Tracer = NULL_TRACER,
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 history_capacity: Optional[int] = None):
         self.spec = spec
         self.key = spec.key()
         self.scheduler = scheduler
+        self.tracer = tracer
         self.rules: list[Rule] = []
         #: composite managers (and other listeners) interested in this
         #: primitive event; populated by the event service.
         self.listeners: list[Callable[[EventOccurrence], None]] = []
-        self.history = LocalHistory(name=str(self.key))
+        self.history = LocalHistory(name=str(self.key),
+                                    capacity=history_capacity)
         global_history.attach_source(self.history)
         self.handled = 0
+        self._span_name = f"eca:{spec.describe()}"
+        self._m_handled = metrics.counter("eca.primitive.handled")
 
     def add_rule(self, rule: Rule) -> None:
         self.rules.append(rule)
@@ -106,24 +110,43 @@ class PrimitiveECAManager:
         (possibly asynchronously) without blocking normal processing.
         """
         self.handled += 1
-        self.history.record(occ)
-        if self.rules:
-            self.scheduler.fire_rules(self.rules, occ)
-        if self.listeners:
-            propagate(occ, list(self.listeners))
+        self._m_handled.inc()
+        with self.tracer.span(self._span_name, "eca",
+                              trace_id=occ.trace_id,
+                              parent_id=occ.span_id,
+                              seq=occ.seq) as span:
+            if span is not None:
+                # Downstream spans (rule firings, composer feeds — even on
+                # other threads) parent under this ECA span via the
+                # occurrence-carried context.
+                occ.span_id = span.span_id
+            self.history.record(occ)
+            if self.rules:
+                self.scheduler.fire_rules(self.rules, occ)
+            if self.listeners:
+                propagate(occ, list(self.listeners))
 
 
 class CompositeECAManager:
     """ECA-manager owning one composer and the rules on its composite."""
 
     def __init__(self, spec: CompositeEventSpec, scheduler: RuleScheduler,
-                 global_history: GlobalHistory, name: str = ""):
+                 global_history: GlobalHistory, name: str = "",
+                 tracer: Tracer = NULL_TRACER,
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 history_capacity: Optional[int] = None):
         self.spec = spec
-        self.composer = Composer(spec, name=name)
+        self.composer = Composer(spec, name=name, tracer=tracer,
+                                 metrics=metrics)
         self.scheduler = scheduler
+        self.tracer = tracer
         self.rules: list[Rule] = []
-        self.history = LocalHistory(name=f"composite:{self.composer.name}")
+        self.history = LocalHistory(name=f"composite:{self.composer.name}",
+                                    capacity=history_capacity)
         global_history.attach_source(self.history)
+        self._span_name = f"eca:composite:{self.composer.name}"
+        self.handled = 0
+        self._m_handled = metrics.counter("eca.composite.handled")
 
     def add_rule(self, rule: Rule) -> None:
         self.rules.append(rule)
@@ -139,9 +162,17 @@ class CompositeECAManager:
             self.handle_composite(emission)
 
     def handle_composite(self, occ: EventOccurrence) -> None:
-        self.history.record(occ)
-        if self.rules:
-            self.scheduler.fire_rules(self.rules, occ)
+        self.handled += 1
+        self._m_handled.inc()
+        with self.tracer.span(self._span_name, "eca",
+                              trace_id=occ.trace_id,
+                              parent_id=occ.span_id,
+                              seq=occ.seq) as span:
+            if span is not None:
+                occ.span_id = span.span_id
+            self.history.record(occ)
+            if self.rules:
+                self.scheduler.fire_rules(self.rules, occ)
 
 
 class EventService:
@@ -160,7 +191,9 @@ class EventService:
                  sentry_registry: SentryRegistry,
                  clock: Clock,
                  config: ExecutionConfig,
-                 resolve_class: Callable[[str], type]):
+                 resolve_class: Callable[[str], type],
+                 tracer: Tracer = NULL_TRACER,
+                 metrics: MetricsRegistry = NULL_METRICS):
         self.meta = meta
         self.tx_manager = tx_manager
         self.scheduler = scheduler
@@ -168,7 +201,11 @@ class EventService:
         self.clock = clock
         self.config = config
         self.resolve_class = resolve_class
-        self.global_history = GlobalHistory()
+        self.tracer = tracer
+        self.metrics = metrics
+        self._m_detected = metrics.counter("events.detected")
+        self._detect_span_names: dict[Hashable, str] = {}
+        self.global_history = GlobalHistory(metrics=metrics)
         self._primitive: dict[Hashable, PrimitiveECAManager] = {}
         self._composite: dict[Hashable, CompositeECAManager] = {}
         self._subscriptions: list[Subscription] = []
@@ -200,8 +237,10 @@ class EventService:
         with self._lock:
             manager = self._primitive.get(key)
             if manager is None:
-                manager = PrimitiveECAManager(spec, self.scheduler,
-                                              self.global_history)
+                manager = PrimitiveECAManager(
+                    spec, self.scheduler, self.global_history,
+                    tracer=self.tracer, metrics=self.metrics,
+                    history_capacity=self.config.history_capacity)
                 self._primitive[key] = manager
                 self._install_detector(spec)
             return manager
@@ -213,8 +252,10 @@ class EventService:
             manager = self._composite.get(key)
             if manager is not None:
                 return manager
-            manager = CompositeECAManager(spec, self.scheduler,
-                                          self.global_history, name=name)
+            manager = CompositeECAManager(
+                spec, self.scheduler, self.global_history, name=name,
+                tracer=self.tracer, metrics=self.metrics,
+                history_capacity=self.config.history_capacity)
             self._composite[key] = manager
         # Every leaf primitive must be detectable and must propagate here.
         for leaf in spec.leaves():
@@ -248,18 +289,38 @@ class EventService:
 
     def emit(self, spec: EventSpec, parameters: dict[str, Any],
              tx_ids: Optional[frozenset[int]] = None) -> EventOccurrence:
-        """Create an occurrence of a registered primitive and route it."""
+        """Create an occurrence of a registered primitive and route it.
+
+        With tracing enabled this is where a trace is born: the detection
+        span roots the trace (or joins the calling thread's open span when
+        a rule action raises a cascading event) and its ids travel on the
+        occurrence through composition and firing.
+        """
         occ = EventOccurrence(
             spec=spec,
             category=spec.category(),
             timestamp=self.clock.now(),
             tx_ids=self._current_tx_ids() if tx_ids is None else tx_ids,
             parameters=parameters)
-        self.route(occ)
+        if not self.tracer.enabled:
+            # Disabled fast path: detection costs one attribute check.
+            self.route(occ)
+            return occ
+        # Span names are cached per spec: describe() walks the spec tree
+        # and must not run on every detection.
+        span_name = self._detect_span_names.get(occ.spec_key)
+        if span_name is None:
+            span_name = self._detect_span_names[occ.spec_key] = \
+                f"detect:{spec.describe()}"
+        with self.tracer.span(span_name, "sentry", seq=occ.seq) as span:
+            occ.trace_id = span.trace_id
+            occ.span_id = span.span_id
+            self.route(occ)
         return occ
 
     def route(self, occ: EventOccurrence) -> None:
         self.events_detected += 1
+        self._m_detected.inc()
         with self._lock:
             manager = self._primitive.get(occ.spec_key)
         if manager is not None:

@@ -25,8 +25,8 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field, replace
-from typing import Any, Hashable, Optional, Type, Union
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional
 
 from repro.errors import EventDefinitionError
 from repro.oodb.sentry import Moment
@@ -311,6 +311,13 @@ class EventOccurrence:
     parameters: dict[str, Any] = field(default_factory=dict)
     components: tuple["EventOccurrence", ...] = ()
     seq: int = field(default_factory=lambda: next(_occurrence_seq))
+    #: observability context (``repro.obs``): the id of the trace this
+    #: occurrence belongs to and the span that produced it.  Set by the
+    #: event service / composer when tracing is enabled; carried on the
+    #: occurrence so spans opened on other threads (composition workers,
+    #: deferred drains, detached rules) attach to the originating trace.
+    trace_id: Optional[int] = None
+    span_id: Optional[int] = None
 
     @property
     def spec_key(self) -> Hashable:

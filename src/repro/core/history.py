@@ -21,6 +21,7 @@ import threading
 from typing import Iterator, Optional
 
 from repro.core.events import EventOccurrence
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 
 
 class LocalHistory:
@@ -64,12 +65,14 @@ class GlobalHistory:
     worker, in synchronous mode right after commit/abort.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: MetricsRegistry = NULL_METRICS) -> None:
         self._lock = threading.Lock()
         self._entries: list[EventOccurrence] = []
         self._merged_seqs: set[int] = set()
         self._sources: list[LocalHistory] = []
         self.merge_operations = 0
+        self._m_merges = metrics.counter("history.merges")
+        self._m_merged_entries = metrics.counter("history.merged_entries")
 
     def attach_source(self, local: LocalHistory) -> None:
         with self._lock:
@@ -112,6 +115,8 @@ class GlobalHistory:
             if added:
                 self._entries.sort(key=lambda occ: occ.seq)
             self.merge_operations += 1
+            self._m_merges.inc()
+            self._m_merged_entries.inc(added)
             return added
 
     # ------------------------------------------------------------------

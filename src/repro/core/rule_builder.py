@@ -1,0 +1,129 @@
+"""Fluent rule definition: ``db.on(event).when(...).do(...).named(...)``.
+
+The keyword form :meth:`~repro.core.database.ReachDatabase.rule` mirrors
+the paper's DDL block one argument per clause; the builder reads like the
+DDL itself::
+
+    db.on(MethodEventSpec("River", "update_water_level",
+                          param_names=("x",))) \
+      .when(lambda ctx: ctx["x"] < 37) \
+      .do(lambda ctx: reduce_power(ctx)) \
+      .coupling(CouplingMode.IMMEDIATE) \
+      .priority(5) \
+      .named("WaterLevel")
+
+Every clause method returns the builder; :meth:`RuleBuilder.named` is the
+terminal operation — it validates the (event category, coupling mode)
+combination against Table 1 and registers the rule, exactly as
+``db.rule(...)`` would.  Nothing is registered until it is called, so an
+abandoned builder has no effect.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.coupling import CouplingMode
+from repro.core.events import EventSpec
+from repro.core.rules import Action, Condition, Rule
+
+if TYPE_CHECKING:
+    from repro.core.database import ReachDatabase
+
+__all__ = ["RuleBuilder"]
+
+
+class RuleBuilder:
+    """Accumulates one rule's clauses; terminal :meth:`named` registers it."""
+
+    def __init__(self, db: "ReachDatabase", event: EventSpec):
+        self._db = db
+        self._event = event
+        self._condition: Optional[Condition] = None
+        self._condition_query: Optional[str] = None
+        self._action: Optional[Action] = None
+        self._coupling = CouplingMode.IMMEDIATE
+        self._cond_coupling: Optional[CouplingMode] = None
+        self._action_coupling: Optional[CouplingMode] = None
+        self._priority = 0
+        self._critical = False
+        self._enabled = True
+        self._transfer_locks = False
+        self._description = ""
+
+    # -- condition ---------------------------------------------------------
+
+    def when(self, condition: Condition) -> "RuleBuilder":
+        """Set the condition callable (``ctx -> bool``)."""
+        self._condition = condition
+        return self
+
+    def when_query(self, text: str) -> "RuleBuilder":
+        """Set an OQL-subset condition query (true iff non-empty result)."""
+        self._condition_query = text
+        return self
+
+    # -- action ------------------------------------------------------------
+
+    def do(self, action: Action) -> "RuleBuilder":
+        """Set the action callable."""
+        self._action = action
+        return self
+
+    # -- coupling and firing policy ----------------------------------------
+
+    def coupling(self, mode: CouplingMode) -> "RuleBuilder":
+        """E-C and C-A coupling together (the common single-mode case)."""
+        self._coupling = mode
+        return self
+
+    def cond_coupling(self, mode: CouplingMode) -> "RuleBuilder":
+        """E-C coupling alone (split rules)."""
+        self._cond_coupling = mode
+        return self
+
+    def action_coupling(self, mode: CouplingMode) -> "RuleBuilder":
+        """C-A coupling alone (split rules)."""
+        self._action_coupling = mode
+        return self
+
+    def priority(self, value: int) -> "RuleBuilder":
+        self._priority = value
+        return self
+
+    def critical(self, flag: bool = True) -> "RuleBuilder":
+        """A failing critical rule aborts its triggering transaction."""
+        self._critical = flag
+        return self
+
+    def disabled(self) -> "RuleBuilder":
+        """Register the rule disabled (enable later via ``rule.enabled``)."""
+        self._enabled = False
+        return self
+
+    def transfer_locks(self, flag: bool = True) -> "RuleBuilder":
+        """Exclusive causally dependent mode: claim the trigger's locks."""
+        self._transfer_locks = flag
+        return self
+
+    def describe(self, text: str) -> "RuleBuilder":
+        self._description = text
+        return self
+
+    # -- terminal ----------------------------------------------------------
+
+    def named(self, name: str) -> Rule:
+        """Validate, register under ``name``, and return the rule."""
+        return self._db.rule(
+            name, event=self._event, action=self._action,
+            condition=self._condition,
+            condition_query=self._condition_query,
+            coupling=self._coupling,
+            cond_coupling=self._cond_coupling,
+            action_coupling=self._action_coupling,
+            priority=self._priority, critical=self._critical,
+            enabled=self._enabled, transfer_locks=self._transfer_locks,
+            description=self._description)
+
+    def __repr__(self) -> str:
+        return f"<RuleBuilder on {self._event.describe()} (unregistered)>"

@@ -28,7 +28,8 @@ from __future__ import annotations
 import copy
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Optional
 
 from repro.config import ExecutionConfig, TieBreakPolicy
@@ -36,6 +37,8 @@ from repro.core.coupling import CouplingMode
 from repro.core.events import EventOccurrence
 from repro.core.rules import Rule, RuleContext, sort_for_firing
 from repro.errors import RuleExecutionError, TransactionAborted
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracer import _NULL_SPAN, NULL_TRACER, Tracer
 from repro.oodb.sentry import is_sentried
 from repro.oodb.transactions import (
     Transaction,
@@ -78,10 +81,25 @@ class RuleScheduler:
     """Dispatches triggered rules according to their coupling modes."""
 
     def __init__(self, db: Any, tx_manager: TransactionManager,
-                 config: ExecutionConfig):
+                 config: ExecutionConfig,
+                 tracer: Tracer = NULL_TRACER,
+                 metrics: MetricsRegistry = NULL_METRICS):
         self.db = db
         self.tx_manager = tx_manager
         self.config = config
+        self.tracer = tracer
+        self.metrics = metrics
+        self._observe_latency = metrics.enabled
+        self._h_condition = metrics.histogram("rule.condition.latency")
+        self._h_action = metrics.histogram("rule.action.latency")
+        self._m_fired = {mode: metrics.counter(f"rules.fired.{mode.value}")
+                         for mode in CouplingMode}
+        self._m_condition_false = metrics.counter("rules.condition_false")
+        self._m_errors = metrics.counter("rules.errors")
+        self._m_skipped = metrics.counter("rules.skipped")
+        #: rule name -> "fire:<name>", built lazily; firing is the hot
+        #: path, so the span name must not be re-formatted per firing.
+        self._fire_span_names: dict[str, str] = {}
         self.errors: list[tuple[Rule, BaseException]] = []
         self.firing_log: list[FiringRecord] = []
         self._log_lock = threading.Lock()
@@ -183,19 +201,41 @@ class RuleScheduler:
                    bindings: Optional[dict[str, Any]] = None) -> None:
         """Run one unit inside an already-begun transaction ``tx``."""
         tm = self.tx_manager
-        try:
-            outcome = self._run_unit(rule, occ, phase, tx, mode,
-                                     bindings=bindings)
-            tm.commit(tx)
-            self._log(rule, mode, phase, occ, outcome, tx.id)
-        except RuleExecutionError as exc:
-            if tx.state is TransactionState.ACTIVE:
-                tm.abort(tx)
-            self.errors.append((rule, exc))
-            self._log(rule, mode, phase, occ, "error", tx.id)
-            if rule.critical:
-                raise TransactionAborted(
-                    f"critical rule {rule.name!r} failed: {exc}") from exc
+        with self._fire_span(rule, occ, mode, phase, tx) as span:
+            try:
+                outcome = self._run_unit(rule, occ, phase, tx, mode,
+                                         bindings=bindings)
+                tm.commit(tx)
+                self._log(rule, mode, phase, occ, outcome, tx.id)
+                if span is not None:
+                    span.attributes["outcome"] = outcome
+            except RuleExecutionError as exc:
+                if tx.state is TransactionState.ACTIVE:
+                    tm.abort(tx)
+                self.errors.append((rule, exc))
+                self._log(rule, mode, phase, occ, "error", tx.id)
+                if span is not None:
+                    span.attributes["outcome"] = "error"
+                if rule.critical:
+                    raise TransactionAborted(
+                        f"critical rule {rule.name!r} failed: {exc}") from exc
+
+    def _fire_span(self, rule: Rule, occ: EventOccurrence,
+                   mode: CouplingMode, phase: str, tx: Transaction):
+        """The scheduler span of one firing (null context when disabled).
+
+        Branching here keeps the disabled path to one attribute check —
+        no span-name formatting, no attribute packing.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return _NULL_SPAN
+        name = self._fire_span_names.get(rule.name)
+        if name is None:
+            name = self._fire_span_names[rule.name] = f"fire:{rule.name}"
+        return tracer.span(name, "scheduler", trace_id=occ.trace_id,
+                           parent_id=occ.span_id, mode=mode.value,
+                           phase=phase, tx=tx.id)
 
     def _run_unit(self, rule: Rule, occ: EventOccurrence, phase: str,
                   tx: Transaction, mode: CouplingMode,
@@ -206,8 +246,15 @@ class RuleScheduler:
             bindings=rule.bind(occ) if bindings is None
             else dict(bindings),
             transaction=tx)
+        observe = self._observe_latency
         if phase == PHASE_FULL:
-            if not rule.evaluate_condition(ctx):
+            if observe:
+                start = perf_counter()
+                held = rule.evaluate_condition(ctx)
+                self._h_condition.observe(perf_counter() - start)
+            else:
+                held = rule.evaluate_condition(ctx)
+            if not held:
                 rule.condition_rejections += 1
                 return "condition_false"
             if rule.action_coupling is not rule.cond_coupling:
@@ -215,7 +262,12 @@ class RuleScheduler:
                 self._dispatch_action_later(rule, occ, ctx)
                 rule.fired_count += 1
                 return "executed"
-        rule.execute_action(ctx)
+        if observe:
+            start = perf_counter()
+            rule.execute_action(ctx)
+            self._h_action.observe(perf_counter() - start)
+        else:
+            rule.execute_action(ctx)
         rule.fired_count += 1
         return "executed"
 
@@ -447,23 +499,32 @@ class RuleScheduler:
                 work.rule.transfer_locks:
             self._claim_reserved_locks(work, tx)
         self.stats["detached_run"] += 1
-        try:
-            outcome = self._run_unit(work.rule, work.occ, work.phase, tx,
-                                     work.mode, bindings=work.bindings)
-            if before_commit is not None and not before_commit():
-                tm.abort(tx)
+        with self._fire_span(work.rule, work.occ, work.mode, work.phase,
+                             tx) as span:
+            try:
+                outcome = self._run_unit(work.rule, work.occ, work.phase,
+                                         tx, work.mode,
+                                         bindings=work.bindings)
+                if before_commit is not None and not before_commit():
+                    tm.abort(tx)
+                    self._log(work.rule, work.mode, work.phase, work.occ,
+                              "skipped", tx.id)
+                    if span is not None:
+                        span.attributes["outcome"] = "skipped"
+                    return
+                tm.commit(tx)
                 self._log(work.rule, work.mode, work.phase, work.occ,
-                          "skipped", tx.id)
-                return
-            tm.commit(tx)
-            self._log(work.rule, work.mode, work.phase, work.occ, outcome,
-                      tx.id)
-        except RuleExecutionError as exc:
-            if tx.state is TransactionState.ACTIVE:
-                tm.abort(tx)
-            self.errors.append((work.rule, exc))
-            self._log(work.rule, work.mode, work.phase, work.occ, "error",
-                      tx.id)
+                          outcome, tx.id)
+                if span is not None:
+                    span.attributes["outcome"] = outcome
+            except RuleExecutionError as exc:
+                if tx.state is TransactionState.ACTIVE:
+                    tm.abort(tx)
+                self.errors.append((work.rule, exc))
+                self._log(work.rule, work.mode, work.phase, work.occ,
+                          "error", tx.id)
+                if span is not None:
+                    span.attributes["outcome"] = "error"
 
     def _skip(self, work: DetachedWork) -> None:
         if work.rule.transfer_locks:
@@ -491,6 +552,14 @@ class RuleScheduler:
     def _log(self, rule: Rule, mode: CouplingMode, phase: str,
              occ: EventOccurrence, outcome: str,
              tx_id: Optional[int] = None) -> None:
+        if outcome == "executed":
+            self._m_fired[mode].inc()
+        elif outcome == "condition_false":
+            self._m_condition_false.inc()
+        elif outcome == "error":
+            self._m_errors.inc()
+        else:
+            self._m_skipped.inc()
         with self._log_lock:
             self.firing_log.append(FiringRecord(
                 rule_name=rule.name, mode=mode, phase=phase,

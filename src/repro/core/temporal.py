@@ -16,7 +16,7 @@ tests and benchmarks drive temporal behaviour deterministically with a
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 from repro.clock import Clock, TimerHandle
 from repro.core.events import (

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Any, Optional
+from typing import Any
 
 from repro.errors import (
     ClosedSystemError,

@@ -1,0 +1,51 @@
+"""Observability for the active pipeline: tracing and metrics.
+
+This package is the measurement substrate the ROADMAP's performance work
+builds on.  It follows the event pipeline end to end — sentry detection,
+ECA-manager handling, event composition, rule scheduling in all six
+coupling modes, and transaction commit/abort — and exposes the result
+through two handles on the database facade:
+
+* ``db.trace()`` — span trees (:class:`Trace`/:class:`Span`) answering
+  "which primitive events contributed to this composite, which rules
+  fired, in which transaction, and how long each phase took";
+* ``db.metrics()`` — the :class:`MetricsRegistry` with counters, gauges
+  and latency histograms for every pipeline stage.
+
+Both are disabled by default (``ExecutionConfig(observability=True)``
+turns them on) and cost one no-op call per instrumentation point when
+off.  See ``docs/observability.md`` for the span model and metric names.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_METRICS,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+)
+from repro.obs.tracer import NULL_TRACER, Span, Trace, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "Span",
+    "Trace",
+    "Tracer",
+]

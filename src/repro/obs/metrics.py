@@ -1,0 +1,314 @@
+"""Counters, gauges and latency histograms for the event pipeline.
+
+The paper's engineering argument — integration makes active behaviour
+*cheap enough to measure* — needs a measurement substrate that does not
+perturb what it measures.  Two properties drive this module's design:
+
+* **near-zero cost when disabled**: a disabled :class:`MetricsRegistry`
+  hands out process-wide *null instruments* whose mutating methods are
+  no-ops; instrumentation points hold direct references to their
+  instruments, so the disabled hot path is one no-op method call with no
+  dictionary lookup, no branching on configuration, and no allocation;
+* **lock-free hot path when enabled**: counters use plain integer
+  addition (CPython-atomic, same convention as the sentry registry's
+  ``notifications_delivered``); histograms append to a bounded reservoir
+  under no lock and tolerate the benign races this implies — metrics are
+  statistics, not ledgers.
+
+Gauges for queue depths are *pull-based*: a callable registered with
+:meth:`MetricsRegistry.gauge_fn` is evaluated only when a snapshot is
+taken, so tracking the deferred/detached queue depths costs nothing on
+the detection path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Optional
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, pool occupancy)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1) -> None:
+        self.value -= n
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class _HistogramSample:
+    """Context manager recording one latency sample into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: "Histogram"):
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_HistogramSample":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
+
+
+class Histogram:
+    """Latency distribution: count/sum/min/max plus a bounded reservoir.
+
+    The reservoir keeps the most recent ``reservoir_size`` (up to twice
+    that between trims) raw samples so percentiles stay exact for
+    benchmark-sized runs while memory stays bounded for production-sized
+    ones (older samples fall out of the percentile window but remain in
+    count/sum/min/max).  Trimming happens in blocks so the steady-state
+    cost of ``observe`` stays amortized O(1).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "samples",
+                 "reservoir_size")
+
+    def __init__(self, name: str, reservoir_size: int = 4096):
+        self.name = name
+        self.reservoir_size = reservoir_size
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self.samples: list[float] = []
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        samples = self.samples
+        samples.append(seconds)
+        if len(samples) >= self.reservoir_size * 2:
+            del samples[:self.reservoir_size]
+
+    def time(self) -> _HistogramSample:
+        """``with histogram.time(): ...`` records the block's duration."""
+        return _HistogramSample(self)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile over the retained reservoir."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1,
+                    int(round(q / 100 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<Histogram {self.name} n={self.count} "
+                f"mean={self.mean * 1e6:.1f}us>")
+
+
+class _NullContext:
+    """Reusable no-op context manager for disabled instruments."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullCounter(Counter):
+    """No-op counter handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, n: float = 1) -> None:
+        pass
+
+    def dec(self, n: float = 1) -> None:
+        pass
+
+
+class NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, seconds: float) -> None:
+        pass
+
+    def time(self) -> Any:
+        return _NULL_CONTEXT
+
+
+#: Shared null instruments: every disabled registry returns these exact
+#: objects, so tests can assert identity to prove the zero-cost path.
+NULL_COUNTER = NullCounter("null")
+NULL_GAUGE = NullGauge("null")
+NULL_HISTOGRAM = NullHistogram("null")
+
+
+class MetricsRegistry:
+    """Names and owns every instrument of one database instance.
+
+    Instrument names are dotted paths (``events.detected``,
+    ``rules.fired.immediate``, ``wal.flushes``); requesting the same name
+    twice returns the same instrument.  A registry constructed with
+    ``enabled=False`` returns the shared null instruments instead and
+    records nothing.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._gauge_fns: dict[str, Callable[[], float]] = {}
+
+    # -- instrument factories -------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str,
+                  reservoir_size: int = 4096) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(
+                name, reservoir_size=reservoir_size)
+        return histogram
+
+    def gauge_fn(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a pull-based gauge evaluated at snapshot time only."""
+        if self.enabled:
+            self._gauge_fns[name] = fn
+
+    # -- export ---------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-serializable view of every instrument's current value."""
+        out: dict[str, Any] = {"enabled": self.enabled}
+        counters = {name: c.value
+                    for name, c in sorted(self._counters.items())}
+        gauges = {name: g.value
+                  for name, g in sorted(self._gauges.items())}
+        for name, fn in sorted(self._gauge_fns.items()):
+            try:
+                gauges[name] = fn()
+            except Exception:
+                gauges[name] = None
+        histograms = {name: h.summary()
+                      for name, h in sorted(self._histograms.items())}
+        out["counters"] = counters
+        out["gauges"] = gauges
+        out["histograms"] = histograms
+        return out
+
+    def dump_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def dump_text(self) -> str:
+        """Human-readable one-line-per-instrument dump."""
+        snap = self.snapshot()
+        lines = [f"metrics (enabled={snap['enabled']})"]
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name:40s} {value}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"  {name:40s} {value}")
+        for name, summary in snap["histograms"].items():
+            lines.append(
+                f"  {name:40s} n={summary['count']} "
+                f"mean={summary['mean'] * 1e6:.1f}us "
+                f"p50={summary['p50'] * 1e6:.1f}us "
+                f"p95={summary['p95'] * 1e6:.1f}us "
+                f"p99={summary['p99'] * 1e6:.1f}us")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Zero every owned instrument (benchmark harness hook)."""
+        for counter in self._counters.values():
+            counter.value = 0
+        for gauge in self._gauges.values():
+            gauge.value = 0
+        for histogram in self._histograms.values():
+            histogram.count = 0
+            histogram.total = 0.0
+            histogram.min = float("inf")
+            histogram.max = 0.0
+            histogram.samples.clear()
+
+
+#: Registry used by components not wired to a database (always disabled).
+NULL_METRICS = MetricsRegistry(enabled=False)

@@ -17,7 +17,6 @@ from __future__ import annotations
 import threading
 from typing import Any, Iterator, Optional
 
-from repro.errors import ObjectNotFoundError
 from repro.oodb.meta import SupportModule
 from repro.oodb.oid import OID
 from repro.storage.storage_manager import StorageManager

@@ -18,7 +18,7 @@ OID, written by the persistence policy manager at every top-level commit.
 from __future__ import annotations
 
 import threading
-from typing import Any, Iterator, Optional, Type
+from typing import Any, Iterator, Type
 
 from repro.errors import (
     DuplicateNameError,
@@ -26,7 +26,7 @@ from repro.errors import (
     TypeRegistrationError,
 )
 from repro.oodb.meta import SupportModule
-from repro.oodb.oid import NULL_OID, OID, OIDAllocator
+from repro.oodb.oid import OID, OIDAllocator
 
 #: The catalog record's reserved OID value.
 CATALOG_OID = OID(1)

@@ -15,9 +15,10 @@ from __future__ import annotations
 import enum
 import threading
 from dataclasses import dataclass, field
-from typing import Hashable, Optional
+from typing import Hashable
 
 from repro.errors import DeadlockError, LockTimeoutError
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 
 
 class LockMode(enum.Enum):
@@ -40,12 +41,15 @@ class _LockState:
 class LockManager:
     """S/X lock table keyed by arbitrary hashable resource ids."""
 
-    def __init__(self, timeout: float = 10.0):
+    def __init__(self, timeout: float = 10.0,
+                 metrics: MetricsRegistry = NULL_METRICS):
         self._table: dict[Hashable, _LockState] = {}
         self._mutex = threading.Lock()
         self._condition = threading.Condition(self._mutex)
         self.timeout = timeout
         self.deadlocks_detected = 0
+        self._m_waits = metrics.counter("locks.waits")
+        self._m_deadlocks = metrics.counter("locks.deadlocks")
 
     # ------------------------------------------------------------------
 
@@ -64,11 +68,13 @@ class LockManager:
                 return
             entry = (family, mode)
             state.waiters.append(entry)
+            self._m_waits.inc()
             try:
                 deadline = None
                 while True:
                     if self._would_deadlock(family):
                         self.deadlocks_detected += 1
+                        self._m_deadlocks.inc()
                         raise DeadlockError(
                             f"family {family} waiting on {resource!r} "
                             "would deadlock"

@@ -13,7 +13,6 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass
-from typing import Any, Optional
 
 
 @dataclass(frozen=True, order=True)

@@ -17,7 +17,7 @@ record (name bindings, extents, OID map) is rewritten when it changed.
 from __future__ import annotations
 
 import threading
-from typing import Any, Optional, Type, Union
+from typing import Any, Optional, Union
 
 from repro.errors import (
     NotPersistentError,
@@ -27,7 +27,6 @@ from repro.errors import (
 from repro.oodb.address_space import ActiveAddressSpace, PassiveAddressSpace
 from repro.oodb.data_dictionary import CATALOG_OID, DataDictionary
 from repro.oodb.meta import (
-    MetaArchitecture,
     PolicyManager,
     SystemEvent,
     SystemEventKind,

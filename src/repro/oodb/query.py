@@ -24,7 +24,6 @@ from repro.errors import QueryError
 from repro.expr import (
     Attribute,
     Binary,
-    Literal,
     Name,
     Node,
     Parser,

@@ -35,8 +35,10 @@ from __future__ import annotations
 import enum
 import functools
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Type
+
+from repro.obs.metrics import NULL_COUNTER, MetricsRegistry
 
 _MISSING = object()
 
@@ -112,6 +114,15 @@ class SentryRegistry:
     def __init__(self) -> None:
         self._lock = threading.RLock()
         self.notifications_delivered = 0
+        self._m_notifications = NULL_COUNTER
+
+    def attach_metrics(self, metrics: MetricsRegistry) -> None:
+        """Mirror the delivery count into a metrics registry.
+
+        The registry is process-wide while databases come and go, so the
+        counter is attached (last database wins) rather than constructed.
+        """
+        self._m_notifications = metrics.counter("sentry.notifications")
 
     # -- bookkeeping used by the wrappers -----------------------------------
 
@@ -119,6 +130,7 @@ class SentryRegistry:
         # A plain int add without the lock would be racy but only affects a
         # statistic; take the cheap path under CPython's atomic int ops.
         self.notifications_delivered += n
+        self._m_notifications.inc(n)
 
     # -- watching -------------------------------------------------------------
 

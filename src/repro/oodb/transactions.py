@@ -31,9 +31,10 @@ from typing import Any, Callable, Iterator, Optional
 
 from repro.errors import (
     NestedTransactionError,
-    TransactionAborted,
     TransactionStateError,
 )
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.oodb.locks import LockManager, LockMode
 from repro.oodb.meta import MetaArchitecture, SystemEventKind
 
@@ -115,10 +116,16 @@ class TransactionManager:
     """
 
     def __init__(self, meta: MetaArchitecture, locks: LockManager,
-                 clock: Any = None):
+                 clock: Any = None,
+                 tracer: Tracer = NULL_TRACER,
+                 metrics: MetricsRegistry = NULL_METRICS):
         self.meta = meta
         self.locks = locks
         self.clock = clock
+        self.tracer = tracer
+        self._m_begun = metrics.counter("tx.begun")
+        self._m_committed = metrics.counter("tx.committed")
+        self._m_aborted = metrics.counter("tx.aborted")
         self._local = threading.local()
         self._outcomes: dict[int, TransactionState] = {}
         self._outcome_lock = threading.Lock()
@@ -184,6 +191,7 @@ class TransactionManager:
         with self._live_lock:
             self._live[tx.id] = tx
         self.stats["begun"] += 1
+        self._m_begun.inc()
         self.meta.raise_event(SystemEventKind.TX_BEGIN, tx=tx)
         return tx
 
@@ -210,6 +218,7 @@ class TransactionManager:
         with self._live_lock:
             self._live[tx.id] = tx
         self.stats["begun"] += 1
+        self._m_begun.inc()
         self.meta.raise_event(SystemEventKind.TX_BEGIN, tx=tx)
         return tx
 
@@ -225,6 +234,18 @@ class TransactionManager:
         permanent only if every ancestor commits.
         """
         tx = tx or self.require_current()
+        # Observability: when a span is already current on this thread
+        # (e.g. the scheduler's ``fire:`` span committing a rule's
+        # subtransaction), the commit becomes a child span of it; plain
+        # user commits open no span at all.
+        if not self.tracer.enabled:
+            self._commit(tx)
+            return
+        with self.tracer.child_span("tx:commit", "tx", tx_id=tx.id,
+                                    top_level=tx.is_top_level):
+            self._commit(tx)
+
+    def _commit(self, tx: Transaction) -> None:
         self._check_completable(tx)
         try:
             tx.state = TransactionState.COMMITTING
@@ -244,6 +265,7 @@ class TransactionManager:
             self._record_outcome(tx)
             self._pop(tx)
             self.stats["committed"] += 1
+            self._m_committed.inc()
             self.meta.raise_event(SystemEventKind.TX_COMMIT, tx=tx)
             for hook in self.post_commit_hooks:
                 hook(tx)
@@ -257,11 +279,20 @@ class TransactionManager:
             tx.state = TransactionState.COMMITTED
             self._pop(tx)
             self.stats["committed"] += 1
+            self._m_committed.inc()
             self.meta.raise_event(SystemEventKind.TX_COMMIT, tx=tx)
 
     def abort(self, tx: Optional[Transaction] = None) -> None:
         """Abort ``tx``: run its undo log in reverse and signal Abort."""
         tx = tx or self.require_current()
+        if not self.tracer.enabled:
+            self._abort(tx)
+            return
+        with self.tracer.child_span("tx:abort", "tx", tx_id=tx.id,
+                                    top_level=tx.is_top_level):
+            self._abort(tx)
+
+    def _abort(self, tx: Transaction) -> None:
         if tx.state in (TransactionState.COMMITTED, TransactionState.ABORTED):
             raise TransactionStateError(f"{tx} already finished")
         if tx.active_children:
@@ -281,6 +312,7 @@ class TransactionManager:
             tx.parent.active_children -= 1
         self._pop(tx)
         self.stats["aborted"] += 1
+        self._m_aborted.inc()
         self.meta.raise_event(SystemEventKind.TX_ABORT, tx=tx)
 
     def _check_completable(self, tx: Transaction) -> None:
@@ -299,6 +331,12 @@ class TransactionManager:
             stack.remove(tx)
         with self._live_lock:
             self._live.pop(tx.id, None)
+
+    def pending_deferred_count(self) -> int:
+        """Deferred rules queued on live transactions (a gauge source)."""
+        with self._live_lock:
+            return sum(len(tx.deferred_rules)
+                       for tx in self._live.values())
 
     def find_transaction(self, tx_id: int) -> Optional[Transaction]:
         """Return a still-running transaction by id, if any.

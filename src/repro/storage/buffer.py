@@ -15,6 +15,7 @@ from collections import OrderedDict
 from typing import Callable, Optional
 
 from repro.errors import StorageError
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.storage.pages import PAGE_SIZE, Page
 
 
@@ -69,7 +70,8 @@ class BufferPool:
     """
 
     def __init__(self, page_file: PageFile, capacity: int = 64,
-                 flush_log: Optional[Callable[[int], None]] = None):
+                 flush_log: Optional[Callable[[int], None]] = None,
+                 metrics: MetricsRegistry = NULL_METRICS):
         if capacity < 1:
             raise ValueError("buffer pool capacity must be >= 1")
         self._file = page_file
@@ -81,6 +83,9 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._m_hits = metrics.counter("buffer.hits")
+        self._m_misses = metrics.counter("buffer.misses")
+        self._m_evictions = metrics.counter("buffer.evictions")
 
     # -- pin/unpin -----------------------------------------------------------
 
@@ -94,10 +99,12 @@ class BufferPool:
             page = self._frames.get(page_id)
             if page is not None:
                 self.hits += 1
+                self._m_hits.inc()
                 self._frames.move_to_end(page_id)
                 self._pins[page_id] = self._pins.get(page_id, 0) + 1
                 return page
             self.misses += 1
+            self._m_misses.inc()
             raw = self._file.read_page(page_id)
             if raw is None:
                 if not create:
@@ -130,6 +137,7 @@ class BufferPool:
             victim = self._frames.pop(victim_id)
             self._pins.pop(victim_id, None)
             self.evictions += 1
+            self._m_evictions.inc()
             if victim.dirty:
                 self._flush_log(victim.lsn)
                 self._file.write_page(victim.page_id, victim.to_bytes())

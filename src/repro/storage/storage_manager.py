@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.errors import RecordNotFoundError, StorageError
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.oodb.oid import OID
 from repro.storage.buffer import BufferPool, PageFile
 from repro.storage.pages import MAX_RECORD_SIZE, Page
@@ -52,13 +53,16 @@ class StorageManager:
     DATA_FILE = "objects.dat"
     LOG_FILE = "wal.log"
 
-    def __init__(self, directory: str, buffer_capacity: int = 128):
+    def __init__(self, directory: str, buffer_capacity: int = 128,
+                 metrics: MetricsRegistry = NULL_METRICS):
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
-        self._wal = WriteAheadLog(os.path.join(directory, self.LOG_FILE))
+        self._wal = WriteAheadLog(os.path.join(directory, self.LOG_FILE),
+                                  metrics=metrics)
         self._file = PageFile(os.path.join(directory, self.DATA_FILE))
         self._pool = BufferPool(self._file, capacity=buffer_capacity,
-                                flush_log=self._wal.flush_to)
+                                flush_log=self._wal.flush_to,
+                                metrics=metrics)
         self._lock = threading.RLock()
         # oid value -> list of (page_id, slot) in fragment order
         self._object_table: dict[int, list[tuple[int, int]]] = {}

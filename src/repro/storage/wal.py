@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
 from repro.errors import WALError
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.storage.serializer import deserialize, serialize
 
 _FRAME = struct.Struct(">II")
@@ -98,13 +99,16 @@ class WriteAheadLog:
     hook used by the buffer pool before writing a data page.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str,
+                 metrics: MetricsRegistry = NULL_METRICS):
         self.path = path
         self._fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
         self._lock = threading.RLock()
         self._buffer: list[bytes] = []
         self._next_lsn = 1
         self._flushed_lsn = 0
+        self._m_appends = metrics.counter("wal.appends")
+        self._m_flushes = metrics.counter("wal.flushes")
         self._bootstrap_lsns()
 
     def _bootstrap_lsns(self) -> None:
@@ -125,6 +129,7 @@ class WriteAheadLog:
             payload = record.encode()
             frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
             self._buffer.append(frame)
+            self._m_appends.inc()
             return record.lsn
 
     def flush(self) -> None:
@@ -135,6 +140,7 @@ class WriteAheadLog:
                 self._buffer.clear()
             os.fsync(self._fd)
             self._flushed_lsn = self._next_lsn - 1
+            self._m_flushes.inc()
 
     def flush_to(self, lsn: int) -> None:
         """Ensure every record up to ``lsn`` is durable (WAL rule)."""
