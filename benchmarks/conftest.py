@@ -18,6 +18,7 @@ from repro.bench.metrics import merge_bench_json
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 BENCH_OBS_PATH = os.path.join(RESULTS_DIR, "BENCH_obs.json")
+BENCH_SESSIONS_PATH = os.path.join(RESULTS_DIR, "BENCH_sessions.json")
 
 
 def report(experiment: str, lines: list[str]) -> str:
@@ -40,6 +41,16 @@ def results_report():
     return report
 
 
+def sessions_report(experiment: str, payload: dict[str, Any]) -> dict[str, Any]:
+    """Merge one experiment's metrics into ``results/BENCH_sessions.json``."""
+    return merge_bench_json(BENCH_SESSIONS_PATH, experiment, payload)
+
+
 @pytest.fixture
 def bench_obs_report():
     return obs_report
+
+
+@pytest.fixture
+def bench_sessions_report():
+    return sessions_report

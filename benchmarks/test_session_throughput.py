@@ -1,0 +1,130 @@
+"""Session scalability: transaction throughput at 1, 4 and 16 clients.
+
+The engine/session split exists so that N concurrent client sessions can
+run transactions against one shared kernel.  This harness quantifies
+what that buys (and costs): each session is served by its own thread and
+commits a fixed number of transactions, each of which mutates the
+session's private object and fires one immediate rule — a whole active
+event-processing cycle per transaction, same denominator as the obs
+benchmark.
+
+Sessions touch disjoint objects, so the workload measures the engine's
+shared-path costs (sentry delivery, ECA dispatch, scheduler, lock table,
+commit bookkeeping) under increasing session concurrency, not lock
+contention.  Results go to ``benchmarks/results/BENCH_sessions.json``:
+per-level wall time, transactions/sec, and the engine statistics
+snapshot.
+
+Python threads share the interpreter lock, so this measures soundness
+and overhead of session multiplexing rather than parallel speedup — the
+interesting regressions are "16 sessions collapse" or "throughput falls
+off a cliff per added session", both of which this catches.
+"""
+
+import threading
+import time
+
+from repro import CouplingMode, MethodEventSpec, ReachEngine, sentried
+
+SESSION_COUNTS = (1, 4, 16)
+TX_PER_SESSION = 150
+
+
+@sentried(track_state=False)
+class Meter:
+    def __init__(self, name):
+        self.name = name
+        self.reading = 0
+
+    def advance(self, delta):
+        self.reading += delta
+
+
+ADVANCE = MethodEventSpec("Meter", "advance", param_names=("delta",))
+
+
+def _run_level(tmp_path, session_count):
+    engine = ReachEngine(directory=str(tmp_path / f"eng-{session_count}"))
+    try:
+        engine.register_class(Meter)
+        engine.rule("audit", ADVANCE,
+                    condition=lambda ctx: ctx["delta"] > 0,
+                    action=lambda ctx: None,
+                    coupling=CouplingMode.IMMEDIATE)
+        sessions = [engine.create_session(f"client-{i}")
+                    for i in range(session_count)]
+        meters = [Meter(f"m{i}") for i in range(session_count)]
+        for session, meter in zip(sessions, meters):
+            with session.transaction():
+                session.persist(meter, meter.name)
+        errors = []
+        barrier = threading.Barrier(session_count + 1)
+
+        def client(session, meter):
+            try:
+                barrier.wait()
+                for __ in range(TX_PER_SESSION):
+                    with session.transaction():
+                        meter.advance(1)
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=pair)
+                   for pair in zip(sessions, meters)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+
+        assert errors == []
+        # Zero cross-session bleed: each meter advanced only by its owner,
+        # and each session's firing-log slice holds exactly its firings.
+        for session, meter in zip(sessions, meters):
+            assert meter.reading == TX_PER_SESSION
+            executed = [r for r in session.firing_log()
+                        if r.outcome == "executed"]
+            assert len(executed) == TX_PER_SESSION
+        stats = engine.statistics()
+        assert stats["transactions"]["begun"] == \
+            stats["transactions"]["committed"]
+
+        total_tx = session_count * TX_PER_SESSION
+        return {
+            "sessions": session_count,
+            "tx_per_session": TX_PER_SESSION,
+            "elapsed_s": elapsed,
+            "tx_per_sec": total_tx / elapsed,
+            "rules_fired": stats["scheduler"]["immediate"],
+            "statistics": {
+                "transactions": stats["transactions"],
+                "scheduler": stats["scheduler"],
+                "events_detected": stats["events_detected"],
+                "sessions": stats["sessions"],
+            },
+        }
+    finally:
+        engine.close()
+
+
+def test_session_throughput_scaling(tmp_path, bench_sessions_report):
+    levels = [_run_level(tmp_path, count) for count in SESSION_COUNTS]
+
+    baseline = levels[0]["tx_per_sec"]
+    for level in levels:
+        # Collapse guard: adding sessions must not destroy throughput.
+        # (GIL-bound, so no speedup is expected — only graceful scaling.)
+        assert level["tx_per_sec"] > baseline / 10
+
+    bench_sessions_report("session_throughput", {
+        "session_counts": list(SESSION_COUNTS),
+        "tx_per_session": TX_PER_SESSION,
+        "levels": levels,
+    })
+    for level in levels:
+        print(f"\n{level['sessions']:>2} sessions: "
+              f"{level['tx_per_sec']:,.0f} tx/s "
+              f"({level['elapsed_s'] * 1e3:.1f}ms for "
+              f"{level['sessions'] * TX_PER_SESSION} tx)")

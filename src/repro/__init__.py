@@ -3,7 +3,11 @@ Zimmermann, Blakeley & Wells (ICDE 1995).
 
 Public API highlights:
 
-* :class:`ReachDatabase` — the integrated active OODBMS facade.
+* :class:`ReachDatabase` — the integrated active OODBMS facade: one
+  :class:`ReachEngine` plus one default :class:`Session`.
+* :class:`ReachEngine` / :class:`Session` — the layered kernel and the
+  per-client scope; open many sessions over one engine for concurrent
+  clients.
 * :func:`sentried` — the sentry mechanism (transparent event detection).
 * Event specs (:class:`MethodEventSpec`, temporal specs, ...), the event
   algebra (:class:`Sequence`, :class:`Conjunction`, ...), consumption
@@ -45,6 +49,8 @@ from repro.core.algebra import (
 from repro.core.consumption import ConsumptionPolicy
 from repro.core.coupling import CouplingMode, is_supported, supported_modes
 from repro.core.database import ReachDatabase
+from repro.core.engine import ReachEngine
+from repro.core.session import Session
 from repro.core.events import (
     AbsoluteEventSpec,
     EventCategory,
@@ -90,6 +96,8 @@ __all__ = [
     "is_supported",
     "supported_modes",
     "ReachDatabase",
+    "ReachEngine",
+    "Session",
     "RuleBuilder",
     "Tracer",
     "Trace",

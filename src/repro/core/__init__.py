@@ -40,6 +40,8 @@ from repro.core.coupling import (
 from repro.core.rule_builder import RuleBuilder
 from repro.core.rules import Rule, RuleContext
 from repro.core.database import ReachDatabase
+from repro.core.engine import ReachEngine
+from repro.core.session import Session
 
 import warnings as _warnings
 
@@ -73,6 +75,8 @@ __all__ = [
     "RuleBuilder",
     "RuleContext",
     "ReachDatabase",
+    "ReachEngine",
+    "Session",
 ]
 
 #: Engine internals reachable here for migration only (deprecated).

@@ -1,11 +1,13 @@
 """The REACH database facade: an integrated active OODBMS.
 
-This is the public entry point wiring every subsystem together in the
-configuration of Figure 1 + Section 6: the meta-architecture bus with the
-persistence, transaction, change, indexing, query and REACH rule policy
-managers plugged in; the sentry registry as the low-level event detector;
-the event service with its ECA-managers and composers; the rule scheduler;
-and the temporal event source.
+Since the engine/session split this module is a thin, fully
+backwards-compatible convenience layer: a :class:`ReachDatabase` is one
+:class:`~repro.core.engine.ReachEngine` (which owns every process-wide
+subsystem in the configuration of Figure 1 + Section 6) plus one default
+:class:`~repro.core.session.Session` serving the classic embedded,
+one-client style of use.  Every subsystem attribute the facade used to
+own (``db.tx_manager``, ``db.scheduler``, ``db.events``, ...) is still
+reachable here — they are the engine's.
 
 Typical use::
 
@@ -32,78 +34,40 @@ Typical use::
     with db.transaction():
         db.persist(river, "Rhein")
         river.update_water_level(30)   # fires WaterLevel
+
+For concurrent clients, open additional sessions over the same engine::
+
+    with db.create_session("client-42") as session:
+        with session.transaction():
+            session.fetch("Rhein").update_water_level(30)
 """
 
 from __future__ import annotations
 
-import os
-import tempfile
-import threading
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional, Type, Union
 
-from repro.clock import Clock, VirtualClock
+from repro.clock import Clock
 from repro.config import ExecutionConfig
-from repro.core.algebra import CompositeEventSpec
-from repro.core.coupling import CouplingMode, check_supported
-from repro.core.eca_manager import (
-    EventService,
-    ReachRulePolicyManager,
+from repro.core.coupling import CouplingMode
+from repro.core.engine import (  # noqa: F401  (re-exported for compat)
+    ReachEngine,
+    TransactionPolicyManager,
+    _NamedSupportModule,
 )
-from repro.core.events import (
-    EventSpec,
-    MilestoneEventSpec,
-    SignalEventSpec,
-    TemporalEventSpec,
-)
+from repro.core.events import EventSpec
 from repro.core.rule_builder import RuleBuilder
 from repro.core.rules import Action, Condition, Rule
-from repro.core.scheduler import RuleScheduler
-from repro.core.temporal import TemporalEventSource
-from repro.errors import RuleDefinitionError
-from repro.oodb.address_space import ActiveAddressSpace, PassiveAddressSpace
-from repro.oodb.change import ChangePolicyManager
-from repro.oodb.data_dictionary import DataDictionary
-from repro.oodb.indexing import HashIndex, IndexPolicyManager
-from repro.oodb.locks import LockManager
+from repro.core.session import Session
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracer import Trace, Tracer
-from repro.oodb.meta import (
-    MetaArchitecture,
-    PolicyManager,
-    SupportModule,
-)
+from repro.obs.tracer import Trace, Tracer  # noqa: F401  (compat)
+from repro.oodb.indexing import HashIndex
 from repro.oodb.oid import OID
-from repro.oodb.persistence import PersistencePolicyManager
-from repro.oodb.query import QueryProcessor
-from repro.oodb.sentry import registry as default_sentry_registry
-from repro.oodb.transactions import Transaction, TransactionManager
-
-
-class TransactionPolicyManager(PolicyManager):
-    """Thin wrapper giving the transaction manager a Figure 1 presence."""
-
-    name = "Transaction PM (flat + closed nested)"
-    subscribed_kinds = ()
-
-    def __init__(self, tx_manager: TransactionManager):
-        super().__init__()
-        self.tx_manager = tx_manager
-
-    def describe(self) -> str:
-        stats = self.tx_manager.stats
-        return (f"{self.name} ({stats['begun']} begun, "
-                f"{stats['committed']} committed, "
-                f"{stats['aborted']} aborted)")
-
-
-class _NamedSupportModule(SupportModule):
-    def __init__(self, name: str):
-        self.name = name
+from repro.oodb.transactions import Transaction
 
 
 class ReachDatabase:
-    """An integrated active OODBMS instance.
+    """An integrated active OODBMS instance (facade).
 
     Args:
         directory: storage directory; ``None`` uses a fresh temporary
@@ -112,104 +76,72 @@ class ReachDatabase:
         clock: time source; defaults to a deterministic
             :class:`~repro.clock.VirtualClock`.
         buffer_capacity: buffer-pool frames for the storage manager.
+        engine: serve an existing engine instead of building one —
+            ``directory``/``config``/``clock``/``buffer_capacity`` must
+            then be omitted.
     """
 
     def __init__(self, directory: Optional[str] = None,
                  config: Optional[ExecutionConfig] = None,
                  clock: Optional[Clock] = None,
-                 buffer_capacity: int = 128):
-        from repro.storage.storage_manager import StorageManager
+                 buffer_capacity: int = 128,
+                 engine: Optional[ReachEngine] = None):
+        if engine is not None:
+            if directory is not None or config is not None \
+                    or clock is not None:
+                raise ValueError(
+                    "pass either an engine or construction arguments, "
+                    "not both")
+            self.engine = engine
+        else:
+            self.engine = ReachEngine(directory=directory, config=config,
+                                      clock=clock,
+                                      buffer_capacity=buffer_capacity)
+        #: the implicit session serving the classic embedded API.  It is
+        #: thread-affine: ``db.begin()`` / ``db.transaction()`` keep their
+        #: historical per-thread transaction stacks, so existing
+        #: multi-threaded callers are unaffected.
+        self.default_session = self.engine.create_session(
+            name="default", thread_affine=True)
 
-        self.config = config or ExecutionConfig()
-        self.clock = clock or VirtualClock()
-        if directory is None:
-            directory = tempfile.mkdtemp(prefix="reach-db-")
-        self.directory = directory
+        # Subsystem attributes stay addressable on the facade — a large
+        # body of callers (and tests) reaches for ``db.tx_manager`` etc.
+        # They are plain references to the engine's objects.
+        eng = self.engine
+        self.config = eng.config
+        self.clock = eng.clock
+        self.directory = eng.directory
+        self.metrics_registry = eng.metrics_registry
+        self.tracer = eng.tracer
+        self.sentry_registry = eng.sentry_registry
+        self.meta = eng.meta
+        self.locks = eng.locks
+        self.tx_manager = eng.tx_manager
+        self.storage = eng.storage
+        self.dictionary = eng.dictionary
+        self.active_space = eng.active_space
+        self.passive_space = eng.passive_space
+        self.persistence = eng.persistence
+        self.change = eng.change
+        self.indexes = eng.indexes
+        self.query_processor = eng.query_processor
+        self.scheduler = eng.scheduler
+        self.events = eng.events
+        self.rule_pm = eng.rule_pm
+        self.temporal = eng.temporal
+        self._rules = eng._rules
 
-        # -- observability (repro.obs) -----------------------------------
-        # Built first so every subsystem can bind its instruments at
-        # construction; both are inert null-object pipelines unless
-        # ``config.observability`` is set.
-        self.metrics_registry = MetricsRegistry(
-            enabled=self.config.observability)
-        self.tracer = Tracer(enabled=self.config.observability,
-                             capacity=self.config.trace_capacity)
-        if self.config.observability:
-            # The sentry registry is process-wide; only an enabled
-            # database claims its delivery counter (last one wins).
-            default_sentry_registry.attach_metrics(self.metrics_registry)
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
 
-        # -- meta-architecture and support modules (Figure 1) ------------
-        self.meta = MetaArchitecture()
-        self.locks = LockManager(metrics=self.metrics_registry)
-        self.tx_manager = TransactionManager(self.meta, self.locks,
-                                             clock=self.clock,
-                                             tracer=self.tracer,
-                                             metrics=self.metrics_registry)
-        self.storage = StorageManager(directory,
-                                      buffer_capacity=buffer_capacity,
-                                      metrics=self.metrics_registry)
-        self.dictionary = DataDictionary()
-        self.active_space = ActiveAddressSpace()
-        self.passive_space = PassiveAddressSpace(self.storage)
-        self.meta.add_support_module(self.active_space)
-        self.meta.add_support_module(self.passive_space)
-        self.meta.add_support_module(self.dictionary)
-        self.meta.add_support_module(
-            _NamedSupportModule("translation (swizzling serializer)"))
-        self.meta.add_support_module(
-            _NamedSupportModule("communications (in-process)"))
+    def create_session(self, name: Optional[str] = None) -> Session:
+        """Open an additional client session over this database's engine
+        (see :class:`~repro.core.session.Session`)."""
+        return self.engine.create_session(name)
 
-        # -- policy managers ----------------------------------------------
-        # Plug order matters: persistence (dirty marking) and indexing see
-        # state changes before the rule PM fires rules on them.
-        self.persistence = self.meta.plug(PersistencePolicyManager(
-            self.dictionary, self.active_space, self.passive_space,
-            self.tx_manager))
-        self.change = self.meta.plug(ChangePolicyManager(
-            self.tx_manager, persistence=self.persistence,
-            sentry_registry=default_sentry_registry))
-        self.indexes = self.meta.plug(IndexPolicyManager(
-            self.dictionary, self.tx_manager,
-            persistence=self.persistence))
-        self.query_processor = self.meta.plug(QueryProcessor(
-            self.dictionary, self.persistence,
-            index_manager=self.indexes))
-        self.meta.plug(TransactionPolicyManager(self.tx_manager))
-
-        # -- REACH ----------------------------------------------------------
-        self.scheduler = RuleScheduler(self, self.tx_manager, self.config,
-                                       tracer=self.tracer,
-                                       metrics=self.metrics_registry)
-        self.events = EventService(
-            self.meta, self.tx_manager, self.scheduler,
-            default_sentry_registry, self.clock, self.config,
-            resolve_class=self.dictionary.type_named,
-            tracer=self.tracer, metrics=self.metrics_registry)
-        self.rule_pm = self.meta.plug(ReachRulePolicyManager(
-            self.events, self.scheduler))
-        self.temporal = TemporalEventSource(
-            self.clock, self.tx_manager,
-            dispatch=self.events.dispatch_temporal,
-            anchor_subscribe=self._subscribe_anchor)
-        self.temporal.schedule_recurring(self.config.gc_interval,
-                                         self.events.collect_garbage)
-
-        # Pull-based queue-depth gauges: evaluated only when a metrics
-        # snapshot is taken, never on the detection path.
-        self.metrics_registry.gauge_fn(
-            "scheduler.detached.depth",
-            self.scheduler.pending_detached_count)
-        self.metrics_registry.gauge_fn(
-            "scheduler.deferred.depth",
-            self.tx_manager.pending_deferred_count)
-        self.metrics_registry.gauge_fn(
-            "composer.semi_composed.pending",
-            self.events.pending_semi_composed)
-
-        self._rules: dict[str, tuple[Rule, Any]] = {}
-        self._closed = False
-        self._lock = threading.RLock()
+    def sessions(self) -> list[Session]:
+        return self.engine.sessions()
 
     # ------------------------------------------------------------------
     # Schema
@@ -217,22 +149,13 @@ class ReachDatabase:
 
     def register_class(self, cls: Type, monitor_state: bool = True) -> Type:
         """Register an application class with the data dictionary and
-        begin monitoring its state changes.
-
-        The class should be decorated with
-        :func:`~repro.oodb.sentry.sentried`; monitoring is orthogonal to
-        persistence (Section 6.1).
-        """
-        self.dictionary.register_type(cls)
-        if monitor_state:
-            self.change.monitor(cls)
-        return cls
+        begin monitoring its state changes (see
+        :meth:`ReachEngine.register_class`)."""
+        return self.engine.register_class(cls, monitor_state=monitor_state)
 
     def create_index(self, cls_or_name: Union[Type, str],
                      attribute: str) -> HashIndex:
-        name = cls_or_name if isinstance(cls_or_name, str) \
-            else cls_or_name.__name__
-        return self.indexes.create_index(name, attribute)
+        return self.engine.create_index(cls_or_name, attribute)
 
     # ------------------------------------------------------------------
     # Transactions
@@ -241,8 +164,11 @@ class ReachDatabase:
     @contextmanager
     def transaction(self, nested: Optional[bool] = None,
                     deadline: Optional[float] = None) -> Iterator[Transaction]:
-        with self.tx_manager.transaction(nested=nested,
-                                         deadline=deadline) as tx:
+        """``with db.transaction() as tx:`` in the default session —
+        commits on success, aborts on exception, and binds this engine's
+        event scope for the body."""
+        with self.default_session.transaction(nested=nested,
+                                              deadline=deadline) as tx:
             yield tx
 
     def begin(self, nested: Optional[bool] = None,
@@ -263,25 +189,23 @@ class ReachDatabase:
     # ------------------------------------------------------------------
 
     def persist(self, obj: Any, name: Optional[str] = None) -> OID:
-        if not self.dictionary.has_type(type(obj).__name__):
-            self.register_class(type(obj))
-        return self.persistence.persist(obj, name)
+        return self.engine.persist(obj, name)
 
     def fetch(self, target: Union[str, OID]) -> Any:
-        return self.persistence.fetch(target)
+        return self.engine.fetch(target)
 
     def delete(self, target: Union[str, OID, Any]) -> None:
-        self.persistence.delete(target)
+        self.engine.delete(target)
 
     def query(self, text: str, **params: Any) -> list[Any]:
         """Run an OQL-subset query, e.g.
         ``db.query("select x from River x where x.level < limit", limit=37)``.
         """
-        return self.query_processor.execute(text, env=params)
+        return self.engine.query(text, **params)
 
     def flush(self) -> None:
         """Flush dirty persistent state outside a user transaction."""
-        self.persistence.flush_now()
+        self.engine.flush()
 
     # ------------------------------------------------------------------
     # Rules
@@ -297,22 +221,14 @@ class ReachDatabase:
              priority: int = 0, critical: bool = False,
              enabled: bool = True, transfer_locks: bool = False,
              description: str = "") -> Rule:
-        """Define and register one ECA rule.
-
-        The (event category, coupling mode) combination is validated
-        against Table 1 for both the condition and the action coupling;
-        unsupported combinations raise
-        :class:`~repro.errors.UnsupportedCouplingError` here, at
-        definition time.
-        """
-        rule = Rule(name=name, event=event, action=action,
-                    condition=condition, condition_query=condition_query,
-                    coupling=coupling, cond_coupling=cond_coupling,
-                    action_coupling=action_coupling, priority=priority,
-                    critical=critical, enabled=enabled,
-                    transfer_locks=transfer_locks,
-                    description=description)
-        return self.register_rule(rule)
+        """Define and register one ECA rule (see
+        :meth:`ReachEngine.rule`)."""
+        return self.engine.rule(
+            name, event, action=action, condition=condition,
+            condition_query=condition_query, coupling=coupling,
+            cond_coupling=cond_coupling, action_coupling=action_coupling,
+            priority=priority, critical=critical, enabled=enabled,
+            transfer_locks=transfer_locks, description=description)
 
     def on(self, event: EventSpec) -> RuleBuilder:
         """Start a fluent rule definition::
@@ -328,79 +244,29 @@ class ReachDatabase:
         which delegates to :meth:`rule` and returns the
         :class:`~repro.core.rules.Rule`.
         """
-        return RuleBuilder(self, event)
+        return self.engine.on(event)
 
     def register_rule(self, rule: Rule) -> Rule:
-        with self._lock:
-            if rule.name in self._rules:
-                raise RuleDefinitionError(
-                    f"a rule named {rule.name!r} already exists")
-            category = rule.event.category()
-            check_supported(rule.cond_coupling, category, rule.name)
-            check_supported(rule.action_coupling, category, rule.name)
-            manager = self._manager_for(rule.event)
-            manager.add_rule(rule)
-            self._rules[rule.name] = (rule, manager)
-            return rule
-
-    def _manager_for(self, spec: EventSpec):
-        if isinstance(spec, CompositeEventSpec):
-            manager = self.events.composite_manager(spec)
-            for leaf in spec.leaves():
-                if isinstance(leaf, TemporalEventSpec):
-                    self.temporal.register(leaf)
-            return manager
-        manager = self.events.primitive_manager(spec)
-        if isinstance(spec, TemporalEventSpec):
-            self.temporal.register(spec)
-        return manager
-
-    def _subscribe_anchor(self, spec, callback) -> None:
-        self.events.primitive_manager(spec).add_listener(callback)
+        return self.engine.register_rule(rule)
 
     def define_rules(self, ddl: str, persist: bool = False) -> list[Rule]:
-        """Parse REACH rule DDL (the paper's textual syntax, Section 6.1)
-        and register every rule found.
-
-        With ``persist=True`` the DDL text is stored in the catalog —
-        REACH's "rules are objects too" — and recompiled on the next open
-        by :meth:`load_persistent_rules`.
-        """
-        from repro.core.rule_language import compile_rules
-        rules = compile_rules(ddl, self)
-        for rule in rules:
-            self.register_rule(rule)
-        if persist:
-            self.dictionary.add_rule_ddl(ddl)
-            if self.tx_manager.current() is None:
-                self.persistence.flush_now()
-        return rules
+        """Parse REACH rule DDL and register every rule found (see
+        :meth:`ReachEngine.define_rules`)."""
+        return self.engine.define_rules(ddl, persist=persist)
 
     def load_persistent_rules(self) -> list[Rule]:
         """Recompile and register every rule-DDL block stored in the
-        catalog.  Application classes referenced by the rules must be
-        registered first.  Already-registered rule names are skipped."""
-        from repro.core.rule_language import compile_rules
-        loaded: list[Rule] = []
-        for ddl in self.dictionary.rule_ddl_blocks():
-            for rule in compile_rules(ddl, self):
-                if rule.name in self._rules:
-                    continue
-                self.register_rule(rule)
-                loaded.append(rule)
-        return loaded
+        catalog (see :meth:`ReachEngine.load_persistent_rules`)."""
+        return self.engine.load_persistent_rules()
 
     def drop_rule(self, name: str) -> None:
-        with self._lock:
-            rule, manager = self._rules.pop(name)
-            manager.remove_rule(rule)
+        self.engine.drop_rule(name)
 
     def get_rule(self, name: str) -> Rule:
-        return self._rules[name][0]
+        return self.engine.get_rule(name)
 
     def rules(self) -> list[Rule]:
-        with self._lock:
-            return [rule for rule, __ in self._rules.values()]
+        return self.engine.rules()
 
     # ------------------------------------------------------------------
     # Events
@@ -408,60 +274,36 @@ class ReachDatabase:
 
     def signal(self, name: str, **parameters: Any) -> None:
         """Raise an explicit user signal (modelled as a method event)."""
-        spec = SignalEventSpec(name)
-        self.events.emit(spec, parameters)
+        self.engine.signal(name, **parameters)
 
     def set_milestone(self, label: str, at: float,
                       tx: Optional[Transaction] = None) -> None:
-        """Arm a milestone: if the transaction has not finished by ``at``,
-        the milestone event fires and its rules (the contingency plan)
-        run detached."""
-        tx = tx or self.tx_manager.require_current()
-        spec = MilestoneEventSpec(label)
-        self.events.primitive_manager(spec)
-        self.temporal.arm_milestone(spec, tx.top_level().id, at)
+        """Arm a milestone (see :meth:`ReachEngine.set_milestone`)."""
+        self.engine.set_milestone(label, at, tx=tx)
 
     def arm_progress_milestones(self, label: str,
                                 fractions: tuple[float, ...] = (0.5, 0.8),
                                 tx: Optional[Transaction] = None) -> list[str]:
-        """Track a deadline transaction's progress (paper, Section 3.1).
-
-        For each fraction f, arms the milestone ``"{label}@{f}"`` at
-        ``begin + f * (deadline - begin)``.  Requires the transaction to
-        have been begun with a ``deadline``.  Returns the milestone labels
-        so contingency rules can be attached per checkpoint.
-        """
-        tx = tx or self.tx_manager.require_current()
-        top = tx.top_level()
-        if top.deadline is None:
-            raise RuleDefinitionError(
-                "progress milestones require a transaction deadline")
-        labels = []
-        span = top.deadline - top.begin_time
-        for fraction in fractions:
-            if not 0 < fraction <= 1:
-                raise ValueError("fractions must be in (0, 1]")
-            milestone_label = f"{label}@{fraction}"
-            self.set_milestone(milestone_label,
-                               at=top.begin_time + fraction * span, tx=top)
-            labels.append(milestone_label)
-        return labels
+        """Track a deadline transaction's progress (see
+        :meth:`ReachEngine.arm_progress_milestones`)."""
+        return self.engine.arm_progress_milestones(label, fractions=fractions,
+                                                   tx=tx)
 
     def drain_detached(self) -> int:
         """Synchronous mode: run detached work whose dependencies are
         decided."""
-        return self.scheduler.drain_detached()
+        return self.engine.drain_detached()
 
     def wait_for_composition(self, timeout: float = 10.0) -> None:
-        self.events.wait_for_composition(timeout)
+        self.engine.wait_for_composition(timeout)
 
     def collect_garbage(self) -> int:
-        return self.events.collect_garbage()
+        return self.engine.collect_garbage()
 
     @property
     def history(self):
         """The merged global event history (Section 6.3)."""
-        return self.events.global_history
+        return self.engine.history
 
     # ------------------------------------------------------------------
     # Introspection and lifecycle
@@ -469,129 +311,47 @@ class ReachDatabase:
 
     def architecture_inventory(self) -> dict[str, list[str]]:
         """The Figure 1 view: plugged policy managers + support modules."""
-        return self.meta.inventory()
-
-    # -- observability ---------------------------------------------------
+        return self.engine.architecture_inventory()
 
     def metrics(self) -> MetricsRegistry:
         """The database's metrics registry (null instruments when
         ``config.observability`` is off)."""
-        return self.metrics_registry
+        return self.engine.metrics()
 
     def trace(self, trace_id: Optional[int] = None) -> Optional[Trace]:
-        """The most recent trace, or the trace with ``trace_id``.
-
-        ``None`` when tracing is disabled or nothing has been recorded.
-        Each :class:`~repro.obs.tracer.Trace` is the span tree of one
-        sentried call: detection, ECA dispatch, composition, rule firings
-        and their commits.
-        """
-        return self.tracer.trace(trace_id)
+        """The most recent trace, or the trace with ``trace_id`` (see
+        :meth:`ReachEngine.trace`)."""
+        return self.engine.trace(trace_id)
 
     def traces(self) -> list[Trace]:
         """Every retained trace, oldest first."""
-        return self.tracer.traces()
+        return self.engine.traces()
 
     def dump_observability(self, json_format: bool = False) -> str:
         """Text (default) or JSON dump of metrics plus retained traces."""
-        if json_format:
-            import json as _json
-            return _json.dumps({
-                "metrics": self.metrics_registry.snapshot(),
-                "traces": [trace.to_dict() for trace in self.traces()],
-            }, indent=2)
-        parts = [self.metrics_registry.dump_text()]
-        for trace in self.traces():
-            parts.append(trace.format())
-        return "\n\n".join(parts)
+        return self.engine.dump_observability(json_format=json_format)
 
-    #: The frozen top-level key set of :meth:`statistics`.  Every key is
-    #: present from construction onward; additions require a new entry
-    #: here (tests assert equality, catching accidental drift).
-    STATISTICS_KEYS = frozenset({
-        "transactions", "scheduler", "events", "events_detected",
-        "semi_composed_pending", "composers", "eca_managers", "storage",
-        "rules", "queries", "observability",
-    })
+    #: see :attr:`ReachEngine.STATISTICS_KEYS` — the facade's statistics
+    #: are the engine's.
+    STATISTICS_KEYS = ReachEngine.STATISTICS_KEYS
 
     def statistics(self) -> dict[str, Any]:
-        """A consistent snapshot of every subsystem's counters.
-
-        The key set is exactly :attr:`STATISTICS_KEYS`, and every value is
-        well-defined before the first transaction (zeros/empty sections).
-        All values come from always-maintained plain attributes, so they
-        are correct whether or not ``config.observability`` is enabled;
-        the ``observability`` section carries the metrics snapshot (null
-        when disabled).
-
-        Keys:
-
-        * ``transactions`` — begun/committed/aborted counts;
-        * ``scheduler`` — firing counts per policy (immediate,
-          deferred_enqueued, deferred_run, detached_run, ...);
-        * ``events`` — detected/composed/consumed plus pending
-          semi-composed occurrences;
-        * ``events_detected``, ``semi_composed_pending`` — flat aliases
-          retained for backward compatibility;
-        * ``composers`` — composer count, emissions, live graph instances;
-        * ``eca_managers`` — primitive/composite manager counts and
-          occurrences handled;
-        * ``storage`` — pages, WAL and buffer-pool counters;
-        * ``rules`` — registered rule count;
-        * ``queries`` — query-processor counters;
-        * ``observability`` — ``metrics().snapshot()``.
-        """
-        composers = self.events.composers()
-        primitive = self.events.primitive_managers()
-        composite = self.events.composite_managers()
-        return {
-            "transactions": dict(self.tx_manager.stats),
-            "scheduler": dict(self.scheduler.stats),
-            "events": {
-                "detected": self.events.events_detected,
-                "composed": sum(c.emitted for c in composers),
-                "consumed": sum(c.consumed for c in composers),
-                "semi_composed_pending":
-                    self.events.pending_semi_composed(),
-            },
-            "events_detected": self.events.events_detected,
-            "semi_composed_pending": self.events.pending_semi_composed(),
-            "composers": {
-                "count": len(composers),
-                "emitted": sum(c.emitted for c in composers),
-                "graph_instances":
-                    sum(c.graph_instance_count() for c in composers),
-            },
-            "eca_managers": {
-                "primitive": len(primitive),
-                "composite": len(composite),
-                "handled": sum(m.handled for m in primitive)
-                + sum(m.handled for m in composite),
-            },
-            "storage": self.storage.stats(),
-            "rules": len(self._rules),
-            "queries": dict(self.query_processor.stats),
-            "observability": self.metrics_registry.snapshot(),
-        }
+        """A consistent snapshot of every subsystem's counters (see
+        :meth:`ReachEngine.statistics` for the key-by-key contract)."""
+        return self.engine.statistics()
 
     def checkpoint(self) -> None:
-        self.storage.checkpoint()
+        self.engine.checkpoint()
+
+    @property
+    def closed(self) -> bool:
+        return self.engine.closed
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        self.temporal.cancel_all()
-        try:
-            # Give resolvable detached work a last chance to run rather
-            # than silently dropping it (synchronous mode).
-            self.scheduler.drain_detached()
-        except Exception:
-            pass
-        self.scheduler.close()
-        self.events.close()
-        self.change.close()
-        self.storage.close()
+        """Shut the underlying engine down (idempotent): timers
+        cancelled, detached pool stopped, buffer pool flushed and closed.
+        """
+        self.engine.close()
 
     def __enter__(self) -> "ReachDatabase":
         return self

@@ -339,11 +339,18 @@ class EventService:
             if item is None:
                 return
             occ, listeners = item
-            for listener in listeners:
-                try:
-                    listener(occ)
-                except Exception as exc:  # keep the worker alive
-                    self.scheduler.errors.append((None, exc))
+            # Bind the owning engine's event scope: rules fired from the
+            # composer thread must deliver their own (sentried) events to
+            # this engine only, not to every engine in the process.
+            with self.sentry_registry.bound():
+                self._process(occ, listeners)
+
+    def _process(self, occ: EventOccurrence, listeners: list) -> None:
+        for listener in listeners:
+            try:
+                listener(occ)
+            except Exception as exc:  # keep the worker alive
+                self.scheduler.errors.append((None, exc))
 
     def wait_for_composition(self, timeout: float = 10.0) -> None:
         """Block until the composition queue is drained (threaded mode)."""

@@ -1,0 +1,661 @@
+"""The REACH engine: the shared kernel below every client session.
+
+The paper's Figure 1 meta-architecture plugs policy managers into one
+kernel; this module is that kernel.  A :class:`ReachEngine` owns every
+process-wide service — storage manager and WAL, lock manager, data
+dictionary, the sentry registry, the event service with its ECA-managers
+and composers, the rule scheduler, the temporal event source, and the
+observability pipeline — while per-client state (the current-transaction
+stack, the pin cache, the firing context) lives in
+:class:`~repro.core.session.Session` objects created from the engine.
+
+The split is the structural prerequisite for serving many concurrent
+clients over one engine: N sessions each run transactions against the
+same kernel, rules fire in the triggering session's transaction scope,
+and nothing a session does leaks into another session — or into another
+engine in the same process (each engine has its own scoped
+:class:`~repro.oodb.sentry.SentryRegistry`).
+
+:class:`~repro.core.database.ReachDatabase` remains the friendly entry
+point: a thin facade over one engine plus one default session.
+"""
+
+from __future__ import annotations
+
+import itertools
+import tempfile
+import threading
+from contextlib import ExitStack, contextmanager
+from typing import Any, Iterator, Optional, Type, Union
+
+from repro.clock import Clock, VirtualClock
+from repro.config import ExecutionConfig
+from repro.core.algebra import CompositeEventSpec
+from repro.core.coupling import CouplingMode, check_supported
+from repro.core.eca_manager import (
+    EventService,
+    ReachRulePolicyManager,
+)
+from repro.core.events import (
+    EventSpec,
+    MilestoneEventSpec,
+    SignalEventSpec,
+    TemporalEventSpec,
+)
+from repro.core.rule_builder import RuleBuilder
+from repro.core.rules import Action, Condition, Rule
+from repro.core.scheduler import RuleScheduler
+from repro.core.session import Session
+from repro.core.temporal import TemporalEventSource
+from repro.errors import RuleDefinitionError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Trace, Tracer
+from repro.oodb.address_space import ActiveAddressSpace, PassiveAddressSpace
+from repro.oodb.change import ChangePolicyManager
+from repro.oodb.data_dictionary import DataDictionary
+from repro.oodb.indexing import HashIndex, IndexPolicyManager
+from repro.oodb.locks import LockManager
+from repro.oodb.meta import (
+    MetaArchitecture,
+    PolicyManager,
+    SupportModule,
+)
+from repro.oodb.oid import OID
+from repro.oodb.persistence import PersistencePolicyManager
+from repro.oodb.query import QueryProcessor
+from repro.oodb.sentry import SentryRegistry
+from repro.oodb.transactions import (
+    Transaction,
+    TransactionContext,
+    TransactionManager,
+)
+
+_engine_ids = itertools.count(1)
+
+
+class TransactionPolicyManager(PolicyManager):
+    """Thin wrapper giving the transaction manager a Figure 1 presence."""
+
+    name = "Transaction PM (flat + closed nested)"
+    subscribed_kinds = ()
+
+    def __init__(self, tx_manager: TransactionManager):
+        super().__init__()
+        self.tx_manager = tx_manager
+
+    def describe(self) -> str:
+        stats = self.tx_manager.stats
+        return (f"{self.name} ({stats['begun']} begun, "
+                f"{stats['committed']} committed, "
+                f"{stats['aborted']} aborted)")
+
+
+class _NamedSupportModule(SupportModule):
+    def __init__(self, name: str):
+        self.name = name
+
+
+class ReachEngine:
+    """The shared kernel of an integrated active OODBMS instance.
+
+    Args:
+        directory: storage directory; ``None`` uses a fresh temporary
+            directory (transient database).
+        config: execution configuration (synchronous by default).
+        clock: time source; defaults to a deterministic
+            :class:`~repro.clock.VirtualClock`.
+        buffer_capacity: buffer-pool frames for the storage manager.
+        sentry_registry: low-level event detector; defaults to a fresh
+            *scoped* registry so concurrent engines in one process do not
+            observe each other's sessions.
+    """
+
+    def __init__(self, directory: Optional[str] = None,
+                 config: Optional[ExecutionConfig] = None,
+                 clock: Optional[Clock] = None,
+                 buffer_capacity: int = 128,
+                 sentry_registry: Optional[SentryRegistry] = None):
+        from repro.storage.storage_manager import StorageManager
+
+        self.engine_id = next(_engine_ids)
+        self.config = config or ExecutionConfig()
+        self.clock = clock or VirtualClock()
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="reach-db-")
+        self.directory = directory
+
+        # -- observability (repro.obs) -----------------------------------
+        # Built first so every subsystem can bind its instruments at
+        # construction; both are inert null-object pipelines unless
+        # ``config.observability`` is set.
+        self.metrics_registry = MetricsRegistry(
+            enabled=self.config.observability)
+        self.tracer = Tracer(enabled=self.config.observability,
+                             capacity=self.config.trace_capacity)
+
+        # -- low-level event detection -----------------------------------
+        # Each engine owns its sentry registry: watches installed through
+        # it only deliver while one of this engine's sessions is bound to
+        # the delivering thread (or no engine is bound at all), so two
+        # engines in one process stay isolated.
+        self.sentry_registry = sentry_registry or SentryRegistry(
+            scoped=True, name=f"engine-{self.engine_id}")
+        if self.config.observability:
+            self.sentry_registry.attach_metrics(self.metrics_registry)
+
+        # -- meta-architecture and support modules (Figure 1) ------------
+        self.meta = MetaArchitecture()
+        self.locks = LockManager(metrics=self.metrics_registry)
+        self.tx_manager = TransactionManager(self.meta, self.locks,
+                                             clock=self.clock,
+                                             tracer=self.tracer,
+                                             metrics=self.metrics_registry)
+        self.storage = StorageManager(directory,
+                                      buffer_capacity=buffer_capacity,
+                                      metrics=self.metrics_registry)
+        self.dictionary = DataDictionary()
+        self.active_space = ActiveAddressSpace()
+        self.passive_space = PassiveAddressSpace(self.storage)
+        self.meta.add_support_module(self.active_space)
+        self.meta.add_support_module(self.passive_space)
+        self.meta.add_support_module(self.dictionary)
+        self.meta.add_support_module(
+            _NamedSupportModule("translation (swizzling serializer)"))
+        self.meta.add_support_module(
+            _NamedSupportModule("communications (in-process)"))
+
+        # -- policy managers ----------------------------------------------
+        # Plug order matters: persistence (dirty marking) and indexing see
+        # state changes before the rule PM fires rules on them.
+        self.persistence = self.meta.plug(PersistencePolicyManager(
+            self.dictionary, self.active_space, self.passive_space,
+            self.tx_manager))
+        self.change = self.meta.plug(ChangePolicyManager(
+            self.tx_manager, persistence=self.persistence,
+            sentry_registry=self.sentry_registry))
+        self.indexes = self.meta.plug(IndexPolicyManager(
+            self.dictionary, self.tx_manager,
+            persistence=self.persistence))
+        self.query_processor = self.meta.plug(QueryProcessor(
+            self.dictionary, self.persistence,
+            index_manager=self.indexes))
+        self.meta.plug(TransactionPolicyManager(self.tx_manager))
+
+        # -- REACH ----------------------------------------------------------
+        self.scheduler = RuleScheduler(self, self.tx_manager, self.config,
+                                       tracer=self.tracer,
+                                       metrics=self.metrics_registry,
+                                       sentry_registry=self.sentry_registry)
+        self.events = EventService(
+            self.meta, self.tx_manager, self.scheduler,
+            self.sentry_registry, self.clock, self.config,
+            resolve_class=self.dictionary.type_named,
+            tracer=self.tracer, metrics=self.metrics_registry)
+        self.rule_pm = self.meta.plug(ReachRulePolicyManager(
+            self.events, self.scheduler))
+        self.temporal = TemporalEventSource(
+            self.clock, self.tx_manager,
+            dispatch=self.events.dispatch_temporal,
+            anchor_subscribe=self._subscribe_anchor)
+        self.temporal.schedule_recurring(self.config.gc_interval,
+                                         self.events.collect_garbage)
+
+        # Pull-based queue-depth gauges: evaluated only when a metrics
+        # snapshot is taken, never on the detection path.
+        self.metrics_registry.gauge_fn(
+            "scheduler.detached.depth",
+            self.scheduler.pending_detached_count)
+        self.metrics_registry.gauge_fn(
+            "scheduler.deferred.depth",
+            self.tx_manager.pending_deferred_count)
+        self.metrics_registry.gauge_fn(
+            "composer.semi_composed.pending",
+            self.events.pending_semi_composed)
+
+        self._rules: dict[str, tuple[Rule, Any]] = {}
+        self._sessions: list[Session] = []
+        self._sessions_created = 0
+        self._closed = False
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Sessions and scope
+    # ------------------------------------------------------------------
+
+    def create_session(self, name: Optional[str] = None,
+                       thread_affine: bool = False) -> Session:
+        """Open a new client session over this engine.
+
+        Each session owns its current-transaction stack (an explicit
+        :class:`~repro.oodb.transactions.TransactionContext`), a pin
+        cache, and a view of the firing log; use
+        ``with session.transaction():`` (or ``session.use()``) to serve
+        the client from any thread.
+
+        ``thread_affine=True`` creates a session without its own context:
+        transactions resolve through the per-thread default stacks, the
+        legacy one-client-per-thread behaviour the facade's default
+        session keeps for backwards compatibility.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            self._sessions_created += 1
+            session = Session(self, name=name, thread_affine=thread_affine)
+            self._sessions.append(session)
+        return session
+
+    def sessions(self) -> list[Session]:
+        with self._lock:
+            return list(self._sessions)
+
+    def _forget_session(self, session: Session) -> None:
+        with self._lock:
+            if session in self._sessions:
+                self._sessions.remove(session)
+
+    @contextmanager
+    def activate(self, context: Optional[TransactionContext] = None) \
+            -> Iterator["ReachEngine"]:
+        """Bind this engine (and optionally a transaction context) to the
+        calling thread: sentried calls in the ``with`` body deliver to
+        this engine only, and the current transaction resolves through
+        ``context`` when one is given."""
+        with ExitStack() as stack:
+            if context is not None:
+                stack.enter_context(self.tx_manager.activate(context))
+            stack.enter_context(self.sentry_registry.bound())
+            yield self
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+
+    def register_class(self, cls: Type, monitor_state: bool = True) -> Type:
+        """Register an application class with the data dictionary and
+        begin monitoring its state changes.
+
+        The class should be decorated with
+        :func:`~repro.oodb.sentry.sentried`; monitoring is orthogonal to
+        persistence (Section 6.1).
+        """
+        self.dictionary.register_type(cls)
+        if monitor_state:
+            self.change.monitor(cls)
+        return cls
+
+    def create_index(self, cls_or_name: Union[Type, str],
+                     attribute: str) -> HashIndex:
+        name = cls_or_name if isinstance(cls_or_name, str) \
+            else cls_or_name.__name__
+        return self.indexes.create_index(name, attribute)
+
+    # ------------------------------------------------------------------
+    # Transactions (engine-level: current ambient context)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self, nested: Optional[bool] = None,
+                    deadline: Optional[float] = None) -> Iterator[Transaction]:
+        with self.tx_manager.transaction(nested=nested,
+                                         deadline=deadline) as tx:
+            yield tx
+
+    def current_transaction(self) -> Optional[Transaction]:
+        return self.tx_manager.current()
+
+    # ------------------------------------------------------------------
+    # Objects and queries
+    # ------------------------------------------------------------------
+
+    def persist(self, obj: Any, name: Optional[str] = None) -> OID:
+        if not self.dictionary.has_type(type(obj).__name__):
+            self.register_class(type(obj))
+        return self.persistence.persist(obj, name)
+
+    def fetch(self, target: Union[str, OID]) -> Any:
+        return self.persistence.fetch(target)
+
+    def delete(self, target: Union[str, OID, Any]) -> None:
+        self.persistence.delete(target)
+
+    def query(self, text: str, **params: Any) -> list[Any]:
+        """Run an OQL-subset query, e.g.
+        ``engine.query("select x from River x where x.level < limit",
+        limit=37)``."""
+        return self.query_processor.execute(text, env=params)
+
+    def flush(self) -> None:
+        """Flush dirty persistent state outside a user transaction."""
+        self.persistence.flush_now()
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    def rule(self, name: str, event: EventSpec,
+             action: Optional[Action] = None,
+             condition: Optional[Condition] = None,
+             condition_query: Optional[str] = None,
+             coupling: CouplingMode = CouplingMode.IMMEDIATE,
+             cond_coupling: Optional[CouplingMode] = None,
+             action_coupling: Optional[CouplingMode] = None,
+             priority: int = 0, critical: bool = False,
+             enabled: bool = True, transfer_locks: bool = False,
+             description: str = "") -> Rule:
+        """Define and register one ECA rule.
+
+        The (event category, coupling mode) combination is validated
+        against Table 1 for both the condition and the action coupling;
+        unsupported combinations raise
+        :class:`~repro.errors.UnsupportedCouplingError` here, at
+        definition time.
+        """
+        rule = Rule(name=name, event=event, action=action,
+                    condition=condition, condition_query=condition_query,
+                    coupling=coupling, cond_coupling=cond_coupling,
+                    action_coupling=action_coupling, priority=priority,
+                    critical=critical, enabled=enabled,
+                    transfer_locks=transfer_locks,
+                    description=description)
+        return self.register_rule(rule)
+
+    def on(self, event: EventSpec) -> RuleBuilder:
+        """Start a fluent rule definition (terminal ``.named(name)``)."""
+        return RuleBuilder(self, event)
+
+    def register_rule(self, rule: Rule) -> Rule:
+        with self._lock:
+            if rule.name in self._rules:
+                raise RuleDefinitionError(
+                    f"a rule named {rule.name!r} already exists")
+            category = rule.event.category()
+            check_supported(rule.cond_coupling, category, rule.name)
+            check_supported(rule.action_coupling, category, rule.name)
+            manager = self._manager_for(rule.event)
+            manager.add_rule(rule)
+            self._rules[rule.name] = (rule, manager)
+            return rule
+
+    def _manager_for(self, spec: EventSpec):
+        if isinstance(spec, CompositeEventSpec):
+            manager = self.events.composite_manager(spec)
+            for leaf in spec.leaves():
+                if isinstance(leaf, TemporalEventSpec):
+                    self.temporal.register(leaf)
+            return manager
+        manager = self.events.primitive_manager(spec)
+        if isinstance(spec, TemporalEventSpec):
+            self.temporal.register(spec)
+        return manager
+
+    def _subscribe_anchor(self, spec, callback) -> None:
+        self.events.primitive_manager(spec).add_listener(callback)
+
+    def define_rules(self, ddl: str, persist: bool = False) -> list[Rule]:
+        """Parse REACH rule DDL (the paper's textual syntax, Section 6.1)
+        and register every rule found.
+
+        With ``persist=True`` the DDL text is stored in the catalog —
+        REACH's "rules are objects too" — and recompiled on the next open
+        by :meth:`load_persistent_rules`.
+        """
+        from repro.core.rule_language import compile_rules
+        rules = compile_rules(ddl, self)
+        for rule in rules:
+            self.register_rule(rule)
+        if persist:
+            self.dictionary.add_rule_ddl(ddl)
+            if self.tx_manager.current() is None:
+                self.persistence.flush_now()
+        return rules
+
+    def load_persistent_rules(self) -> list[Rule]:
+        """Recompile and register every rule-DDL block stored in the
+        catalog.  Application classes referenced by the rules must be
+        registered first.  Already-registered rule names are skipped."""
+        from repro.core.rule_language import compile_rules
+        loaded: list[Rule] = []
+        for ddl in self.dictionary.rule_ddl_blocks():
+            for rule in compile_rules(ddl, self):
+                if rule.name in self._rules:
+                    continue
+                self.register_rule(rule)
+                loaded.append(rule)
+        return loaded
+
+    def drop_rule(self, name: str) -> None:
+        with self._lock:
+            rule, manager = self._rules.pop(name)
+            manager.remove_rule(rule)
+
+    def get_rule(self, name: str) -> Rule:
+        return self._rules[name][0]
+
+    def rules(self) -> list[Rule]:
+        with self._lock:
+            return [rule for rule, __ in self._rules.values()]
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def signal(self, name: str, **parameters: Any) -> None:
+        """Raise an explicit user signal (modelled as a method event)."""
+        spec = SignalEventSpec(name)
+        self.events.emit(spec, parameters)
+
+    def set_milestone(self, label: str, at: float,
+                      tx: Optional[Transaction] = None) -> None:
+        """Arm a milestone: if the transaction has not finished by ``at``,
+        the milestone event fires and its rules (the contingency plan)
+        run detached."""
+        tx = tx or self.tx_manager.require_current()
+        spec = MilestoneEventSpec(label)
+        self.events.primitive_manager(spec)
+        self.temporal.arm_milestone(spec, tx.top_level().id, at)
+
+    def arm_progress_milestones(self, label: str,
+                                fractions: tuple[float, ...] = (0.5, 0.8),
+                                tx: Optional[Transaction] = None) -> list[str]:
+        """Track a deadline transaction's progress (paper, Section 3.1).
+
+        For each fraction f, arms the milestone ``"{label}@{f}"`` at
+        ``begin + f * (deadline - begin)``.  Requires the transaction to
+        have been begun with a ``deadline``.  Returns the milestone labels
+        so contingency rules can be attached per checkpoint.
+        """
+        tx = tx or self.tx_manager.require_current()
+        top = tx.top_level()
+        if top.deadline is None:
+            raise RuleDefinitionError(
+                "progress milestones require a transaction deadline")
+        labels = []
+        span = top.deadline - top.begin_time
+        for fraction in fractions:
+            if not 0 < fraction <= 1:
+                raise ValueError("fractions must be in (0, 1]")
+            milestone_label = f"{label}@{fraction}"
+            self.set_milestone(milestone_label,
+                               at=top.begin_time + fraction * span, tx=top)
+            labels.append(milestone_label)
+        return labels
+
+    def drain_detached(self) -> int:
+        """Synchronous mode: run detached work whose dependencies are
+        decided.  Runs under this engine's scope so detached rule actions
+        deliver their events to this engine only."""
+        with self.sentry_registry.bound():
+            return self.scheduler.drain_detached()
+
+    def wait_for_composition(self, timeout: float = 10.0) -> None:
+        self.events.wait_for_composition(timeout)
+
+    def collect_garbage(self) -> int:
+        return self.events.collect_garbage()
+
+    @property
+    def history(self):
+        """The merged global event history (Section 6.3)."""
+        return self.events.global_history
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+
+    def architecture_inventory(self) -> dict[str, list[str]]:
+        """The Figure 1 view: plugged policy managers + support modules."""
+        return self.meta.inventory()
+
+    # -- observability ---------------------------------------------------
+
+    def metrics(self) -> MetricsRegistry:
+        """The engine's metrics registry (null instruments when
+        ``config.observability`` is off)."""
+        return self.metrics_registry
+
+    def trace(self, trace_id: Optional[int] = None) -> Optional[Trace]:
+        """The most recent trace, or the trace with ``trace_id``.
+
+        ``None`` when tracing is disabled or nothing has been recorded.
+        Each :class:`~repro.obs.tracer.Trace` is the span tree of one
+        sentried call: detection, ECA dispatch, composition, rule firings
+        and their commits.
+        """
+        return self.tracer.trace(trace_id)
+
+    def traces(self) -> list[Trace]:
+        """Every retained trace, oldest first."""
+        return self.tracer.traces()
+
+    def dump_observability(self, json_format: bool = False) -> str:
+        """Text (default) or JSON dump of metrics plus retained traces."""
+        if json_format:
+            import json as _json
+            return _json.dumps({
+                "metrics": self.metrics_registry.snapshot(),
+                "traces": [trace.to_dict() for trace in self.traces()],
+            }, indent=2)
+        parts = [self.metrics_registry.dump_text()]
+        for trace in self.traces():
+            parts.append(trace.format())
+        return "\n\n".join(parts)
+
+    #: The frozen top-level key set of :meth:`statistics`.  Every key is
+    #: present from construction onward; additions require a new entry
+    #: here (tests assert equality, catching accidental drift).
+    STATISTICS_KEYS = frozenset({
+        "transactions", "scheduler", "events", "events_detected",
+        "semi_composed_pending", "composers", "eca_managers", "storage",
+        "rules", "queries", "observability", "sessions",
+    })
+
+    def statistics(self) -> dict[str, Any]:
+        """A consistent snapshot of every subsystem's counters.
+
+        The key set is exactly :attr:`STATISTICS_KEYS`, and every value is
+        well-defined before the first transaction (zeros/empty sections).
+        All values come from always-maintained plain attributes, so they
+        are correct whether or not ``config.observability`` is enabled;
+        the ``observability`` section carries the metrics snapshot (null
+        when disabled).
+
+        Keys:
+
+        * ``transactions`` — begun/committed/aborted counts;
+        * ``scheduler`` — firing counts per policy (immediate,
+          deferred_enqueued, deferred_run, detached_run, ...);
+        * ``events`` — detected/composed/consumed plus pending
+          semi-composed occurrences;
+        * ``events_detected``, ``semi_composed_pending`` — flat aliases
+          retained for backward compatibility;
+        * ``composers`` — composer count, emissions, live graph instances;
+        * ``eca_managers`` — primitive/composite manager counts and
+          occurrences handled;
+        * ``storage`` — pages, WAL and buffer-pool counters;
+        * ``rules`` — registered rule count;
+        * ``queries`` — query-processor counters;
+        * ``sessions`` — sessions created/active on this engine;
+        * ``observability`` — ``metrics().snapshot()``.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        composers = self.events.composers()
+        primitive = self.events.primitive_managers()
+        composite = self.events.composite_managers()
+        with self._lock:
+            sessions = {"created": self._sessions_created,
+                        "active": len(self._sessions)}
+        return {
+            "transactions": dict(self.tx_manager.stats),
+            "scheduler": dict(self.scheduler.stats),
+            "events": {
+                "detected": self.events.events_detected,
+                "composed": sum(c.emitted for c in composers),
+                "consumed": sum(c.consumed for c in composers),
+                "semi_composed_pending":
+                    self.events.pending_semi_composed(),
+            },
+            "events_detected": self.events.events_detected,
+            "semi_composed_pending": self.events.pending_semi_composed(),
+            "composers": {
+                "count": len(composers),
+                "emitted": sum(c.emitted for c in composers),
+                "graph_instances":
+                    sum(c.graph_instance_count() for c in composers),
+            },
+            "eca_managers": {
+                "primitive": len(primitive),
+                "composite": len(composite),
+                "handled": sum(m.handled for m in primitive)
+                + sum(m.handled for m in composite),
+            },
+            "storage": self.storage.stats(),
+            "rules": len(self._rules),
+            "queries": dict(self.query_processor.stats),
+            "sessions": sessions,
+            "observability": self.metrics_registry.snapshot(),
+        }
+
+    def checkpoint(self) -> None:
+        self.storage.checkpoint()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the engine down: cancel timers, drain resolvable detached
+        work, stop the worker pools, cancel sentry subscriptions, and
+        close the storage manager (flushing the buffer pool).
+
+        Idempotent — a second call returns immediately.  Open sessions
+        are closed first.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            open_sessions = list(self._sessions)
+        for session in open_sessions:
+            session.close()
+        self.temporal.cancel_all()
+        try:
+            # Give resolvable detached work a last chance to run rather
+            # than silently dropping it (synchronous mode).
+            with self.sentry_registry.bound():
+                self.scheduler.drain_detached()
+        except Exception:
+            pass
+        self.scheduler.close()
+        self.events.close()
+        self.change.close()
+        self.persistence.detach()
+        self.locks.clear()
+        self.storage.close()
+
+    def __enter__(self) -> "ReachEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

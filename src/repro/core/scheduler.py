@@ -28,6 +28,7 @@ from __future__ import annotations
 import copy
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Optional
@@ -62,6 +63,9 @@ class FiringRecord:
     event_seq: int
     outcome: str               # executed | condition_false | skipped | error
     tx_id: Optional[int] = None
+    #: the session the triggering transaction belonged to (None for the
+    #: legacy thread-affine default or engine-internal work).
+    session_id: Optional[int] = None
 
 
 @dataclass
@@ -75,6 +79,10 @@ class DetachedWork:
     deps: frozenset[int]
     bindings: dict[str, Any]
     depth: int
+    #: triggering session, captured at schedule time — the detached
+    #: transaction itself runs on a worker/drain thread with no session
+    #: bound, so attribution must travel with the work item.
+    session_id: Optional[int] = None
 
 
 class RuleScheduler:
@@ -83,10 +91,15 @@ class RuleScheduler:
     def __init__(self, db: Any, tx_manager: TransactionManager,
                  config: ExecutionConfig,
                  tracer: Tracer = NULL_TRACER,
-                 metrics: MetricsRegistry = NULL_METRICS):
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 sentry_registry: Any = None):
         self.db = db
         self.tx_manager = tx_manager
         self.config = config
+        #: the owning engine's sentry registry; worker and drain threads
+        #: bind it so rule actions deliver their events to this engine
+        #: only (scoped delivery, see :mod:`repro.oodb.sentry`).
+        self.sentry_registry = sentry_registry
         self.tracer = tracer
         self.metrics = metrics
         self._observe_latency = metrics.enabled
@@ -119,6 +132,13 @@ class RuleScheduler:
             "recursion_limited": 0, "parallel_batches": 0,
         }
 
+    def _bound_scope(self):
+        """Bind the owning engine's sentry scope on the calling thread
+        (no-op when no scoped registry was injected)."""
+        if self.sentry_registry is not None:
+            return self.sentry_registry.bound()
+        return nullcontext()
+
     # ------------------------------------------------------------------
     # Entry point from the ECA managers
     # ------------------------------------------------------------------
@@ -135,9 +155,10 @@ class RuleScheduler:
         depth = current.rule_depth if current is not None else 0
         if depth >= self.config.max_rule_recursion:
             self.stats["recursion_limited"] += 1
+            session_id = current.session_id if current is not None else None
             for rule in ordered:
                 self._log(rule, rule.cond_coupling, PHASE_FULL, occ,
-                          "skipped")
+                          "skipped", session_id=session_id)
             return
         immediate_batch: list[Rule] = []
         for rule in ordered:
@@ -182,11 +203,16 @@ class RuleScheduler:
         self.stats["parallel_batches"] += 1
 
         def run_one(rule: Rule) -> None:
-            tx = self.tx_manager.begin_child_of(
-                trigger, rule_depth=trigger.rule_depth + 1)
-            self.stats["immediate"] += 1
-            self._run_in_tx(rule, occ, PHASE_FULL, tx,
-                            CouplingMode.IMMEDIATE)
+            with self._bound_scope():
+                tx = self.tx_manager.begin_child_of(
+                    trigger, rule_depth=trigger.rule_depth + 1)
+                if tx.session_id is None:
+                    # The sibling thread has no session bound; attribute
+                    # the subtransaction to the triggering session.
+                    tx.session_id = trigger.session_id
+                self.stats["immediate"] += 1
+                self._run_in_tx(rule, occ, PHASE_FULL, tx,
+                                CouplingMode.IMMEDIATE)
 
         threads = [threading.Thread(target=run_one, args=(rule,),
                                     name=f"reach-rule-{rule.name}")
@@ -206,14 +232,16 @@ class RuleScheduler:
                 outcome = self._run_unit(rule, occ, phase, tx, mode,
                                          bindings=bindings)
                 tm.commit(tx)
-                self._log(rule, mode, phase, occ, outcome, tx.id)
+                self._log(rule, mode, phase, occ, outcome, tx.id,
+                          session_id=tx.session_id)
                 if span is not None:
                     span.attributes["outcome"] = outcome
             except RuleExecutionError as exc:
                 if tx.state is TransactionState.ACTIVE:
                     tm.abort(tx)
                 self.errors.append((rule, exc))
-                self._log(rule, mode, phase, occ, "error", tx.id)
+                self._log(rule, mode, phase, occ, "error", tx.id,
+                          session_id=tx.session_id)
                 if span is not None:
                     span.attributes["outcome"] = "error"
                 if rule.critical:
@@ -335,6 +363,8 @@ class RuleScheduler:
             for rule, occ, phase, bindings in entries:
                 sub = self.tx_manager.begin_child_of(
                     tx, rule_depth=tx.rule_depth + 1)
+                if sub.session_id is None:
+                    sub.session_id = tx.session_id
                 self.stats["deferred_run"] += 1
                 self._run_in_tx(rule, occ, phase, sub,
                                 CouplingMode.DEFERRED, bindings=bindings)
@@ -362,7 +392,8 @@ class RuleScheduler:
         work = DetachedWork(rule=rule, occ=occ, phase=phase, mode=mode,
                             deps=occ.tx_ids,
                             bindings=self._detached_bindings(raw),
-                            depth=depth + 1)
+                            depth=depth + 1,
+                            session_id=self._session_of(occ))
         if mode is CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT and \
                 rule.transfer_locks:
             # Reserve the triggers' locks: if a trigger aborts, its locks
@@ -378,6 +409,19 @@ class RuleScheduler:
         with self._pending_lock:
             self._pending.append(work)
         self.drain_detached()
+
+    def _session_of(self, occ: EventOccurrence) -> Optional[int]:
+        """Session attribution for detached work: the current context's
+        session if one is bound, else the session of a (still live)
+        triggering transaction."""
+        session_id = self.tx_manager.current_session_id()
+        if session_id is not None:
+            return session_id
+        for tx_id in occ.tx_ids:
+            candidate = self.tx_manager.find_transaction(tx_id)
+            if candidate is not None and candidate.session_id is not None:
+                return candidate.session_id
+        return None
 
     def _on_trigger_abort(self, tx: Transaction) -> None:
         """Abort hook: park a reserved trigger's locks before release."""
@@ -421,26 +465,30 @@ class RuleScheduler:
     def _run_detached_blocking(self, work: DetachedWork) -> None:
         """Worker-thread body enforcing the causal dependencies."""
         try:
-            if work.mode is CouplingMode.SEQUENTIAL_CAUSALLY_DEPENDENT:
-                if not self._await_outcomes(work, TransactionState.COMMITTED):
-                    self._skip(work)
-                    return
-                self._execute_detached(work)
-            elif work.mode is CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT:
-                if not self._await_outcomes(work, TransactionState.ABORTED):
-                    self._skip(work)
-                    return
-                self._execute_detached(work)
-            elif work.mode is CouplingMode.PARALLEL_CAUSALLY_DEPENDENT:
-                self._execute_detached(
-                    work,
-                    before_commit=lambda: self._await_outcomes(
-                        work, TransactionState.COMMITTED))
-            else:  # plain detached
-                self._execute_detached(work)
+            with self._bound_scope():
+                if work.mode is CouplingMode.SEQUENTIAL_CAUSALLY_DEPENDENT:
+                    if not self._await_outcomes(work,
+                                                TransactionState.COMMITTED):
+                        self._skip(work)
+                        return
+                    self._execute_detached(work)
+                elif work.mode is CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT:
+                    if not self._await_outcomes(work,
+                                                TransactionState.ABORTED):
+                        self._skip(work)
+                        return
+                    self._execute_detached(work)
+                elif work.mode is CouplingMode.PARALLEL_CAUSALLY_DEPENDENT:
+                    self._execute_detached(
+                        work,
+                        before_commit=lambda: self._await_outcomes(
+                            work, TransactionState.COMMITTED))
+                else:  # plain detached
+                    self._execute_detached(work)
         except BaseException as exc:  # worker threads must not die silently
             self.errors.append((work.rule, exc))
-            self._log(work.rule, work.mode, work.phase, work.occ, "error")
+            self._log(work.rule, work.mode, work.phase, work.occ, "error",
+                      session_id=work.session_id)
 
     def _await_outcomes(self, work: DetachedWork,
                         wanted: TransactionState) -> bool:
@@ -465,7 +513,8 @@ class RuleScheduler:
             work = self._take_ready()
             if work is None:
                 return executed
-            self._run_detached_resolved(work)
+            with self._bound_scope():
+                self._run_detached_resolved(work)
             executed += 1
 
     def _take_ready(self) -> Optional[DetachedWork]:
@@ -495,6 +544,10 @@ class RuleScheduler:
         """Run the rule in a new top-level transaction."""
         tm = self.tx_manager
         tx = tm.begin(nested=False, rule_depth=work.depth)
+        if tx.session_id is None:
+            # Detached transactions start on worker/drain threads with no
+            # session bound; attribute them to the triggering session.
+            tx.session_id = work.session_id
         if work.mode is CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT and \
                 work.rule.transfer_locks:
             self._claim_reserved_locks(work, tx)
@@ -508,13 +561,13 @@ class RuleScheduler:
                 if before_commit is not None and not before_commit():
                     tm.abort(tx)
                     self._log(work.rule, work.mode, work.phase, work.occ,
-                              "skipped", tx.id)
+                              "skipped", tx.id, session_id=tx.session_id)
                     if span is not None:
                         span.attributes["outcome"] = "skipped"
                     return
                 tm.commit(tx)
                 self._log(work.rule, work.mode, work.phase, work.occ,
-                          outcome, tx.id)
+                          outcome, tx.id, session_id=tx.session_id)
                 if span is not None:
                     span.attributes["outcome"] = outcome
             except RuleExecutionError as exc:
@@ -522,7 +575,7 @@ class RuleScheduler:
                     tm.abort(tx)
                 self.errors.append((work.rule, exc))
                 self._log(work.rule, work.mode, work.phase, work.occ,
-                          "error", tx.id)
+                          "error", tx.id, session_id=tx.session_id)
                 if span is not None:
                     span.attributes["outcome"] = "error"
 
@@ -530,7 +583,8 @@ class RuleScheduler:
         if work.rule.transfer_locks:
             self._drop_reservations(work)
         self.stats["detached_skipped"] += 1
-        self._log(work.rule, work.mode, work.phase, work.occ, "skipped")
+        self._log(work.rule, work.mode, work.phase, work.occ, "skipped",
+                  session_id=work.session_id)
 
     # ------------------------------------------------------------------
     # Hooks and bookkeeping
@@ -551,7 +605,8 @@ class RuleScheduler:
 
     def _log(self, rule: Rule, mode: CouplingMode, phase: str,
              occ: EventOccurrence, outcome: str,
-             tx_id: Optional[int] = None) -> None:
+             tx_id: Optional[int] = None,
+             session_id: Optional[int] = None) -> None:
         if outcome == "executed":
             self._m_fired[mode].inc()
         elif outcome == "condition_false":
@@ -563,10 +618,18 @@ class RuleScheduler:
         with self._log_lock:
             self.firing_log.append(FiringRecord(
                 rule_name=rule.name, mode=mode, phase=phase,
-                event_seq=occ.seq, outcome=outcome, tx_id=tx_id))
+                event_seq=occ.seq, outcome=outcome, tx_id=tx_id,
+                session_id=session_id))
             if len(self.firing_log) > self.MAX_FIRING_LOG:
                 del self.firing_log[:len(self.firing_log)
                                     - self.MAX_FIRING_LOG]
+
+    def firing_log_for(self, session_id: int) -> list[FiringRecord]:
+        """The firing-log slice attributed to one session (a consistent
+        snapshot; used by :meth:`repro.core.session.Session.firing_log`)."""
+        with self._log_lock:
+            return [record for record in self.firing_log
+                    if record.session_id == session_id]
 
     def close(self) -> None:
         if self._pool is not None:

@@ -1,0 +1,231 @@
+"""Client sessions: per-client state over a shared :class:`ReachEngine`.
+
+A session is what the paper's client/server outlook (Section 5) calls a
+client connection: it owns the state that must *not* be shared between
+clients — the current-transaction stack (an explicit
+:class:`~repro.oodb.transactions.TransactionContext`), a pin cache of
+fetched objects, and its slice of the firing log — while everything heavy
+(storage, locks, dictionary, event detection, rule scheduling) lives on
+the engine and is shared by all sessions.
+
+A session is not welded to a thread.  Binding is explicit and scoped::
+
+    engine = ReachEngine()
+    session = engine.create_session("client-42")
+    with session.transaction():
+        session.persist(river, "Rhein")
+        river.update_water_level(30)    # rules fire in *this* session's
+                                        # transaction scope
+
+Any thread may serve the session, but only one at a time — a session is
+one client, and a client has one request in flight.  Concurrency comes
+from many sessions, not from sharing one.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import ExitStack, contextmanager
+from typing import Any, Iterator, Optional, Union
+
+from repro.oodb.oid import OID
+from repro.oodb.transactions import Transaction, TransactionContext
+
+_session_ids = itertools.count(1)
+
+
+class Session:
+    """One client's scope over a shared engine.
+
+    Args:
+        engine: the owning :class:`~repro.core.engine.ReachEngine`.
+        name: label used in diagnostics; defaults to ``session-<id>``.
+        thread_affine: when True the session has *no* context of its own
+            and transactions resolve through the per-thread default
+            stacks — the legacy one-client-per-thread behaviour the
+            facade's default session keeps.  Pinning is disabled in this
+            mode (the thread-level stacks are outside the session's
+            visibility, so cache invalidation would be unreliable).
+    """
+
+    def __init__(self, engine: Any, name: Optional[str] = None,
+                 thread_affine: bool = False):
+        self.engine = engine
+        self.id = next(_session_ids)
+        self.name = name or f"session-{self.id}"
+        self.thread_affine = thread_affine
+        self.context: Optional[TransactionContext] = None if thread_affine \
+            else TransactionContext(name=self.name, session_id=self.id)
+        #: fetch target -> object, held only while a transaction is open.
+        self._pins: dict[Any, Any] = {}
+        self._pinning = not thread_affine
+        #: serializes serving threads: a session is one client, so two
+        #: threads using it concurrently queue up instead of interleaving
+        #: (reentrant — transaction() binds, then fetch() binds again).
+        self._serving = threading.RLock()
+        self.stats = {"transactions": 0, "commits": 0, "aborts": 0,
+                      "fetches": 0, "pin_hits": 0}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def use(self) -> Iterator["Session"]:
+        """Bind this session to the calling thread for the ``with`` body:
+        the engine's sentry scope plus (unless thread-affine) this
+        session's transaction context."""
+        if self._closed:
+            raise RuntimeError(f"{self.name} is closed")
+        with ExitStack() as stack:
+            if self.context is not None:
+                # Thread-affine sessions skip the serving lock: they are
+                # explicitly multi-threaded (each thread has its own
+                # default transaction stack), so serializing them here
+                # would strangle legacy concurrent clients.
+                stack.enter_context(self._serving)
+                stack.enter_context(
+                    self.engine.tx_manager.activate(self.context))
+            stack.enter_context(self.engine.sentry_registry.bound())
+            yield self
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self, nested: Optional[bool] = None,
+                    deadline: Optional[float] = None) -> Iterator[Transaction]:
+        """``with session.transaction() as tx:`` — commit on success,
+        abort on exception, all in this session's scope."""
+        with self.use():
+            self.stats["transactions"] += 1
+            try:
+                with self.engine.tx_manager.transaction(
+                        nested=nested, deadline=deadline) as tx:
+                    yield tx
+            except BaseException:
+                self.stats["aborts"] += 1
+                raise
+            else:
+                self.stats["commits"] += 1
+            finally:
+                if self.current_transaction() is None:
+                    self._pins.clear()
+
+    def begin(self, nested: Optional[bool] = None,
+              deadline: Optional[float] = None) -> Transaction:
+        with self.use():
+            self.stats["transactions"] += 1
+            return self.engine.tx_manager.begin(nested=nested,
+                                                deadline=deadline)
+
+    def commit(self, tx: Optional[Transaction] = None) -> None:
+        with self.use():
+            self.engine.tx_manager.commit(tx)
+            self.stats["commits"] += 1
+            if self.current_transaction() is None:
+                self._pins.clear()
+
+    def abort(self, tx: Optional[Transaction] = None) -> None:
+        with self.use():
+            self.engine.tx_manager.abort(tx)
+            self.stats["aborts"] += 1
+            if self.current_transaction() is None:
+                self._pins.clear()
+
+    def current_transaction(self) -> Optional[Transaction]:
+        if self.context is not None:
+            return self.context.current()
+        return self.engine.tx_manager.current()
+
+    # ------------------------------------------------------------------
+    # Objects and queries
+    # ------------------------------------------------------------------
+
+    def persist(self, obj: Any, name: Optional[str] = None) -> OID:
+        with self.use():
+            return self.engine.persist(obj, name)
+
+    def fetch(self, target: Union[str, OID]) -> Any:
+        """Fetch through the engine, consulting this session's pin cache.
+
+        Objects are pinned only while a transaction is open on this
+        session (2PL makes them stable until EOT); the cache is dropped
+        at transaction end, so nothing stale survives a commit or abort.
+        """
+        self.stats["fetches"] += 1
+        with self.use():
+            in_tx = self.current_transaction() is not None
+            if self._pinning and in_tx:
+                key = self._pin_key(target)
+                if key in self._pins:
+                    self.stats["pin_hits"] += 1
+                    return self._pins[key]
+                obj = self.engine.fetch(target)
+                self._pins[key] = obj
+                return obj
+            return self.engine.fetch(target)
+
+    @staticmethod
+    def _pin_key(target: Union[str, OID]) -> Any:
+        return target
+
+    def delete(self, target: Union[str, OID, Any]) -> None:
+        with self.use():
+            self.engine.delete(target)
+            self._pins.clear()
+
+    def query(self, text: str, **params: Any) -> list[Any]:
+        with self.use():
+            return self.engine.query(text, **params)
+
+    def signal(self, name: str, **parameters: Any) -> None:
+        with self.use():
+            self.engine.signal(name, **parameters)
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+
+    def firing_log(self) -> list[Any]:
+        """The engine firing-log records attributed to this session."""
+        return self.engine.scheduler.firing_log_for(self.id)
+
+    def pinned_count(self) -> int:
+        return len(self._pins)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the session: abort any transaction still open in its
+        context, drop the pins, and detach from the engine.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.context is not None:
+            while self.context.stack:
+                tx = self.context.stack[-1]
+                try:
+                    with self.engine.tx_manager.activate(self.context):
+                        self.engine.tx_manager.abort(tx)
+                except Exception:
+                    # Already finishing elsewhere; drop it from the stack.
+                    if tx in self.context.stack:
+                        self.context.stack.remove(tx)
+        self._pins.clear()
+        self.engine._forget_session(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<Session {self.id} {self.name!r} {state}>"

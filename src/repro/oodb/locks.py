@@ -134,6 +134,12 @@ class LockManager:
 
     # ------------------------------------------------------------------
 
+    def clear(self) -> None:
+        """Drop every lock and wake all waiters (engine shutdown)."""
+        with self._condition:
+            self._table.clear()
+            self._condition.notify_all()
+
     def release_all(self, family: int) -> None:
         """Release every lock held by ``family`` (end of 2PL phase two)."""
         with self._condition:

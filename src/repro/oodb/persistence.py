@@ -57,7 +57,20 @@ class PersistencePolicyManager(PolicyManager):
         #: top-level commit (documented relaxation — prefer transactions).
         self._untracked_dirty: set[Any] = set()
         tx_manager.pre_commit_hooks.append(self._flush)
+        self._detached = False
         self._load_catalog()
+
+    def detach(self) -> None:
+        """Unhook from the transaction manager (engine shutdown): commits
+        after this no longer flush through a closed storage manager.
+        Idempotent."""
+        if self._detached:
+            return
+        self._detached = True
+        try:
+            self.tx_manager.pre_commit_hooks.remove(self._flush)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # Bus integration

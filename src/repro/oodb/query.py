@@ -17,6 +17,7 @@ declarative access and the active index-maintenance rules.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -129,6 +130,9 @@ class QueryProcessor(PolicyManager):
         self.persistence = persistence
         self.index_manager = index_manager
         self.stats = {"queries": 0, "extent_scans": 0, "index_lookups": 0}
+        # Queries run concurrently from many sessions; counter bumps must
+        # not lose increments.
+        self._stats_lock = threading.Lock()
 
     def execute(self, text: str,
                 env: Optional[dict[str, Any]] = None) -> list[Any]:
@@ -138,7 +142,8 @@ class QueryProcessor(PolicyManager):
         parameters: ``select x from River x where x.level < threshold``).
         """
         query = parse_query(text)
-        self.stats["queries"] += 1
+        with self._stats_lock:
+            self.stats["queries"] += 1
         base_env = dict(env or {})
         candidates = self._candidates(query, base_env)
         rows: list[Any] = []
@@ -190,9 +195,11 @@ class QueryProcessor(PolicyManager):
         """Pick the access path: index lookup if possible, else extent scan."""
         indexed = self._index_probe(query, env)
         if indexed is not None:
-            self.stats["index_lookups"] += 1
+            with self._stats_lock:
+                self.stats["index_lookups"] += 1
             return indexed
-        self.stats["extent_scans"] += 1
+        with self._stats_lock:
+            self.stats["extent_scans"] += 1
         if not self.dictionary.has_type(query.class_name):
             raise QueryError(f"unknown class {query.class_name!r}")
         return [self.persistence.fetch(oid)

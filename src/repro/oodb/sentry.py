@@ -35,12 +35,24 @@ from __future__ import annotations
 import enum
 import functools
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Type
+from typing import Any, Callable, Iterator, Optional, Type
 
 from repro.obs.metrics import NULL_COUNTER, MetricsRegistry
 
 _MISSING = object()
+
+#: Per-thread stack of *bound* scoped registries.  The sentry structures
+#: themselves (receiver buckets) live on the classes and are emitted once
+#: per program, like the paper's preprocessor output; scoping decides at
+#: delivery time which engine's receivers a notification reaches.
+_scope_local = threading.local()
+
+
+def _bound_registry() -> Optional["SentryRegistry"]:
+    stack = getattr(_scope_local, "stack", None)
+    return stack[-1] if stack else None
 
 
 class Moment(enum.Enum):
@@ -104,25 +116,79 @@ class Subscription:
 
 
 class SentryRegistry:
-    """Process-wide registry connecting sentried classes to receivers.
+    """Registry connecting sentried classes to receivers.
 
     The decorator stores per-method receiver lists on the class; the
     registry resolves *watch* requests (possibly on subclasses) to the
     defining class's list and installs type-filtered adapters.
+
+    Two flavours exist:
+
+    * the module-level default :data:`registry` is **unscoped**: its
+      receivers fire for every monitored call in the process (the
+      historical behaviour, kept for direct ``watch_*`` users);
+    * an engine-owned registry is **scoped** (``scoped=True``): its
+      receivers only fire while the owning engine is *bound* to the
+      delivering thread (see :meth:`bound`), or while no engine at all is
+      bound.  Two engines in one process therefore no longer observe each
+      other's sessions, even for classes both of them monitor.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, scoped: bool = False, name: str = "") -> None:
         self._lock = threading.RLock()
+        self.scoped = scoped
+        self.name = name
         self.notifications_delivered = 0
         self._m_notifications = NULL_COUNTER
 
     def attach_metrics(self, metrics: MetricsRegistry) -> None:
         """Mirror the delivery count into a metrics registry.
 
-        The registry is process-wide while databases come and go, so the
-        counter is attached (last database wins) rather than constructed.
+        Scoped (engine-owned) registries attach their engine's metrics at
+        construction; for the process-wide default registry the counter is
+        attached by whoever claims it last.
         """
         self._m_notifications = metrics.counter("sentry.notifications")
+
+    # -- engine scoping -------------------------------------------------------
+
+    @contextmanager
+    def bound(self) -> Iterator["SentryRegistry"]:
+        """Bind this registry to the calling thread for the ``with`` body.
+
+        While a scoped registry is bound, only *its* receivers (and those
+        of unscoped registries) observe monitored calls made by the
+        thread.  Unscoped registries yield without binding anything.
+        """
+        if not self.scoped:
+            yield self
+            return
+        stack = getattr(_scope_local, "stack", None)
+        if stack is None:
+            stack = _scope_local.stack = []
+        stack.append(self)
+        try:
+            yield self
+        finally:
+            stack.pop()
+
+    def _accepts_here(self) -> bool:
+        bound = _bound_registry()
+        return bound is None or bound is self
+
+    def _scope_receiver(self, receiver: Callable) -> Callable:
+        """Wrap ``receiver`` so delivery honours this registry's scope."""
+        if not self.scoped:
+            return receiver
+
+        def scoped_delivery(note: Any, __receiver=receiver,
+                            __registry=self) -> None:
+            if __registry._accepts_here():
+                __registry.notifications_delivered += 1
+                __registry._m_notifications.inc()
+                __receiver(note)
+
+        return scoped_delivery
 
     # -- bookkeeping used by the wrappers -----------------------------------
 
@@ -151,13 +217,13 @@ class SentryRegistry:
         bucket = buckets[method]
 
         if cls is owner:
-            entry = (moment, receiver)
+            entry = (moment, self._scope_receiver(receiver))
         else:
             def filtered(note: MethodNotification,
                          __cls=cls, __receiver=receiver) -> None:
                 if isinstance(note.instance, __cls):
                     __receiver(note)
-            entry = (moment, filtered)
+            entry = (moment, self._scope_receiver(filtered))
         with self._lock:
             bucket.append(entry)
         return Subscription(bucket, entry)
@@ -179,6 +245,7 @@ class SentryRegistry:
                 return
             __receiver(note)
 
+        adapted = self._scope_receiver(adapted)
         with self._lock:
             bucket.append(adapted)
         return Subscription(bucket, adapted)
@@ -194,14 +261,17 @@ class SentryRegistry:
                 return
             __receiver(note)
 
+        adapted = self._scope_receiver(adapted)
         with self._lock:
             bucket.append(adapted)
         return Subscription(bucket, adapted)
 
 
-#: The default registry, shared by all databases in the process (mirrors the
-#: preprocessor emitting one set of sentry structures per program).
-registry = SentryRegistry()
+#: The legacy default registry: unscoped, shared by everything that does not
+#: bring its own (mirrors the preprocessor emitting one set of sentry
+#: structures per program).  Engines construct their own *scoped* registry,
+#: so databases no longer observe each other's sessions through it.
+registry = SentryRegistry(name="process-default")
 
 
 def _defining_class(cls: Type, method: str) -> Type:

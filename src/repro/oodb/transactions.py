@@ -19,6 +19,14 @@ which the rule scheduler's dependency tracker consumes.
 Locking follows the closed-nested convention: all locks are held by the
 transaction *family* (top-level transaction and descendants) and released
 when the top level finishes.
+
+Transaction scope is an explicit, first-class context: every client
+session owns a :class:`TransactionContext` (its current-transaction
+stack) and binds it to whichever thread is serving it via
+:meth:`TransactionManager.activate`.  Threads with no bound context fall
+back to a per-thread default context, which preserves the historical
+one-client-per-thread behaviour (detached rule workers and legacy
+facade-only code rely on it).
 """
 
 from __future__ import annotations
@@ -80,6 +88,11 @@ class Transaction:
         self.active_children = 0
         self.metadata: dict[str, Any] = {}
         self.begin_time: float = 0.0
+        #: the context (session scope) this transaction was begun in; set
+        #: by the transaction manager, used to pop the right stack even
+        #: when completion happens on another thread.
+        self.context: Optional["TransactionContext"] = None
+        self.session_id: Optional[int] = None
 
     @property
     def is_top_level(self) -> bool:
@@ -107,12 +120,46 @@ class Transaction:
         return f"<Transaction {self.id} {kind} {self.state.value}>"
 
 
+class TransactionContext:
+    """An explicit current-transaction stack: one client's scope.
+
+    The first REACH prototype hard-wired one client per thread by keeping
+    the current-transaction stack in thread-local storage.  A context
+    makes that scope a first-class object instead: a
+    :class:`~repro.core.session.Session` owns one and binds it to
+    whichever thread currently serves the client, so N sessions can run
+    transactions against one engine regardless of the thread topology.
+
+    A context must only be *active* on one thread at a time (one client,
+    one request in flight); the session layer enforces this usage.
+    """
+
+    __slots__ = ("name", "session_id", "stack")
+
+    def __init__(self, name: str = "",
+                 session_id: Optional[int] = None):
+        self.name = name
+        self.session_id = session_id
+        self.stack: list[Transaction] = []
+
+    def current(self) -> Optional[Transaction]:
+        return self.stack[-1] if self.stack else None
+
+    def __repr__(self) -> str:
+        return (f"<TransactionContext {self.name or id(self)} "
+                f"depth={len(self.stack)}>")
+
+
 class TransactionManager:
     """Creates, tracks, commits and aborts transactions.
 
-    Each thread has its own current-transaction stack, so detached rules
-    running on worker threads get independent transaction contexts, exactly
-    like the paper's Solaris threads.
+    The *current* transaction is resolved through an explicit
+    :class:`TransactionContext`: sessions bind their context to the
+    serving thread with :meth:`activate`; threads with nothing bound use
+    a per-thread default context.  Detached rules running on worker
+    threads therefore get independent transaction contexts, exactly like
+    the paper's Solaris threads, while client sessions keep their own
+    scope even when multiplexed over arbitrary threads.
     """
 
     def __init__(self, meta: MetaArchitecture, locks: LockManager,
@@ -137,14 +184,52 @@ class TransactionManager:
         self.abort_hooks: list[Callable[[Transaction], None]] = []
         self.stats = {"begun": 0, "committed": 0, "aborted": 0}
 
-    # -- current-transaction stack (per thread) -------------------------------
+    # -- current-transaction contexts -----------------------------------------
+
+    def _thread_context(self) -> TransactionContext:
+        """The per-thread fallback context (legacy one-client-per-thread)."""
+        context = getattr(self._local, "default_context", None)
+        if context is None:
+            context = TransactionContext(
+                name=f"thread-{threading.get_ident()}")
+            self._local.default_context = context
+        return context
+
+    def current_context(self) -> TransactionContext:
+        """The innermost bound context, or this thread's default one."""
+        bound = getattr(self._local, "bound_contexts", None)
+        if bound:
+            return bound[-1]
+        return self._thread_context()
+
+    def push_context(self, context: TransactionContext) -> None:
+        bound = getattr(self._local, "bound_contexts", None)
+        if bound is None:
+            bound = self._local.bound_contexts = []
+        bound.append(context)
+
+    def pop_context(self, context: TransactionContext) -> None:
+        bound = getattr(self._local, "bound_contexts", None)
+        if not bound or bound[-1] is not context:
+            raise TransactionStateError(
+                "transaction context bindings must unwind in LIFO order")
+        bound.pop()
+
+    @contextmanager
+    def activate(self, context: TransactionContext) \
+            -> Iterator[TransactionContext]:
+        """Bind ``context`` to the calling thread for the ``with`` body."""
+        self.push_context(context)
+        try:
+            yield context
+        finally:
+            self.pop_context(context)
+
+    def current_session_id(self) -> Optional[int]:
+        return self.current_context().session_id
 
     def _stack(self) -> list[Transaction]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = []
-            self._local.stack = stack
-        return stack
+        return self.current_context().stack
 
     def current(self) -> Optional[Transaction]:
         stack = self._stack()
@@ -187,13 +272,20 @@ class TransactionManager:
             tx.begin_time = self.clock.now()
         if parent is not None:
             parent.active_children += 1
-        self._stack().append(tx)
+        self._adopt(tx)
+        self.meta.raise_event(SystemEventKind.TX_BEGIN, tx=tx)
+        return tx
+
+    def _adopt(self, tx: Transaction) -> None:
+        """Record ``tx`` in the calling thread's context and the live map."""
+        context = self.current_context()
+        tx.context = context
+        tx.session_id = context.session_id
+        context.stack.append(tx)
         with self._live_lock:
             self._live[tx.id] = tx
         self.stats["begun"] += 1
         self._m_begun.inc()
-        self.meta.raise_event(SystemEventKind.TX_BEGIN, tx=tx)
-        return tx
 
     def begin_child_of(self, parent: Transaction,
                        deadline: Optional[float] = None,
@@ -214,11 +306,7 @@ class TransactionManager:
         if self.clock is not None:
             tx.begin_time = self.clock.now()
         parent.active_children += 1
-        self._stack().append(tx)
-        with self._live_lock:
-            self._live[tx.id] = tx
-        self.stats["begun"] += 1
-        self._m_begun.inc()
+        self._adopt(tx)
         self.meta.raise_event(SystemEventKind.TX_BEGIN, tx=tx)
         return tx
 
@@ -325,7 +413,9 @@ class TransactionManager:
                 "children")
 
     def _pop(self, tx: Transaction) -> None:
-        stack = self._stack()
+        context = tx.context if tx.context is not None \
+            else self.current_context()
+        stack = context.stack
         if tx in stack:
             # Usually the top; tolerate out-of-order completion from hooks.
             stack.remove(tx)

@@ -24,6 +24,7 @@ from repro import (
     ExecutionMode,
     MethodEventSpec,
     ReachDatabase,
+    ReachEngine,
     Sequence,
     SignalEventSpec,
     sentried,
@@ -31,6 +32,9 @@ from repro import (
 
 CLIENTS = 4
 ROUNDS = 25
+#: the acceptance bar for the engine/session split.
+SESSIONS = 16
+SESSION_ROUNDS = 5
 
 
 @sentried
@@ -204,3 +208,123 @@ class TestCompositeExactness:
         assert len(hit_events) == CLIENTS * ROUNDS
         seqs = [occ.seq for occ in hit_events]
         assert seqs == sorted(seqs)
+
+
+class TestMultiSessionIsolation:
+    """The engine/session acceptance bar: 16 concurrent sessions over one
+    engine, each committing transactions that trigger immediate, deferred
+    and detached rules, with zero cross-session state bleed."""
+
+    def _add_rules(self, owner):
+        owner.rule("imm", HIT, action=lambda ctx: None,
+                   coupling=CouplingMode.IMMEDIATE)
+        owner.rule("defer", HIT, action=lambda ctx: None,
+                   coupling=CouplingMode.DEFERRED)
+        owner.rule("det", HIT, action=lambda ctx: None,
+                   coupling=CouplingMode.DETACHED)
+
+    def _assert_no_bleed(self, sessions, counters):
+        expected = SESSION_ROUNDS
+        for session, counter in zip(sessions, counters):
+            # Effects: only this session's transactions touched its object.
+            assert counter.hits == expected
+            # Attribution: this session's firing-log slice holds exactly
+            # its own firings, one per rule per transaction.
+            records = session.firing_log()
+            by_rule = {}
+            for record in records:
+                assert record.session_id == session.id
+                assert record.outcome == "executed"
+                by_rule.setdefault(record.rule_name, []).append(record)
+            assert len(by_rule["imm"]) == expected
+            assert len(by_rule["defer"]) == expected
+            assert len(by_rule["det"]) == expected
+
+    def test_sixteen_sessions_synchronous(self, tmp_path):
+        engine = ReachEngine(directory=str(tmp_path / "eng-sync"))
+        try:
+            engine.register_class(Counter)
+            self._add_rules(engine)
+            sessions = [engine.create_session(f"client-{i}")
+                        for i in range(SESSIONS)]
+            counters = [Counter(f"s{i}") for i in range(SESSIONS)]
+            for session, counter in zip(sessions, counters):
+                with session.transaction():
+                    session.persist(counter, counter.name)
+            # Interleave: every session commits one transaction per round.
+            for __ in range(SESSION_ROUNDS):
+                for session, counter in zip(sessions, counters):
+                    with session.transaction():
+                        counter.hit()
+            engine.drain_detached()
+            self._assert_no_bleed(sessions, counters)
+        finally:
+            engine.close()
+
+    def test_sixteen_sessions_threaded(self, tmp_path):
+        config = ExecutionConfig(mode=ExecutionMode.THREADED,
+                                 worker_threads=4)
+        engine = ReachEngine(directory=str(tmp_path / "eng-thr"),
+                             config=config)
+        try:
+            engine.register_class(Counter)
+            self._add_rules(engine)
+            sessions = [engine.create_session(f"client-{i}")
+                        for i in range(SESSIONS)]
+            counters = [Counter(f"t{i}") for i in range(SESSIONS)]
+            for session, counter in zip(sessions, counters):
+                with session.transaction():
+                    session.persist(counter, counter.name)
+            errors = []
+
+            def client(session, counter):
+                try:
+                    for __ in range(SESSION_ROUNDS):
+                        with session.transaction():
+                            counter.hit()
+                except Exception as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client, args=pair)
+                       for pair in zip(sessions, counters)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            # Detached firings land asynchronously on the worker pool.
+            expected = SESSIONS * SESSION_ROUNDS
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                detached = [r for r in engine.scheduler.firing_log
+                            if r.rule_name == "det"
+                            and r.outcome == "executed"]
+                if len(detached) >= expected:
+                    break
+                time.sleep(0.01)
+            self._assert_no_bleed(sessions, counters)
+            stats = engine.tx_manager.stats
+            assert stats["begun"] == stats["committed"] + stats["aborted"]
+        finally:
+            engine.close()
+
+    def test_session_transactions_do_not_share_stacks(self, tmp_path):
+        """Two sessions on one thread keep independent current
+        transactions: opening one in session B does not change what
+        session A considers current."""
+        engine = ReachEngine(directory=str(tmp_path / "eng-stack"))
+        try:
+            a = engine.create_session("a")
+            b = engine.create_session("b")
+            tx_a = a.begin()
+            assert a.current_transaction() is tx_a
+            assert b.current_transaction() is None
+            tx_b = b.begin()
+            assert b.current_transaction() is tx_b
+            assert a.current_transaction() is tx_a
+            b.commit()
+            a.abort()
+            assert a.current_transaction() is None
+            assert b.current_transaction() is None
+        finally:
+            engine.close()

@@ -1,0 +1,262 @@
+"""Engine/session split: layering, scoping, and lifecycle behaviour.
+
+Covers the contracts introduced by the kernel refactor: the facade is a
+thin layer over one engine plus a default session; engines are isolated
+from each other inside one process (the cross-instance sentry leakage
+fix); sessions own their pin cache and firing-log slice; and shutdown is
+idempotent and usable as a context manager.
+"""
+
+import pytest
+
+from repro import (
+    CouplingMode,
+    MethodEventSpec,
+    ReachDatabase,
+    ReachEngine,
+    sentried,
+)
+from repro.core.session import Session
+from repro.errors import TransactionStateError
+
+
+@sentried
+class Tank:
+    def __init__(self, name):
+        self.name = name
+        self.level = 0
+
+    def fill(self, amount):
+        self.level += amount
+
+
+FILL = MethodEventSpec("Tank", "fill", param_names=("amount",))
+
+
+class TestFacadeLayering:
+    def test_facade_is_engine_plus_default_session(self, tmp_path):
+        db = ReachDatabase(directory=str(tmp_path / "f"))
+        try:
+            assert isinstance(db.engine, ReachEngine)
+            assert isinstance(db.default_session, Session)
+            # The facade's subsystem attributes are the engine's objects.
+            assert db.tx_manager is db.engine.tx_manager
+            assert db.scheduler is db.engine.scheduler
+            assert db.events is db.engine.events
+            assert db.storage is db.engine.storage
+            assert db.sentry_registry is db.engine.sentry_registry
+            assert db.sessions() == [db.default_session]
+        finally:
+            db.close()
+
+    def test_facade_over_existing_engine(self, tmp_path):
+        engine = ReachEngine(directory=str(tmp_path / "shared"))
+        db = ReachDatabase(engine=engine)
+        try:
+            assert db.engine is engine
+            db.register_class(Tank)
+            tank = Tank("t1")
+            with db.transaction():
+                db.persist(tank, "t1")
+            assert engine.fetch("t1") is tank
+        finally:
+            db.close()
+        assert engine.closed
+
+    def test_engine_kwarg_excludes_construction_args(self, tmp_path):
+        engine = ReachEngine(directory=str(tmp_path / "e"))
+        try:
+            with pytest.raises(ValueError):
+                ReachDatabase(directory=str(tmp_path / "other"),
+                              engine=engine)
+        finally:
+            engine.close()
+
+    def test_statistics_reports_sessions(self, tmp_path):
+        db = ReachDatabase(directory=str(tmp_path / "s"))
+        try:
+            stats = db.statistics()
+            assert set(stats) == ReachDatabase.STATISTICS_KEYS
+            assert stats["sessions"] == {"created": 1, "active": 1}
+            extra = db.create_session("extra")
+            assert db.statistics()["sessions"] == {"created": 2,
+                                                   "active": 2}
+            extra.close()
+            assert db.statistics()["sessions"] == {"created": 2,
+                                                   "active": 1}
+        finally:
+            db.close()
+
+
+class TestCrossInstanceIsolation:
+    def test_two_databases_do_not_leak_events(self, tmp_path):
+        """The historical bug: two instances shared the module-level
+        sentry registry, so one instance's transactions fired the other
+        instance's rules.  Scoped per-engine registries fix it."""
+        db1 = ReachDatabase(directory=str(tmp_path / "db1"))
+        db2 = ReachDatabase(directory=str(tmp_path / "db2"))
+        try:
+            db1.register_class(Tank)
+            db2.register_class(Tank)
+            fired = {"db1": 0, "db2": 0}
+            db1.rule("watch1", FILL,
+                     action=lambda ctx: fired.__setitem__(
+                         "db1", fired["db1"] + 1),
+                     coupling=CouplingMode.IMMEDIATE)
+            db2.rule("watch2", FILL,
+                     action=lambda ctx: fired.__setitem__(
+                         "db2", fired["db2"] + 1),
+                     coupling=CouplingMode.IMMEDIATE)
+            tank1, tank2 = Tank("a"), Tank("b")
+            with db1.transaction():
+                db1.persist(tank1, "a")
+                tank1.fill(10)
+            with db2.transaction():
+                db2.persist(tank2, "b")
+                tank2.fill(5)
+                tank2.fill(5)
+            assert fired == {"db1": 1, "db2": 2}
+            assert db1.events.events_detected == 1
+            assert db2.events.events_detected == 2
+        finally:
+            db1.close()
+            db2.close()
+
+    def test_sessions_of_different_engines_are_isolated(self, tmp_path):
+        engine1 = ReachEngine(directory=str(tmp_path / "e1"))
+        engine2 = ReachEngine(directory=str(tmp_path / "e2"))
+        try:
+            engine1.register_class(Tank)
+            engine2.register_class(Tank)
+            engine1.rule("r1", FILL, action=lambda ctx: None,
+                         coupling=CouplingMode.IMMEDIATE)
+            engine2.rule("r2", FILL, action=lambda ctx: None,
+                         coupling=CouplingMode.IMMEDIATE)
+            s1 = engine1.create_session()
+            s2 = engine2.create_session()
+            with s1.transaction():
+                tank = Tank("x")
+                s1.persist(tank, "x")
+                tank.fill(1)
+            with s2.transaction():
+                other = Tank("y")
+                s2.persist(other, "y")
+                other.fill(1)
+                other.fill(1)
+                other.fill(1)
+            assert [r.rule_name for r in s1.firing_log()] == ["r1"]
+            assert [r.rule_name for r in s2.firing_log()] == ["r2"] * 3
+        finally:
+            engine1.close()
+            engine2.close()
+
+
+class TestSessionState:
+    def test_pin_cache_within_transaction(self, tmp_path):
+        engine = ReachEngine(directory=str(tmp_path / "pin"))
+        try:
+            engine.register_class(Tank)
+            session = engine.create_session()
+            with session.transaction():
+                session.persist(Tank("p"), "p")
+            with session.transaction():
+                first = session.fetch("p")
+                second = session.fetch("p")
+                assert first is second
+                assert session.stats["pin_hits"] == 1
+                assert session.pinned_count() == 1
+            # Pins do not survive transaction end.
+            assert session.pinned_count() == 0
+        finally:
+            engine.close()
+
+    def test_no_pinning_outside_transaction(self, tmp_path):
+        engine = ReachEngine(directory=str(tmp_path / "nopin"))
+        try:
+            engine.register_class(Tank)
+            session = engine.create_session()
+            with session.transaction():
+                session.persist(Tank("q"), "q")
+            session.fetch("q")
+            assert session.pinned_count() == 0
+        finally:
+            engine.close()
+
+    def test_session_close_aborts_open_transaction(self, tmp_path):
+        engine = ReachEngine(directory=str(tmp_path / "abort"))
+        try:
+            session = engine.create_session()
+            session.begin()
+            session.close()
+            assert session.closed
+            assert session.current_transaction() is None
+            stats = engine.tx_manager.stats
+            assert stats["aborted"] == 1
+            # A closed session rejects further work.
+            with pytest.raises(RuntimeError):
+                with session.transaction():
+                    pass
+        finally:
+            engine.close()
+
+    def test_session_context_binding_is_lifo(self, tmp_path):
+        engine = ReachEngine(directory=str(tmp_path / "lifo"))
+        try:
+            session = engine.create_session()
+            manager = engine.tx_manager
+            manager.push_context(session.context)
+            with pytest.raises(TransactionStateError):
+                manager.pop_context(
+                    engine.create_session().context)
+            manager.pop_context(session.context)
+        finally:
+            engine.close()
+
+    def test_session_as_context_manager(self, tmp_path):
+        engine = ReachEngine(directory=str(tmp_path / "ctx"))
+        try:
+            with engine.create_session("scoped") as session:
+                with session.transaction():
+                    pass
+            assert session.closed
+            assert session not in engine.sessions()
+        finally:
+            engine.close()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self, tmp_path):
+        db = ReachDatabase(directory=str(tmp_path / "idem"))
+        db.close()
+        db.close()   # second close is a no-op, not an error
+        assert db.closed
+
+    def test_database_as_context_manager(self, tmp_path):
+        with ReachDatabase(directory=str(tmp_path / "with")) as db:
+            db.register_class(Tank)
+            with db.transaction():
+                db.persist(Tank("w"), "w")
+        assert db.closed
+        # Shutdown flushed through: a fresh database sees the data.
+        with ReachDatabase(directory=str(tmp_path / "with")) as db2:
+            db2.register_class(Tank)
+            assert db2.fetch("w").name == "w"
+
+    def test_close_shuts_down_detached_pool(self, tmp_path):
+        from repro import ExecutionConfig, ExecutionMode
+        config = ExecutionConfig(mode=ExecutionMode.THREADED,
+                                 worker_threads=2)
+        db = ReachDatabase(directory=str(tmp_path / "pool"),
+                           config=config)
+        assert db.scheduler._pool is not None
+        db.close()
+        assert db.scheduler._pool is None
+        assert db.events._workers == []
+
+    def test_engine_close_closes_sessions(self, tmp_path):
+        engine = ReachEngine(directory=str(tmp_path / "all"))
+        sessions = [engine.create_session(f"c{i}") for i in range(3)]
+        engine.close()
+        assert all(session.closed for session in sessions)
+        with pytest.raises(RuntimeError):
+            engine.create_session()
