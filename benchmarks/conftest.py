@@ -19,6 +19,7 @@ from repro.bench.metrics import merge_bench_json
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 BENCH_OBS_PATH = os.path.join(RESULTS_DIR, "BENCH_obs.json")
 BENCH_SESSIONS_PATH = os.path.join(RESULTS_DIR, "BENCH_sessions.json")
+BENCH_FAULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_faults.json")
 
 
 def report(experiment: str, lines: list[str]) -> str:
@@ -54,3 +55,13 @@ def bench_obs_report():
 @pytest.fixture
 def bench_sessions_report():
     return sessions_report
+
+
+def faults_report(experiment: str, payload: dict[str, Any]) -> dict[str, Any]:
+    """Merge one experiment's metrics into ``results/BENCH_faults.json``."""
+    return merge_bench_json(BENCH_FAULTS_PATH, experiment, payload)
+
+
+@pytest.fixture
+def bench_faults_report():
+    return faults_report

@@ -7,7 +7,7 @@ The kernel refactor split the stack into explicit layers::
     core                                        (engine, sessions, rules)
     oodb                                        (tx, locks, sentry, query)
     storage                                     (pages, WAL, buffer pool)
-    obs                                         (metrics, tracing)
+    obs / faults                                (metrics, tracing, fault points)
     errors / config / clock / expr              (leaf utility modules)
 
 A layer may import from layers strictly below it (and from itself).
@@ -38,6 +38,7 @@ LAYER_RANK = {
     "clock": 0,
     "expr": 0,
     "obs": 1,
+    "faults": 1,
     "storage": 2,
     "oodb": 3,
     "core": 4,

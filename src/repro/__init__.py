@@ -68,6 +68,8 @@ from repro.core.events import (
 )
 from repro.core.rule_builder import RuleBuilder
 from repro.core.rules import Rule, RuleContext
+from repro.errors import InjectedFault
+from repro.faults import FaultRegistry
 from repro.obs import MetricsRegistry, Span, Trace, Tracer
 from repro.oodb.oid import OID
 from repro.oodb.sentry import sentried, is_sentried
@@ -103,6 +105,8 @@ __all__ = [
     "Trace",
     "Span",
     "MetricsRegistry",
+    "FaultRegistry",
+    "InjectedFault",
     "AbsoluteEventSpec",
     "EventCategory",
     "EventOccurrence",

@@ -1,5 +1,10 @@
 """Workload generators and measurement helpers for the benchmarks."""
 
+from repro.bench.crash_torture import (
+    TortureReport,
+    run_database_torture,
+    run_storage_torture,
+)
 from repro.bench.metrics import LatencyRecorder, Timer, merge_bench_json
 from repro.bench.workloads import (
     PowerPlantWorkload,
@@ -14,4 +19,7 @@ __all__ = [
     "PowerPlantWorkload",
     "StockTickerWorkload",
     "WorkflowWorkload",
+    "TortureReport",
+    "run_database_torture",
+    "run_storage_torture",
 ]

@@ -1,0 +1,408 @@
+"""Crash-point recovery torture: truncate the WAL at *every* boundary.
+
+The ARIES-lite recovery claim — winners replayed, losers absent, no
+torn-tail confusion — is a universally quantified statement over crash
+points, so this harness tests it universally: run a workload that leaves
+winners (committed transactions) and losers (in-flight and aborted ones)
+in the log, snapshot the checkpoint-time data file and the final WAL
+image, then for every record boundary *and* a set of mid-record torn
+offsets, materialize that crash state in a scratch directory, re-open
+the database, and compare the recovered state against an independently
+computed expectation.
+
+Two levels:
+
+* :func:`run_storage_torture` drives the :class:`StorageManager`
+  directly — raw OID images, interleaved commits and in-flight writes,
+  a deliberate abort;
+* :func:`run_database_torture` drives a full :class:`ReachDatabase` —
+  named sentried objects across user transactions, checking fetch-by-
+  name, ``ObjectNotFoundError`` for not-yet-committed state, OID
+  allocator monotonicity, and index consistency after each recovery.
+
+The checkpoint-time snapshot of ``objects.dat`` is the *correct* page
+image for every cut: the no-steal protocol only guarantees data pages
+lag the log, and the checkpoint image is the maximal legal lag, so
+recovery must reconstruct everything after it from the log alone.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import zlib
+from dataclasses import dataclass, field
+
+from repro.core.database import ReachDatabase
+from repro.errors import ObjectNotFoundError, RecordNotFoundError
+from repro.oodb.oid import OID
+from repro.oodb.sentry import sentried
+from repro.storage.storage_manager import StorageManager
+from repro.storage.wal import _FRAME, LogRecord, LogRecordType
+
+__all__ = [
+    "CutResult",
+    "TortureReport",
+    "run_database_torture",
+    "run_storage_torture",
+    "wal_record_boundaries",
+    "torn_offsets",
+    "parse_wal_prefix",
+]
+
+
+# ---------------------------------------------------------------------------
+# WAL image analysis (independent of the WAL class's own scanner)
+# ---------------------------------------------------------------------------
+
+def wal_record_boundaries(data: bytes) -> list[int]:
+    """Every record boundary offset in a WAL image, including 0 and EOF."""
+    offsets = [0]
+    offset = 0
+    while offset + _FRAME.size <= len(data):
+        length, __ = _FRAME.unpack_from(data, offset)
+        nxt = offset + _FRAME.size + length
+        if nxt > len(data):
+            break
+        offset = nxt
+        offsets.append(offset)
+    return offsets
+
+
+def torn_offsets(boundaries: list[int]) -> list[int]:
+    """Mid-record cut offsets: inside the frame header and the payload."""
+    cuts = []
+    for start, end in zip(boundaries, boundaries[1:]):
+        cuts.append(start + _FRAME.size // 2)              # torn header
+        if end - start > _FRAME.size + 1:
+            cuts.append(start + _FRAME.size
+                        + (end - start - _FRAME.size) // 2)  # torn payload
+    return cuts
+
+
+def parse_wal_prefix(data: bytes) -> list[LogRecord]:
+    """Decode the longest consistent record prefix of a WAL image
+    (mirrors recovery's lenient scan, implemented independently)."""
+    records = []
+    offset = 0
+    end = len(data)
+    while offset + _FRAME.size <= end:
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        if start + length > end:
+            break
+        payload = data[start:start + length]
+        if zlib.crc32(payload) != crc:
+            break
+        records.append(LogRecord.decode(payload))
+        offset = start + length
+    return records
+
+
+def _winner_ids(records: list[LogRecord]) -> set[int]:
+    return {r.tx_id for r in records if r.type is LogRecordType.COMMIT}
+
+
+def _replay_expected(base: dict[int, bytes],
+                     records: list[LogRecord]) -> dict[int, bytes]:
+    """The state recovery must produce: base image + winners in log order."""
+    winners = _winner_ids(records)
+    state = dict(base)
+    for record in records:
+        if record.tx_id not in winners:
+            continue
+        if record.type in (LogRecordType.INSERT, LogRecordType.UPDATE):
+            state[record.oid_value] = record.after or b""
+        elif record.type is LogRecordType.DELETE:
+            state.pop(record.oid_value, None)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CutResult:
+    offset: int
+    kind: str              # "boundary" | "torn"
+    records: int           # consistent records in the truncated prefix
+    winners: int           # committed transactions among them
+
+
+@dataclass
+class TortureReport:
+    cuts: list[CutResult] = field(default_factory=list)
+    #: winners/losers present in the *full* log image (workload sanity)
+    total_winners: int = 0
+    total_losers: int = 0
+
+    @property
+    def boundary_cuts(self) -> int:
+        return sum(1 for cut in self.cuts if cut.kind == "boundary")
+
+    @property
+    def torn_cuts(self) -> int:
+        return sum(1 for cut in self.cuts if cut.kind == "torn")
+
+
+def _all_cuts(wal_image: bytes) -> list[tuple[int, str]]:
+    boundaries = wal_record_boundaries(wal_image)
+    cuts = [(offset, "boundary") for offset in boundaries]
+    cuts += [(offset, "torn") for offset in torn_offsets(boundaries)]
+    return sorted(cuts)
+
+
+def _materialize(root: str, index: int, base_image: bytes,
+                 wal_prefix: bytes) -> str:
+    directory = os.path.join(root, f"cut-{index:03d}")
+    if os.path.exists(directory):
+        shutil.rmtree(directory)
+    os.makedirs(directory)
+    with open(os.path.join(directory, StorageManager.DATA_FILE), "wb") as fh:
+        fh.write(base_image)
+    with open(os.path.join(directory, StorageManager.LOG_FILE), "wb") as fh:
+        fh.write(wal_prefix)
+    return directory
+
+
+def _read_file(path: str) -> bytes:
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+# ---------------------------------------------------------------------------
+# Storage-level torture
+# ---------------------------------------------------------------------------
+
+def run_storage_torture(root: str) -> TortureReport:
+    """Exhaustive crash-point check over a raw StorageManager workload.
+
+    The workload interleaves three winners (insert, update, delete) with
+    two in-flight losers and one explicit abort, so every truncated
+    prefix exercises a different winner/loser partition.
+    """
+    base_dir = os.path.join(root, "sm-base")
+    sm = StorageManager(base_dir)
+
+    # Committed pre-state, made the checkpoint image.
+    sm.begin(1)
+    sm.write(1, OID(11), b"alpha-0")
+    sm.write(1, OID(12), b"beta-0")
+    sm.commit(1)
+    sm.checkpoint()
+    base_image = _read_file(os.path.join(base_dir, StorageManager.DATA_FILE))
+    base_state = {11: b"alpha-0", 12: b"beta-0"}
+
+    # Winners and losers, interleaved record by record.
+    sm.begin(101)                      # loser 1: in flight at the crash
+    sm.write(101, OID(12), b"beta-LOSER")
+    sm.begin(10)                       # winner 1: update
+    sm.write(10, OID(11), b"alpha-1")
+    sm.commit(10)
+    sm.begin(102)                      # loser 2: in flight at the crash
+    sm.write(102, OID(13), b"gamma-LOSER")
+    sm.begin(20)                       # winner 2: insert
+    sm.write(20, OID(14), b"delta-0")
+    sm.commit(20)
+    sm.write(101, OID(11), b"alpha-LOSER")
+    sm.begin(30)                       # winner 3: delete
+    sm.delete(30, OID(12))
+    sm.commit(30)
+    sm.begin(103)                      # loser 3: explicit abort
+    sm.write(103, OID(15), b"epsilon-LOSER")
+    sm.abort(103)
+    sm.flush()
+    wal_image = _read_file(os.path.join(base_dir, StorageManager.LOG_FILE))
+    sm.crash()
+    sm.close()
+
+    full_records = parse_wal_prefix(wal_image)
+    report = TortureReport(
+        total_winners=len(_winner_ids(full_records)),
+        total_losers=len({r.tx_id for r in full_records
+                          if r.type is LogRecordType.BEGIN}
+                         - _winner_ids(full_records)))
+    all_oids = {11, 12, 13, 14, 15}
+
+    for index, (offset, kind) in enumerate(_all_cuts(wal_image)):
+        prefix = wal_image[:offset]
+        records = parse_wal_prefix(prefix)
+        expected = _replay_expected(base_state, records)
+        directory = _materialize(root, index, base_image, prefix)
+        recovered = StorageManager(directory)
+        try:
+            for oid_value, image in expected.items():
+                got = recovered.read(None, OID(oid_value))
+                if got != image:
+                    raise AssertionError(
+                        f"cut@{offset} ({kind}): OID {oid_value} recovered "
+                        f"{got!r}, expected {image!r}")
+            for oid_value in all_oids - set(expected):
+                try:
+                    recovered.read(None, OID(oid_value))
+                except RecordNotFoundError:
+                    pass
+                else:
+                    raise AssertionError(
+                        f"cut@{offset} ({kind}): loser OID {oid_value} "
+                        "survived recovery")
+            if recovered.max_oid_value() != max(expected, default=0):
+                raise AssertionError(
+                    f"cut@{offset} ({kind}): max OID "
+                    f"{recovered.max_oid_value()} != "
+                    f"{max(expected, default=0)}")
+        finally:
+            recovered.close()
+        report.cuts.append(CutResult(offset=offset, kind=kind,
+                                     records=len(records),
+                                     winners=len(_winner_ids(records))))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Database-level torture
+# ---------------------------------------------------------------------------
+
+@sentried
+class TortureRecord:
+    """Named counter object the database-level workload mutates."""
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = value
+
+    def set_value(self, value: int) -> None:
+        self.value = value
+
+
+#: storage-level transaction ids for the in-flight losers; far above
+#: anything the transaction manager hands out during the workload.
+_LOSER_TX_1 = 900_001
+_LOSER_TX_2 = 900_002
+
+
+def run_database_torture(root: str) -> TortureReport:
+    """Exhaustive crash-point check over a full active-database workload.
+
+    Four user transactions (winners) mutate and create named objects,
+    with two storage-level in-flight transactions (losers) interleaved.
+    For each WAL cut the recovered database must show exactly the state
+    after the k committed transactions the prefix retains: fetch-by-name
+    values, ``ObjectNotFoundError`` for later objects, a fresh OID above
+    every replayed one, and a consistent index over the survivors.
+    """
+    base_dir = os.path.join(root, "db-base")
+    db = ReachDatabase(directory=base_dir)
+    db.register_class(TortureRecord)
+    objs = {name: TortureRecord(name) for name in ("alpha", "beta", "gamma")}
+    with db.transaction():
+        for name, obj in objs.items():
+            db.persist(obj, name)
+    db.checkpoint()
+    base_image = _read_file(os.path.join(base_dir, StorageManager.DATA_FILE))
+
+    # expected[k] = {name: value-or-None} after k committed transactions.
+    expected: list[dict[str, int]] = [
+        {"alpha": 0, "beta": 0, "gamma": 0}]
+
+    def commit_state(**updates: int) -> None:
+        state = dict(expected[-1])
+        state.update(updates)
+        expected.append(state)
+
+    db.storage.begin(_LOSER_TX_1)
+    db.storage.write(_LOSER_TX_1, OID(999_001), b"never-committed-1")
+
+    with db.transaction():                       # winner 1
+        objs["alpha"].set_value(10)
+    commit_state(alpha=10)
+
+    with db.transaction():                       # winner 2
+        objs["beta"].set_value(20)
+        objs["gamma"].set_value(21)
+    commit_state(beta=20, gamma=21)
+
+    db.storage.write(_LOSER_TX_1, OID(999_002), b"never-committed-2")
+    db.storage.begin(_LOSER_TX_2)
+    db.storage.write(_LOSER_TX_2, OID(999_003), b"never-committed-3")
+
+    epsilon = TortureRecord("epsilon", 5)
+    with db.transaction():                       # winner 3: new object
+        db.persist(epsilon, "epsilon")
+    commit_state(epsilon=5)
+
+    with db.transaction():                       # winner 4
+        objs["alpha"].set_value(40)
+        epsilon.set_value(45)
+    commit_state(alpha=40, epsilon=45)
+
+    db.storage.flush()
+    wal_image = _read_file(os.path.join(base_dir, StorageManager.LOG_FILE))
+    db.storage.crash()
+    db.close()
+
+    full_records = parse_wal_prefix(wal_image)
+    report = TortureReport(
+        total_winners=len(_winner_ids(full_records)),
+        total_losers=len({r.tx_id for r in full_records
+                          if r.type is LogRecordType.BEGIN}
+                         - _winner_ids(full_records)))
+
+    for index, (offset, kind) in enumerate(_all_cuts(wal_image)):
+        prefix = wal_image[:offset]
+        records = parse_wal_prefix(prefix)
+        committed = len(_winner_ids(records))
+        state = expected[committed]
+        directory = _materialize(root, index, base_image, prefix)
+        recovered = ReachDatabase(directory=directory)
+        try:
+            recovered.register_class(TortureRecord)
+            survivors = []
+            for name in ("alpha", "beta", "gamma", "epsilon"):
+                if name in state:
+                    obj = recovered.fetch(name)
+                    if obj.value != state[name]:
+                        raise AssertionError(
+                            f"cut@{offset} ({kind}): {name} recovered "
+                            f"{obj.value}, expected {state[name]}")
+                    survivors.append((name, state[name]))
+                else:
+                    try:
+                        recovered.fetch(name)
+                    except ObjectNotFoundError:
+                        pass
+                    else:
+                        raise AssertionError(
+                            f"cut@{offset} ({kind}): {name} should not "
+                            "have survived recovery")
+            # Loser images must be invisible at every level.
+            for loser_oid in (999_001, 999_002, 999_003):
+                if recovered.storage.exists(None, OID(loser_oid)):
+                    raise AssertionError(
+                        f"cut@{offset} ({kind}): loser OID {loser_oid} "
+                        "survived recovery")
+            # Index consistency over the survivors.
+            recovered.create_index(TortureRecord, "value")
+            rows = recovered.query("select r from TortureRecord r")
+            got = sorted((row.name, row.value) for row in rows)
+            if got != sorted(survivors):
+                raise AssertionError(
+                    f"cut@{offset} ({kind}): query saw {got}, "
+                    f"expected {sorted(survivors)}")
+            # Allocator monotonicity: a fresh persist must mint an OID
+            # above everything the prefix replayed.
+            floor = recovered.storage.max_oid_value()
+            fresh = TortureRecord("fresh", -1)
+            with recovered.transaction():
+                fresh_oid = recovered.persist(fresh, f"fresh-{index}")
+            if fresh_oid.value <= floor:
+                raise AssertionError(
+                    f"cut@{offset} ({kind}): fresh OID {fresh_oid.value} "
+                    f"not above recovered max {floor}")
+        finally:
+            recovered.close()
+        report.cuts.append(CutResult(offset=offset, kind=kind,
+                                     records=len(records),
+                                     winners=committed))
+    return report

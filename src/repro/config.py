@@ -72,6 +72,31 @@ class ExecutionConfig:
             processes and benchmarks can set a bound so the global
             history merge at commit scans a fixed window instead of the
             database's whole life.
+        detached_max_retries: how many times a *failed* detached rule
+            execution is retried in a fresh top-level transaction before
+            it is dead-lettered.  0 (the default) preserves the original
+            fail-once semantics.  Only detached modes retry — immediate
+            and deferred rules run inside the triggering transaction's
+            scope, and an exclusive causally dependent rule with lock
+            transfer must not retry (its inherited locks were released
+            when the first attempt aborted).
+        retry_base_delay: base of the exponential backoff between retry
+            attempts, in seconds; attempt *k* sleeps
+            ``retry_base_delay * 2**(k-1)`` plus up to 25% seeded jitter.
+        quarantine_threshold: consecutive-failure count at which a rule
+            is quarantined (disabled with ``rule.quarantined = True``)
+            until an operator re-enables it.  ``None`` (default) never
+            quarantines.
+        dead_letter_capacity: bound on the scheduler's dead-letter queue
+            of permanently failed detached work (oldest dropped first).
+        error_log_capacity: bound on ``scheduler.errors``; the number of
+            dropped entries is surfaced in ``db.statistics()``.
+        fault_injection: enable the ``repro.faults`` registry so tests
+            and torture harnesses can arm named failure points.  Off by
+            default: every instrumentation point then holds the shared
+            null point and pays one no-op call.
+        fault_seed: seed for the fault registry's RNG so probabilistic
+            schedules replay deterministically.
     """
 
     mode: ExecutionMode = ExecutionMode.SYNCHRONOUS
@@ -85,6 +110,13 @@ class ExecutionConfig:
     observability: bool = False
     trace_capacity: int = 256
     history_capacity: Optional[int] = None
+    detached_max_retries: int = 0
+    retry_base_delay: float = 0.01
+    quarantine_threshold: Optional[int] = None
+    dead_letter_capacity: int = 256
+    error_log_capacity: int = 1000
+    fault_injection: bool = False
+    fault_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.worker_threads < 1:
@@ -97,6 +129,17 @@ class ExecutionConfig:
             raise ValueError("trace_capacity must be >= 1")
         if self.history_capacity is not None and self.history_capacity < 1:
             raise ValueError("history_capacity must be >= 1 or None")
+        if self.detached_max_retries < 0:
+            raise ValueError("detached_max_retries must be >= 0")
+        if self.retry_base_delay < 0:
+            raise ValueError("retry_base_delay must be >= 0")
+        if self.quarantine_threshold is not None and \
+                self.quarantine_threshold < 1:
+            raise ValueError("quarantine_threshold must be >= 1 or None")
+        if self.dead_letter_capacity < 1:
+            raise ValueError("dead_letter_capacity must be >= 1")
+        if self.error_log_capacity < 1:
+            raise ValueError("error_log_capacity must be >= 1")
 
     @property
     def threaded(self) -> bool:

@@ -112,6 +112,7 @@ class ReachDatabase:
         self.clock = eng.clock
         self.directory = eng.directory
         self.metrics_registry = eng.metrics_registry
+        self.faults = eng.faults
         self.tracer = eng.tracer
         self.sentry_registry = eng.sentry_registry
         self.meta = eng.meta
@@ -293,6 +294,16 @@ class ReachDatabase:
         """Synchronous mode: run detached work whose dependencies are
         decided."""
         return self.engine.drain_detached()
+
+    def dead_letters(self) -> list[Any]:
+        """Detached work that failed permanently (retries exhausted or the
+        rule quarantined), newest last."""
+        return self.engine.dead_letters()
+
+    def requeue(self, index: Optional[int] = None) -> int:
+        """Re-execute dead-lettered work (all of it, or one entry by
+        index) with a fresh retry budget; returns the number requeued."""
+        return self.engine.requeue(index)
 
     def wait_for_composition(self, timeout: float = 10.0) -> None:
         self.engine.wait_for_composition(timeout)

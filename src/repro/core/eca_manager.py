@@ -46,6 +46,7 @@ from repro.core.history import GlobalHistory, LocalHistory
 from repro.core.rules import Rule
 from repro.core.scheduler import RuleScheduler
 from repro.clock import Clock
+from repro.faults.registry import COMPOSER_DISPATCH, NULL_FAULTS, FaultRegistry
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.oodb.meta import (
@@ -193,7 +194,8 @@ class EventService:
                  config: ExecutionConfig,
                  resolve_class: Callable[[str], type],
                  tracer: Tracer = NULL_TRACER,
-                 metrics: MetricsRegistry = NULL_METRICS):
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 faults: FaultRegistry = NULL_FAULTS):
         self.meta = meta
         self.tx_manager = tx_manager
         self.scheduler = scheduler
@@ -204,6 +206,7 @@ class EventService:
         self.tracer = tracer
         self.metrics = metrics
         self._m_detected = metrics.counter("events.detected")
+        self._fp_dispatch = faults.point(COMPOSER_DISPATCH)
         self._detect_span_names: dict[Hashable, str] = {}
         self.global_history = GlobalHistory(metrics=metrics)
         self._primitive: dict[Hashable, PrimitiveECAManager] = {}
@@ -327,6 +330,9 @@ class EventService:
             manager.handle(occ, self._propagate)
 
     def _propagate(self, occ: EventOccurrence, listeners: list) -> None:
+        # An armed dispatch fault can stall (delay) or fail propagation
+        # before any composition listener sees the occurrence.
+        self._fp_dispatch.hit(seq=occ.seq)
         if self._queue is None or self.force_synchronous_propagation:
             for listener in listeners:
                 listener(occ)

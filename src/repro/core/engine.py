@@ -48,6 +48,7 @@ from repro.core.scheduler import RuleScheduler
 from repro.core.session import Session
 from repro.core.temporal import TemporalEventSource
 from repro.errors import RuleDefinitionError
+from repro.faults.registry import FaultRegistry
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Trace, Tracer
 from repro.oodb.address_space import ActiveAddressSpace, PassiveAddressSpace
@@ -133,6 +134,14 @@ class ReachEngine:
         self.tracer = Tracer(enabled=self.config.observability,
                              capacity=self.config.trace_capacity)
 
+        # -- fault injection (repro.faults) -------------------------------
+        # Same null-object economics as the obs pipeline: disabled (the
+        # default) hands every instrumentation point the shared no-op
+        # point; enabled but disarmed costs one list check per hit.
+        self.faults = FaultRegistry(enabled=self.config.fault_injection,
+                                    seed=self.config.fault_seed,
+                                    metrics=self.metrics_registry)
+
         # -- low-level event detection -----------------------------------
         # Each engine owns its sentry registry: watches installed through
         # it only deliver while one of this engine's sessions is bound to
@@ -145,14 +154,16 @@ class ReachEngine:
 
         # -- meta-architecture and support modules (Figure 1) ------------
         self.meta = MetaArchitecture()
-        self.locks = LockManager(metrics=self.metrics_registry)
+        self.locks = LockManager(metrics=self.metrics_registry,
+                                 faults=self.faults)
         self.tx_manager = TransactionManager(self.meta, self.locks,
                                              clock=self.clock,
                                              tracer=self.tracer,
                                              metrics=self.metrics_registry)
         self.storage = StorageManager(directory,
                                       buffer_capacity=buffer_capacity,
-                                      metrics=self.metrics_registry)
+                                      metrics=self.metrics_registry,
+                                      faults=self.faults)
         self.dictionary = DataDictionary()
         self.active_space = ActiveAddressSpace()
         self.passive_space = PassiveAddressSpace(self.storage)
@@ -185,12 +196,14 @@ class ReachEngine:
         self.scheduler = RuleScheduler(self, self.tx_manager, self.config,
                                        tracer=self.tracer,
                                        metrics=self.metrics_registry,
-                                       sentry_registry=self.sentry_registry)
+                                       sentry_registry=self.sentry_registry,
+                                       faults=self.faults)
         self.events = EventService(
             self.meta, self.tx_manager, self.scheduler,
             self.sentry_registry, self.clock, self.config,
             resolve_class=self.dictionary.type_named,
-            tracer=self.tracer, metrics=self.metrics_registry)
+            tracer=self.tracer, metrics=self.metrics_registry,
+            faults=self.faults)
         self.rule_pm = self.meta.plug(ReachRulePolicyManager(
             self.events, self.scheduler))
         self.temporal = TemporalEventSource(
@@ -211,6 +224,9 @@ class ReachEngine:
         self.metrics_registry.gauge_fn(
             "composer.semi_composed.pending",
             self.events.pending_semi_composed)
+        self.metrics_registry.gauge_fn(
+            "scheduler.dead_letters.depth",
+            self.scheduler.dead_letter_count)
 
         self._rules: dict[str, tuple[Rule, Any]] = {}
         self._sessions: list[Session] = []
@@ -547,7 +563,7 @@ class ReachEngine:
     STATISTICS_KEYS = frozenset({
         "transactions", "scheduler", "events", "events_detected",
         "semi_composed_pending", "composers", "eca_managers", "storage",
-        "rules", "queries", "observability", "sessions",
+        "rules", "queries", "observability", "sessions", "faults",
     })
 
     def statistics(self) -> dict[str, Any]:
@@ -576,6 +592,8 @@ class ReachEngine:
         * ``rules`` — registered rule count;
         * ``queries`` — query-processor counters;
         * ``sessions`` — sessions created/active on this engine;
+        * ``faults`` — fault-registry snapshot (enabled, seed, injection
+          totals per point; inert zeros when fault injection is off);
         * ``observability`` — ``metrics().snapshot()``.
         """
         if self._closed:
@@ -586,9 +604,18 @@ class ReachEngine:
         with self._lock:
             sessions = {"created": self._sessions_created,
                         "active": len(self._sessions)}
+        scheduler = dict(self.scheduler.stats)
+        scheduler["errors_depth"] = len(self.scheduler.errors)
+        scheduler["errors_dropped"] = self.scheduler.errors.dropped
+        scheduler["dead_letters"] = self.scheduler.dead_letter_count()
+        scheduler["dead_letters_dropped"] = \
+            self.scheduler.dead_letters_dropped
+        scheduler["quarantined_rules"] = sorted(
+            rule.name for rule, __ in self._rules.values()
+            if rule.quarantined)
         return {
             "transactions": dict(self.tx_manager.stats),
-            "scheduler": dict(self.scheduler.stats),
+            "scheduler": scheduler,
             "events": {
                 "detected": self.events.events_detected,
                 "composed": sum(c.emitted for c in composers),
@@ -614,8 +641,24 @@ class ReachEngine:
             "rules": len(self._rules),
             "queries": dict(self.query_processor.stats),
             "sessions": sessions,
+            "faults": self.faults.stats(),
             "observability": self.metrics_registry.snapshot(),
         }
+
+    # -- self-healing ----------------------------------------------------
+
+    def dead_letters(self) -> list[Any]:
+        """Detached work that failed permanently (retries exhausted or the
+        rule quarantined), newest last.  Each entry is a
+        :class:`~repro.core.scheduler.DeadLetter`."""
+        return self.scheduler.dead_letter_list()
+
+    def requeue(self, index: Optional[int] = None) -> int:
+        """Re-execute dead-lettered work (all of it, or one entry by
+        index) with a fresh retry budget; returns the number requeued.
+        Runs under this engine's scope like :meth:`drain_detached`."""
+        with self.sentry_registry.bound():
+            return self.scheduler.requeue_dead_letters(index)
 
     def checkpoint(self) -> None:
         self.storage.checkpoint()

@@ -137,6 +137,12 @@ class Rule:
         self.created_seq = next(Rule._creation_counter)
         self.fired_count = 0
         self.condition_rejections = 0
+        #: consecutive failed executions (reset by any success); at the
+        #: configured ``quarantine_threshold`` the scheduler quarantines
+        #: the rule: ``quarantined = True`` and ``enabled = False`` until
+        #: an operator clears both.
+        self.consecutive_failures = 0
+        self.quarantined = False
 
     # ------------------------------------------------------------------
 

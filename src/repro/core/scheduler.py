@@ -26,7 +26,9 @@ marked ``critical`` additionally aborts the triggering transaction.
 from __future__ import annotations
 
 import copy
+import random
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass
@@ -38,6 +40,7 @@ from repro.core.coupling import CouplingMode
 from repro.core.events import EventOccurrence
 from repro.core.rules import Rule, RuleContext, sort_for_firing
 from repro.errors import RuleExecutionError, TransactionAborted
+from repro.faults.registry import NULL_FAULTS, SCHEDULER_WORKER, FaultRegistry
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracer import _NULL_SPAN, NULL_TRACER, Tracer
 from repro.oodb.sentry import is_sentried
@@ -83,6 +86,44 @@ class DetachedWork:
     #: transaction itself runs on a worker/drain thread with no session
     #: bound, so attribution must travel with the work item.
     session_id: Optional[int] = None
+    #: execution attempts so far (retry bookkeeping; reset on requeue).
+    attempts: int = 0
+
+
+@dataclass
+class DeadLetter:
+    """A detached execution that failed permanently.
+
+    Retained (bounded) after retries are exhausted or the rule was
+    quarantined, for inspection via ``db.dead_letters()`` and manual
+    re-execution via ``db.requeue()``.
+    """
+
+    work: DetachedWork
+    error: str
+    attempts: int
+
+    @property
+    def rule_name(self) -> str:
+        return self.work.rule.name
+
+
+class BoundedErrorLog(list):
+    """Drop-in replacement for the plain ``scheduler.errors`` list that
+    keeps only the most recent ``capacity`` entries; the number discarded
+    is surfaced as ``errors_dropped`` in ``db.statistics()``."""
+
+    def __init__(self, capacity: int):
+        super().__init__()
+        self.capacity = capacity
+        self.dropped = 0
+
+    def append(self, item: Any) -> None:
+        super().append(item)
+        if len(self) > self.capacity:
+            excess = len(self) - self.capacity
+            del self[:excess]
+            self.dropped += excess
 
 
 class RuleScheduler:
@@ -92,7 +133,8 @@ class RuleScheduler:
                  config: ExecutionConfig,
                  tracer: Tracer = NULL_TRACER,
                  metrics: MetricsRegistry = NULL_METRICS,
-                 sentry_registry: Any = None):
+                 sentry_registry: Any = None,
+                 faults: FaultRegistry = NULL_FAULTS):
         self.db = db
         self.tx_manager = tx_manager
         self.config = config
@@ -110,14 +152,24 @@ class RuleScheduler:
         self._m_condition_false = metrics.counter("rules.condition_false")
         self._m_errors = metrics.counter("rules.errors")
         self._m_skipped = metrics.counter("rules.skipped")
+        self._m_retries = metrics.counter("scheduler.retries")
+        self._m_quarantined = metrics.counter("scheduler.quarantined")
+        self._m_dead_letters = metrics.counter("scheduler.dead_letters")
+        self._fp_worker = faults.point(SCHEDULER_WORKER)
         #: rule name -> "fire:<name>", built lazily; firing is the hot
         #: path, so the span name must not be re-formatted per firing.
         self._fire_span_names: dict[str, str] = {}
-        self.errors: list[tuple[Rule, BaseException]] = []
+        self.errors: BoundedErrorLog = BoundedErrorLog(
+            config.error_log_capacity)
         self.firing_log: list[FiringRecord] = []
         self._log_lock = threading.Lock()
         self._pending: list[DetachedWork] = []
         self._pending_lock = threading.Lock()
+        self._dead_letters: list[DeadLetter] = []
+        self.dead_letters_dropped = 0
+        #: seeded backoff jitter so retry timing replays with the fault
+        #: schedule it is usually tested against.
+        self._retry_rng = random.Random(config.fault_seed)
         #: trigger tx id -> holding family id for EXC-CD lock transfer
         self._lock_reservations: dict[int, int] = {}
         tx_manager.abort_hooks.append(self._on_trigger_abort)
@@ -130,6 +182,7 @@ class RuleScheduler:
             "immediate": 0, "deferred_enqueued": 0, "deferred_run": 0,
             "detached_run": 0, "detached_skipped": 0,
             "recursion_limited": 0, "parallel_batches": 0,
+            "detached_retries": 0, "dead_lettered": 0, "quarantined": 0,
         }
 
     def _bound_scope(self):
@@ -232,6 +285,7 @@ class RuleScheduler:
                 outcome = self._run_unit(rule, occ, phase, tx, mode,
                                          bindings=bindings)
                 tm.commit(tx)
+                self._note_success(rule)
                 self._log(rule, mode, phase, occ, outcome, tx.id,
                           session_id=tx.session_id)
                 if span is not None:
@@ -240,6 +294,11 @@ class RuleScheduler:
                 if tx.state is TransactionState.ACTIVE:
                     tm.abort(tx)
                 self.errors.append((rule, exc))
+                # Immediate/deferred failures count toward quarantine but
+                # are never retried: the rule ran in the triggering
+                # transaction's scope and its failure already surfaced
+                # there (Table 1 restricts retries to detached modes).
+                self._note_failure(rule)
                 self._log(rule, mode, phase, occ, "error", tx.id,
                           session_id=tx.session_id)
                 if span is not None:
@@ -466,6 +525,9 @@ class RuleScheduler:
         """Worker-thread body enforcing the causal dependencies."""
         try:
             with self._bound_scope():
+                # Armed worker-death faults land here, inside the catch-all,
+                # so a dead worker is recorded instead of vanishing.
+                self._fp_worker.hit(rule=work.rule.name)
                 if work.mode is CouplingMode.SEQUENTIAL_CAUSALLY_DEPENDENT:
                     if not self._await_outcomes(work,
                                                 TransactionState.COMMITTED):
@@ -541,7 +603,46 @@ class RuleScheduler:
 
     def _execute_detached(self, work: DetachedWork,
                           before_commit=None) -> None:
-        """Run the rule in a new top-level transaction."""
+        """Run the rule in a new top-level transaction, retrying failures.
+
+        A failed attempt retries in a fresh transaction with exponential
+        backoff and seeded jitter, up to ``detached_max_retries`` times;
+        permanently failed work is dead-lettered.  Only detached modes
+        reach this path, and of those an exclusive causally dependent
+        rule with lock transfer never retries: its inherited locks were
+        released when the first attempt aborted, so a retry would run
+        with weaker guarantees than the contingency plan assumed.
+        """
+        rule = work.rule
+        retries_allowed = self.config.detached_max_retries
+        if work.mode is CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT and \
+                rule.transfer_locks:
+            retries_allowed = 0
+        while True:
+            work.attempts += 1
+            try:
+                self._attempt_detached(work, before_commit)
+                self._note_success(rule)
+                return
+            except Exception as exc:
+                failure = exc
+            self.errors.append((rule, failure))
+            quarantined = self._note_failure(rule)
+            if not quarantined and work.attempts <= retries_allowed:
+                self.stats["detached_retries"] += 1
+                self._m_retries.inc()
+                self._backoff(work.attempts)
+                continue
+            self._dead_letter(work, failure)
+            return
+
+    def _attempt_detached(self, work: DetachedWork, before_commit) -> None:
+        """One execution attempt in a fresh top-level transaction.
+
+        *Any* exception — not just :class:`RuleExecutionError` — aborts
+        the transaction before propagating, so a failed attempt can
+        never leak an ACTIVE transaction into the manager.
+        """
         tm = self.tx_manager
         tx = tm.begin(nested=False, rule_depth=work.depth)
         if tx.session_id is None:
@@ -570,14 +671,88 @@ class RuleScheduler:
                           outcome, tx.id, session_id=tx.session_id)
                 if span is not None:
                     span.attributes["outcome"] = outcome
-            except RuleExecutionError as exc:
+            except BaseException:
                 if tx.state is TransactionState.ACTIVE:
                     tm.abort(tx)
-                self.errors.append((work.rule, exc))
                 self._log(work.rule, work.mode, work.phase, work.occ,
                           "error", tx.id, session_id=tx.session_id)
                 if span is not None:
                     span.attributes["outcome"] = "error"
+                raise
+
+    def _backoff(self, attempt: int) -> None:
+        base = self.config.retry_base_delay
+        if base <= 0:
+            return
+        delay = base * (2 ** (attempt - 1))
+        delay *= 1.0 + 0.25 * self._retry_rng.random()
+        time.sleep(delay)
+
+    # -- self-healing bookkeeping ---------------------------------------------
+
+    def _note_success(self, rule: Rule) -> None:
+        rule.consecutive_failures = 0
+
+    def _note_failure(self, rule: Rule) -> bool:
+        """Record one failed execution; True iff the rule is quarantined."""
+        rule.consecutive_failures += 1
+        threshold = self.config.quarantine_threshold
+        if threshold is not None and not rule.quarantined and \
+                rule.consecutive_failures >= threshold:
+            # Circuit breaker: the rule is disabled until an operator
+            # clears ``rule.quarantined`` and re-enables it.
+            rule.quarantined = True
+            rule.enabled = False
+            self.stats["quarantined"] += 1
+            self._m_quarantined.inc()
+        return rule.quarantined
+
+    def _dead_letter(self, work: DetachedWork, exc: BaseException) -> None:
+        entry = DeadLetter(work=work,
+                           error=f"{type(exc).__name__}: {exc}",
+                           attempts=work.attempts)
+        with self._pending_lock:
+            self._dead_letters.append(entry)
+            excess = len(self._dead_letters) - \
+                self.config.dead_letter_capacity
+            if excess > 0:
+                del self._dead_letters[:excess]
+                self.dead_letters_dropped += excess
+        self.stats["dead_lettered"] += 1
+        self._m_dead_letters.inc()
+
+    def dead_letter_list(self) -> list[DeadLetter]:
+        with self._pending_lock:
+            return list(self._dead_letters)
+
+    def dead_letter_count(self) -> int:
+        with self._pending_lock:
+            return len(self._dead_letters)
+
+    def requeue_dead_letters(self, index: Optional[int] = None) -> int:
+        """Re-execute dead letters (all of them, or the one at ``index``).
+
+        Attempts reset to zero so the work gets a full retry budget; a
+        still-quarantined rule will fail back onto the queue immediately,
+        so clear ``rule.quarantined`` / re-enable the rule first.
+        Returns the number of entries requeued.
+        """
+        with self._pending_lock:
+            if index is None:
+                entries = self._dead_letters[:]
+                self._dead_letters.clear()
+            else:
+                entries = [self._dead_letters.pop(index)]
+        for entry in entries:
+            entry.work.attempts = 0
+            if self._pool is not None:
+                self._pool.submit(self._run_detached_blocking, entry.work)
+            else:
+                with self._pending_lock:
+                    self._pending.append(entry.work)
+        if self._pool is None and entries:
+            self.drain_detached()
+        return len(entries)
 
     def _skip(self, work: DetachedWork) -> None:
         if work.rule.transfer_locks:

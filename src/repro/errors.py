@@ -13,6 +13,23 @@ class ReachError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
 
 
+class InjectedFault(ReachError):
+    """An artificial failure raised by an armed fault point.
+
+    Only ever raised when fault injection is enabled
+    (``ExecutionConfig(fault_injection=True)``) and a point is armed via
+    :meth:`repro.faults.FaultRegistry.arm`; production code paths never
+    see it."""
+
+
+class RecoveryWarning(ReachError, UserWarning):
+    """Crash recovery discarded part of the write-ahead log (torn tail or
+    mid-log corruption) and continued from the last consistent prefix.
+
+    Both a :class:`ReachError` (single-except discrimination) and a
+    :class:`UserWarning` (usable as a ``warnings`` category)."""
+
+
 # ---------------------------------------------------------------------------
 # Storage substrate
 # ---------------------------------------------------------------------------

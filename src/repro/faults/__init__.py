@@ -1,0 +1,53 @@
+"""Fault injection for the active OODBMS: named points, seeded schedules.
+
+The paper's requirement that the active subsystem remain a full DBMS
+under failure (Sections 2 and 6.4) is only testable if failures can be
+provoked deterministically at storage, lock, and scheduler boundaries.
+This package provides the mechanism; ``repro.bench.crash_torture``
+builds the crash-point recovery harness on top of it, and
+``docs/robustness.md`` documents the injection points and semantics.
+
+Disabled by default: every engine owns a :class:`FaultRegistry` that is
+inert (the shared :data:`NULL_POINT` pattern, mirroring ``repro.obs``)
+unless ``ExecutionConfig(fault_injection=True)``.
+"""
+
+from repro.faults.registry import (
+    BUFFER_EVICT,
+    COMPOSER_DISPATCH,
+    FaultPoint,
+    FaultRegistry,
+    FaultSpec,
+    KNOWN_POINTS,
+    LOCK_ACQUIRE,
+    NULL_FAULTS,
+    NULL_POINT,
+    SCHEDULER_WORKER,
+    STORAGE_CHECKPOINT,
+    STORAGE_COMMIT,
+    STORAGE_CRASH,
+    STORAGE_PAGE_FLUSH,
+    WAL_APPEND,
+    WAL_FSYNC,
+    WAL_TORN_TAIL,
+)
+
+__all__ = [
+    "BUFFER_EVICT",
+    "COMPOSER_DISPATCH",
+    "FaultPoint",
+    "FaultRegistry",
+    "FaultSpec",
+    "KNOWN_POINTS",
+    "LOCK_ACQUIRE",
+    "NULL_FAULTS",
+    "NULL_POINT",
+    "SCHEDULER_WORKER",
+    "STORAGE_CHECKPOINT",
+    "STORAGE_COMMIT",
+    "STORAGE_CRASH",
+    "STORAGE_PAGE_FLUSH",
+    "WAL_APPEND",
+    "WAL_FSYNC",
+    "WAL_TORN_TAIL",
+]

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Hashable
 
 from repro.errors import DeadlockError, LockTimeoutError
+from repro.faults.registry import LOCK_ACQUIRE, NULL_FAULTS, FaultRegistry
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 
 
@@ -42,14 +43,18 @@ class LockManager:
     """S/X lock table keyed by arbitrary hashable resource ids."""
 
     def __init__(self, timeout: float = 10.0,
-                 metrics: MetricsRegistry = NULL_METRICS):
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 faults: FaultRegistry = NULL_FAULTS):
         self._table: dict[Hashable, _LockState] = {}
         self._mutex = threading.Lock()
         self._condition = threading.Condition(self._mutex)
         self.timeout = timeout
         self.deadlocks_detected = 0
+        self.timeouts = 0
         self._m_waits = metrics.counter("locks.waits")
         self._m_deadlocks = metrics.counter("locks.deadlocks")
+        self._m_timeouts = metrics.counter("locks.timeouts")
+        self._fp_acquire = faults.point(LOCK_ACQUIRE)
 
     # ------------------------------------------------------------------
 
@@ -61,6 +66,10 @@ class LockManager:
         upgrades.  Raises :class:`DeadlockError` if the wait would create a
         cycle, :class:`LockTimeoutError` on timeout.
         """
+        # Consulted outside the table mutex so an injected delay stalls
+        # only this caller, not every lock operation in the engine.
+        self._fp_acquire.hit(family=family, resource=resource,
+                             mode=mode.value)
         with self._condition:
             state = self._table.setdefault(resource, _LockState())
             if self._grantable(state, family, mode):
@@ -91,6 +100,8 @@ class LockManager:
                         import time as _time
                         remaining = deadline - _time.monotonic()
                     if remaining <= 0:
+                        self.timeouts += 1
+                        self._m_timeouts.inc()
                         raise LockTimeoutError(
                             f"family {family} timed out waiting for "
                             f"{resource!r} ({mode.value})"

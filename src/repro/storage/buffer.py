@@ -15,6 +15,7 @@ from collections import OrderedDict
 from typing import Callable, Optional
 
 from repro.errors import StorageError
+from repro.faults.registry import BUFFER_EVICT, NULL_FAULTS, FaultRegistry
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.storage.pages import PAGE_SIZE, Page
 
@@ -71,7 +72,8 @@ class BufferPool:
 
     def __init__(self, page_file: PageFile, capacity: int = 64,
                  flush_log: Optional[Callable[[int], None]] = None,
-                 metrics: MetricsRegistry = NULL_METRICS):
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 faults: FaultRegistry = NULL_FAULTS):
         if capacity < 1:
             raise ValueError("buffer pool capacity must be >= 1")
         self._file = page_file
@@ -86,6 +88,7 @@ class BufferPool:
         self._m_hits = metrics.counter("buffer.hits")
         self._m_misses = metrics.counter("buffer.misses")
         self._m_evictions = metrics.counter("buffer.evictions")
+        self._fp_evict = faults.point(BUFFER_EVICT)
 
     # -- pin/unpin -----------------------------------------------------------
 
@@ -134,6 +137,7 @@ class BufferPool:
                     break
             if victim_id is None:
                 raise StorageError("buffer pool exhausted: all pages pinned")
+            self._fp_evict.hit(page_id=victim_id)
             victim = self._frames.pop(victim_id)
             self._pins.pop(victim_id, None)
             self.evictions += 1

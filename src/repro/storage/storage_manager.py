@@ -27,6 +27,14 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.errors import RecordNotFoundError, StorageError
+from repro.faults.registry import (
+    NULL_FAULTS,
+    STORAGE_CHECKPOINT,
+    STORAGE_COMMIT,
+    STORAGE_CRASH,
+    STORAGE_PAGE_FLUSH,
+    FaultRegistry,
+)
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.oodb.oid import OID
 from repro.storage.buffer import BufferPool, PageFile
@@ -54,15 +62,20 @@ class StorageManager:
     LOG_FILE = "wal.log"
 
     def __init__(self, directory: str, buffer_capacity: int = 128,
-                 metrics: MetricsRegistry = NULL_METRICS):
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 faults: FaultRegistry = NULL_FAULTS):
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
+        self._fp_commit = faults.point(STORAGE_COMMIT)
+        self._fp_checkpoint = faults.point(STORAGE_CHECKPOINT)
+        self._fp_page_flush = faults.point(STORAGE_PAGE_FLUSH)
+        self._fp_crash = faults.point(STORAGE_CRASH)
         self._wal = WriteAheadLog(os.path.join(directory, self.LOG_FILE),
-                                  metrics=metrics)
+                                  metrics=metrics, faults=faults)
         self._file = PageFile(os.path.join(directory, self.DATA_FILE))
         self._pool = BufferPool(self._file, capacity=buffer_capacity,
                                 flush_log=self._wal.flush_to,
-                                metrics=metrics)
+                                metrics=metrics, faults=faults)
         self._lock = threading.RLock()
         # oid value -> list of (page_id, slot) in fragment order
         self._object_table: dict[int, list[tuple[int, int]]] = {}
@@ -82,7 +95,7 @@ class StorageManager:
             self._scan_pages()
             winners: set[int] = set()
             operations: list[LogRecord] = []
-            for record in self._wal.iter_records():
+            for record in self._wal.iter_records(strict=False):
                 if record.type is LogRecordType.COMMIT:
                     winners.add(record.tx_id)
                 elif record.type in (LogRecordType.INSERT,
@@ -204,6 +217,7 @@ class StorageManager:
         """Make the transaction durable, then apply its writes to pages."""
         with self._lock:
             ws = self._require_tx(tx_id)
+            self._fp_commit.hit(tx_id=tx_id)
             self._wal.append(LogRecord(LogRecordType.COMMIT, tx_id=tx_id))
             self._wal.flush()
             for oid_value, image in ws.writes.items():
@@ -298,6 +312,7 @@ class StorageManager:
     def checkpoint(self) -> None:
         """Force all pages and truncate the log."""
         with self._lock:
+            self._fp_checkpoint.hit()
             if self._active:
                 raise StorageError(
                     "checkpoint with active transactions is not supported")
@@ -308,12 +323,14 @@ class StorageManager:
 
     def flush(self) -> None:
         with self._lock:
+            self._fp_page_flush.hit()
             self._wal.flush()
             self._pool.flush_all()
 
     def crash(self) -> None:
         """Simulate a crash: drop volatile state without flushing pages."""
         with self._lock:
+            self._fp_crash.hit()
             self._pool.drop_all()
             self._active.clear()
 

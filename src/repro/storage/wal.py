@@ -28,11 +28,19 @@ import enum
 import os
 import struct
 import threading
+import warnings
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
-from repro.errors import WALError
+from repro.errors import InjectedFault, RecoveryWarning, WALError
+from repro.faults.registry import (
+    NULL_FAULTS,
+    WAL_APPEND,
+    WAL_FSYNC,
+    WAL_TORN_TAIL,
+    FaultRegistry,
+)
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.storage.serializer import deserialize, serialize
 
@@ -100,7 +108,8 @@ class WriteAheadLog:
     """
 
     def __init__(self, path: str,
-                 metrics: MetricsRegistry = NULL_METRICS):
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 faults: FaultRegistry = NULL_FAULTS):
         self.path = path
         self._fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
         self._lock = threading.RLock()
@@ -109,12 +118,15 @@ class WriteAheadLog:
         self._flushed_lsn = 0
         self._m_appends = metrics.counter("wal.appends")
         self._m_flushes = metrics.counter("wal.flushes")
+        self._fp_append = faults.point(WAL_APPEND)
+        self._fp_fsync = faults.point(WAL_FSYNC)
+        self._fp_torn = faults.point(WAL_TORN_TAIL)
         self._bootstrap_lsns()
 
     def _bootstrap_lsns(self) -> None:
         """Continue LSN numbering after the existing log contents."""
         last = 0
-        for record in self.iter_records():
+        for record in self.iter_records(strict=False):
             last = record.lsn
         self._next_lsn = last + 1
         self._flushed_lsn = last
@@ -124,6 +136,7 @@ class WriteAheadLog:
     def append(self, record: LogRecord) -> int:
         """Assign the next LSN to ``record``, buffer it, return the LSN."""
         with self._lock:
+            self._fp_append.hit()
             record.lsn = self._next_lsn
             self._next_lsn += 1
             payload = record.encode()
@@ -136,8 +149,23 @@ class WriteAheadLog:
         """Force all buffered records to stable storage."""
         with self._lock:
             if self._buffer:
-                os.write(self._fd, b"".join(self._buffer))
+                torn = self._fp_torn.hit()
+                data = b"".join(self._buffer)
+                if torn is not None:
+                    # Simulated crash mid-write: persist the batch minus
+                    # the final ``drop`` bytes (a torn tail for recovery
+                    # to discard), then fail the flush.
+                    drop = min(torn.payload.get("drop", _FRAME.size + 1),
+                               len(data) - 1)
+                    os.write(self._fd, data[:len(data) - drop])
+                    os.fsync(self._fd)
+                    self._buffer.clear()
+                    raise InjectedFault(
+                        f"torn tail injected: dropped final {drop} bytes "
+                        "of the flush batch")
+                os.write(self._fd, data)
                 self._buffer.clear()
+            self._fp_fsync.hit()
             os.fsync(self._fd)
             self._flushed_lsn = self._next_lsn - 1
             self._m_flushes.inc()
@@ -160,11 +188,14 @@ class WriteAheadLog:
 
     # -- reading ---------------------------------------------------------------
 
-    def iter_records(self) -> Iterator[LogRecord]:
+    def iter_records(self, strict: bool = True) -> Iterator[LogRecord]:
         """Scan durable records from the start of the log.
 
-        A torn final record (crash mid-write) terminates the scan silently;
-        corruption anywhere else raises :class:`WALError`.
+        A torn final record (crash mid-write) terminates the scan silently.
+        Corruption anywhere else raises :class:`WALError` when ``strict``;
+        with ``strict=False`` (the recovery path) the scan emits a
+        :class:`RecoveryWarning` and stops, discarding everything from the
+        corrupt record onward — the longest consistent prefix wins.
         """
         with self._lock:
             size = os.fstat(self._fd).st_size
@@ -182,7 +213,14 @@ class WriteAheadLog:
             if zlib.crc32(payload) != crc:
                 if start + length == end:
                     return  # torn tail: final record corrupt
-                raise WALError(f"CRC mismatch at offset {offset}")
+                if strict:
+                    raise WALError(f"CRC mismatch at offset {offset}")
+                warnings.warn(
+                    f"WAL corrupt at offset {offset}: discarding "
+                    f"{end - offset} trailing bytes and recovering from "
+                    "the consistent prefix", RecoveryWarning,
+                    stacklevel=2)
+                return
             yield LogRecord.decode(payload)
             offset = start + length
 

@@ -1,0 +1,77 @@
+"""Crash-point recovery torture: every WAL record boundary (and a set of
+mid-record torn tails) is a crash the database must recover from with
+winners replayed, losers absent, and allocator/index state consistent."""
+
+from repro.bench.crash_torture import (
+    parse_wal_prefix,
+    run_database_torture,
+    run_storage_torture,
+    torn_offsets,
+    wal_record_boundaries,
+)
+from repro.oodb.oid import OID
+from repro.storage.storage_manager import StorageManager
+from repro.storage.wal import LogRecordType
+
+
+class TestWalImageAnalysis:
+    def _image(self, tmp_path):
+        sm = StorageManager(str(tmp_path / "img"))
+        sm.begin(1)
+        sm.write(1, OID(5), b"x" * 100)
+        sm.commit(1)
+        sm.flush()
+        with open(str(tmp_path / "img" / StorageManager.LOG_FILE),
+                  "rb") as fh:
+            return fh.read()
+
+    def test_boundaries_cover_the_whole_image(self, tmp_path):
+        image = self._image(tmp_path)
+        boundaries = wal_record_boundaries(image)
+        assert boundaries[0] == 0
+        assert boundaries[-1] == len(image)
+        assert boundaries == sorted(set(boundaries))
+
+    def test_parse_round_trips_every_record(self, tmp_path):
+        image = self._image(tmp_path)
+        records = parse_wal_prefix(image)
+        # bootstrap CHECKPOINT + BEGIN + INSERT + COMMIT
+        types = [r.type for r in records]
+        assert LogRecordType.BEGIN in types
+        assert LogRecordType.INSERT in types
+        assert LogRecordType.COMMIT in types
+        assert len(records) == len(wal_record_boundaries(image)) - 1
+
+    def test_torn_offsets_fall_strictly_inside_records(self, tmp_path):
+        image = self._image(tmp_path)
+        boundaries = wal_record_boundaries(image)
+        for cut in torn_offsets(boundaries):
+            assert cut not in boundaries
+            assert 0 < cut < len(image)
+
+
+class TestStorageTorture:
+    def test_every_cut_recovers_consistently(self, tmp_path):
+        report = run_storage_torture(str(tmp_path))
+        # Workload shape: enough winners and losers that prefixes differ.
+        assert report.total_winners >= 2
+        assert report.total_losers >= 2
+        # Every record boundary was a crash point, plus torn tails.
+        assert report.boundary_cuts >= 10
+        assert report.torn_cuts >= 10
+        # Cuts must span the whole range of winner counts.
+        winner_counts = {cut.winners for cut in report.cuts}
+        assert 0 in winner_counts
+        assert report.total_winners in winner_counts
+
+
+class TestDatabaseTorture:
+    def test_every_cut_recovers_consistently(self, tmp_path):
+        report = run_database_torture(str(tmp_path))
+        assert report.total_winners >= 2
+        assert report.total_losers >= 2
+        assert report.boundary_cuts >= 10
+        assert report.torn_cuts >= 10
+        winner_counts = {cut.winners for cut in report.cuts}
+        assert 0 in winner_counts
+        assert report.total_winners in winner_counts

@@ -105,6 +105,53 @@ class TestDeadlock:
             locks.acquire(3, "a")
 
 
+class TestFailureMetrics:
+    def test_timeouts_and_deadlocks_are_counted_separately(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry(enabled=True)
+        locks = LockManager(timeout=0.1, metrics=metrics)
+
+        # A plain timeout: no cycle, the holder just never releases.
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire(2, "r", LockMode.SHARED)
+        assert locks.timeouts == 1
+        assert locks.deadlocks_detected == 0
+
+        # A genuine deadlock: two families each wanting the other's lock.
+        locks.release_all(1)
+        locks.release_all(2)
+        locks.timeout = 2.0
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        blocked = threading.Event()
+
+        def family_one():
+            blocked.set()
+            try:
+                locks.acquire(1, "b", LockMode.EXCLUSIVE)
+            except (DeadlockError, LockTimeoutError):
+                pass
+            finally:
+                locks.release_all(1)
+
+        thread = threading.Thread(target=family_one)
+        thread.start()
+        blocked.wait()
+        time.sleep(0.05)
+        with pytest.raises(DeadlockError):
+            locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        locks.release_all(2)
+        thread.join(timeout=3.0)
+
+        # The two failure modes are distinguishable in the counters.
+        counters = metrics.snapshot()["counters"]
+        assert counters["locks.timeouts"] == locks.timeouts == 1
+        assert counters["locks.deadlocks"] >= 1
+        assert locks.deadlocks_detected >= 1
+
+
 class TestTransfer:
     def test_transfer_moves_locks(self, locks):
         """Section 4: exclusive causally dependent mode needs resource

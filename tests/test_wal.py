@@ -1,9 +1,14 @@
-"""Write-ahead log: framing, LSNs, torn tails, truncation."""
+"""Write-ahead log: framing, LSNs, torn tails, corruption, truncation."""
 
 import os
+import warnings
 
 import pytest
 
+from repro.bench.crash_torture import wal_record_boundaries
+from repro.errors import RecoveryWarning, WALError
+from repro.oodb.oid import OID
+from repro.storage.storage_manager import StorageManager
 from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
 
 
@@ -74,6 +79,83 @@ class TestCrashTolerance:
         assert [r.type for r in records] == [LogRecordType.BEGIN,
                                              LogRecordType.COMMIT]
         recovered.close()
+
+    def _corrupt_second_record(self, tmp_path):
+        """Flip a payload byte inside the middle record of a 3-record log."""
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        for i in range(3):
+            log.append(LogRecord(LogRecordType.UPDATE, tx_id=1,
+                                 oid_value=i, after=b"payload-%d" % i))
+        log.flush()
+        log.close()
+        with open(path, "rb") as f:
+            image = f.read()
+        boundaries = wal_record_boundaries(image)
+        assert len(boundaries) == 4   # 3 records -> 4 boundaries
+        victim = boundaries[1] + 10   # inside record 2's frame
+        with open(path, "r+b") as f:
+            f.seek(victim)
+            byte = f.read(1)
+            f.seek(victim)
+            f.write(bytes([byte[0] ^ 0xFF]))
+        return path
+
+    def test_mid_log_corruption_raises_in_strict_mode(self, tmp_path):
+        path = self._corrupt_second_record(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RecoveryWarning)
+            recovered = WriteAheadLog(path)
+        with pytest.raises(WALError, match="CRC mismatch"):
+            list(recovered.iter_records())
+        recovered.close()
+
+    def test_mid_log_corruption_warns_and_keeps_prefix_when_lenient(
+            self, tmp_path):
+        path = self._corrupt_second_record(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RecoveryWarning)
+            recovered = WriteAheadLog(path)
+        with pytest.warns(RecoveryWarning, match="discarding"):
+            records = list(recovered.iter_records(strict=False))
+        # Only the record before the corruption survives.
+        assert [r.oid_value for r in records] == [0]
+        recovered.close()
+
+    def test_storage_recovery_survives_mid_log_corruption(self, tmp_path):
+        directory = str(tmp_path / "sm")
+        sm = StorageManager(directory)
+        sm.begin(1)
+        sm.write(1, OID(2), b"pre-corruption")
+        sm.commit(1)
+        sm.flush()
+        # Transaction 2 is durable only in the log: its pages were never
+        # flushed, so discarding its records must make it vanish.
+        sm.begin(2)
+        sm.write(2, OID(3), b"post-corruption")
+        sm.commit(2)
+        sm.crash()
+        sm.close()
+        wal_path = str(tmp_path / "sm" / StorageManager.LOG_FILE)
+        with open(wal_path, "rb") as f:
+            image = f.read()
+        boundaries = wal_record_boundaries(image)
+        # Corrupt the second transaction's BEGIN record: everything from
+        # there on is discarded, so tx 1 survives and tx 2 does not.
+        # Records: CHECKPOINT, BEGIN(1), INSERT, COMMIT(1), BEGIN(2), ...
+        victim = boundaries[4] + 10
+        with open(wal_path, "r+b") as f:
+            f.seek(victim)
+            byte = f.read(1)
+            f.seek(victim)
+            f.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.warns(RecoveryWarning):
+            recovered = StorageManager(directory)
+        try:
+            assert recovered.read(None, OID(2)) == b"pre-corruption"
+            assert not recovered.exists(None, OID(3))
+        finally:
+            recovered.close()
 
     def test_lsns_continue_after_reopen(self, tmp_path):
         path = str(tmp_path / "wal.log")
