@@ -1,0 +1,125 @@
+"""Group commit: committed-transactions/sec with a shared log force.
+
+Without group commit every committer pays its own fsync, so 16 sessions
+serialize on the log device: throughput is capped near 1/fsync-latency
+regardless of concurrency.  With group commit the first committer to
+reach the barrier becomes the flush leader, lingers briefly
+(``commit_wait_us``) to let concurrent COMMIT records accumulate, and
+retires the whole batch with one write+fsync — so N committers share one
+force instead of paying N.
+
+The workload is deliberately fsync-bound (tiny payloads, threads
+rendezvousing per round, StorageManager-direct so no rule machinery
+dilutes the denominator).  The acceptance bar is the paper-level claim
+for a no-steal/redo-only log: at 16 concurrent sessions a shared force
+must buy at least 2x committed-tx/sec over serial fsyncs.
+
+Results go to ``benchmarks/results/BENCH_group_commit.json``: both
+configurations' commits/sec, the speedup, and the batching histogram
+(``wal.commits_per_flush``) proving commits actually shared flushes.
+"""
+
+import statistics
+import threading
+import time
+
+from repro.obs.metrics import MetricsRegistry
+from repro.oodb.oid import OID
+from repro.storage.storage_manager import StorageManager
+
+THREADS = 16
+TX_PER_THREAD = 40
+REPEATS = 3          # median-of-three to damp fsync-latency noise
+COMMIT_WAIT_US = 300.0
+MAX_BATCH = 16
+
+
+def _run_once(directory, group_commit, metrics):
+    sm = StorageManager(str(directory), metrics=metrics,
+                        group_commit=group_commit,
+                        commit_wait_us=COMMIT_WAIT_US,
+                        max_commit_batch=MAX_BATCH)
+    try:
+        errors = []
+        barrier = threading.Barrier(THREADS + 1)
+
+        def committer(tid):
+            try:
+                barrier.wait(timeout=60)
+                for round_index in range(TX_PER_THREAD):
+                    tx = 1 + tid * TX_PER_THREAD + round_index
+                    sm.begin(tx)
+                    sm.write(tx, OID(1 + tid), b"v%d" % round_index)
+                    sm.commit(tx)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=committer, args=(t,))
+                   for t in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        barrier.wait(timeout=60)
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        assert errors == []
+        return elapsed
+    finally:
+        sm.close()
+
+
+def _measure(tmp_path, group_commit):
+    """Median commits/sec over REPEATS runs, plus batching evidence."""
+    metrics = MetricsRegistry()
+    total_tx = THREADS * TX_PER_THREAD
+    rates = []
+    for repeat in range(REPEATS):
+        directory = tmp_path / f"gc-{int(group_commit)}-{repeat}"
+        elapsed = _run_once(directory, group_commit, metrics)
+        rates.append(total_tx / elapsed)
+    batching = metrics.histogram("wal.commits_per_flush").summary()
+    return {
+        "group_commit": group_commit,
+        "threads": THREADS,
+        "tx_per_thread": TX_PER_THREAD,
+        "commit_wait_us": COMMIT_WAIT_US if group_commit else 0.0,
+        "max_commit_batch": MAX_BATCH,
+        "commits_per_sec": statistics.median(rates),
+        "commits_per_sec_runs": rates,
+        "group_flushes": metrics.counter("wal.group_flushes").value,
+        "commits_per_flush": batching,
+    }
+
+
+def test_group_commit_throughput(tmp_path, bench_group_commit_report):
+    serial = _measure(tmp_path, group_commit=False)
+    grouped = _measure(tmp_path, group_commit=True)
+    speedup = grouped["commits_per_sec"] / serial["commits_per_sec"]
+
+    # The shared force really batched: flushes retired multiple COMMITs.
+    assert grouped["group_flushes"] >= 1
+    assert grouped["commits_per_flush"]["max"] >= 2
+    assert serial["group_flushes"] == 0
+
+    # Acceptance bar: >= 2x committed-tx/sec at 16 concurrent sessions.
+    assert speedup >= 2.0, (
+        f"group commit speedup {speedup:.2f}x below the 2x bar "
+        f"({serial['commits_per_sec']:,.0f} -> "
+        f"{grouped['commits_per_sec']:,.0f} commits/s)")
+
+    bench_group_commit_report("group_commit_throughput", {
+        "threads": THREADS,
+        "tx_per_thread": TX_PER_THREAD,
+        "repeats": REPEATS,
+        "serial": serial,
+        "grouped": grouped,
+        "speedup": speedup,
+    })
+    for row in (serial, grouped):
+        label = "group" if row["group_commit"] else "serial"
+        print(f"\n{label:>6}: {row['commits_per_sec']:,.0f} commits/s "
+              f"(runs: {[f'{r:,.0f}' for r in row['commits_per_sec_runs']]})")
+    print(f"speedup: {speedup:.2f}x; mean batch "
+          f"{grouped['commits_per_flush']['mean']:.1f}, "
+          f"max {grouped['commits_per_flush']['max']:.0f}")

@@ -30,11 +30,14 @@ from __future__ import annotations
 
 import os
 import shutil
+import threading
 import zlib
 from dataclasses import dataclass, field
 
+from repro.config import ExecutionConfig
 from repro.core.database import ReachDatabase
 from repro.errors import ObjectNotFoundError, RecordNotFoundError
+from repro.obs.metrics import MetricsRegistry
 from repro.oodb.oid import OID
 from repro.oodb.sentry import sentried
 from repro.storage.storage_manager import StorageManager
@@ -44,6 +47,7 @@ __all__ = [
     "CutResult",
     "TortureReport",
     "run_database_torture",
+    "run_group_commit_torture",
     "run_storage_torture",
     "wal_record_boundaries",
     "torn_offsets",
@@ -136,6 +140,9 @@ class TortureReport:
     #: winners/losers present in the *full* log image (workload sanity)
     total_winners: int = 0
     total_losers: int = 0
+    #: largest number of commits one shared WAL force covered during the
+    #: workload (0 when the workload did not measure it)
+    max_commit_batch_observed: int = 0
 
     @property
     def boundary_cuts(self) -> int:
@@ -175,15 +182,59 @@ def _read_file(path: str) -> bytes:
 # Storage-level torture
 # ---------------------------------------------------------------------------
 
-def run_storage_torture(root: str) -> TortureReport:
+def _check_storage_cuts(root: str, base_image: bytes,
+                        base_state: dict[int, bytes], wal_image: bytes,
+                        all_oids: set[int], report: TortureReport,
+                        group_commit: bool = False) -> None:
+    """Recover from every cut of ``wal_image`` and assert the invariants:
+    winners replayed byte-for-byte, losers absent, allocator consistent."""
+    for index, (offset, kind) in enumerate(_all_cuts(wal_image)):
+        prefix = wal_image[:offset]
+        records = parse_wal_prefix(prefix)
+        expected = _replay_expected(base_state, records)
+        directory = _materialize(root, index, base_image, prefix)
+        recovered = StorageManager(directory, group_commit=group_commit)
+        try:
+            for oid_value, image in expected.items():
+                got = recovered.read(None, OID(oid_value))
+                if got != image:
+                    raise AssertionError(
+                        f"cut@{offset} ({kind}): OID {oid_value} recovered "
+                        f"{got!r}, expected {image!r}")
+            for oid_value in all_oids - set(expected):
+                try:
+                    recovered.read(None, OID(oid_value))
+                except RecordNotFoundError:
+                    pass
+                else:
+                    raise AssertionError(
+                        f"cut@{offset} ({kind}): loser OID {oid_value} "
+                        "survived recovery")
+            if recovered.max_oid_value() != max(expected, default=0):
+                raise AssertionError(
+                    f"cut@{offset} ({kind}): max OID "
+                    f"{recovered.max_oid_value()} != "
+                    f"{max(expected, default=0)}")
+        finally:
+            recovered.close()
+        report.cuts.append(CutResult(offset=offset, kind=kind,
+                                     records=len(records),
+                                     winners=len(_winner_ids(records))))
+
+
+def run_storage_torture(root: str, group_commit: bool = False) -> TortureReport:
     """Exhaustive crash-point check over a raw StorageManager workload.
 
     The workload interleaves three winners (insert, update, delete) with
     two in-flight losers and one explicit abort, so every truncated
-    prefix exercises a different winner/loser partition.
+    prefix exercises a different winner/loser partition.  With
+    ``group_commit`` the same workload runs through the commit barrier
+    (single-threaded, so every committer leads its own flush) and every
+    recovered instance is opened with the feature on.
     """
     base_dir = os.path.join(root, "sm-base")
-    sm = StorageManager(base_dir)
+    sm = StorageManager(base_dir, group_commit=group_commit,
+                        commit_wait_us=0.0)
 
     # Committed pre-state, made the checkpoint image.
     sm.begin(1)
@@ -224,39 +275,88 @@ def run_storage_torture(root: str) -> TortureReport:
                           if r.type is LogRecordType.BEGIN}
                          - _winner_ids(full_records)))
     all_oids = {11, 12, 13, 14, 15}
+    _check_storage_cuts(root, base_image, base_state, wal_image, all_oids,
+                        report, group_commit=group_commit)
+    return report
 
-    for index, (offset, kind) in enumerate(_all_cuts(wal_image)):
-        prefix = wal_image[:offset]
-        records = parse_wal_prefix(prefix)
-        expected = _replay_expected(base_state, records)
-        directory = _materialize(root, index, base_image, prefix)
-        recovered = StorageManager(directory)
+
+# ---------------------------------------------------------------------------
+# Group-commit torture: concurrent committers sharing WAL forces
+# ---------------------------------------------------------------------------
+
+def run_group_commit_torture(root: str, threads: int = 8,
+                             rounds: int = 2) -> TortureReport:
+    """Crash-point torture over a *concurrently batched* commit workload.
+
+    ``threads`` committers rendezvous on a barrier each round so their
+    COMMIT records land in shared group flushes; two in-flight losers and
+    one abort are interleaved.  The final WAL image therefore contains
+    runs of COMMIT records that were covered by a single fsync, and the
+    cut loop exercises torn tails *mid-batch* — a crash between the
+    ``os.write`` and the ``fsync`` of a shared force must lose or keep
+    each covered transaction exactly according to the surviving prefix.
+    """
+    base_dir = os.path.join(root, "gc-base")
+    metrics = MetricsRegistry()
+    sm = StorageManager(base_dir, metrics=metrics, group_commit=True,
+                        commit_wait_us=2000.0, max_commit_batch=threads)
+
+    sm.begin(1)
+    sm.write(1, OID(1), b"seed-0")
+    sm.commit(1)
+    sm.checkpoint()
+    base_image = _read_file(os.path.join(base_dir, StorageManager.DATA_FILE))
+    base_state = {1: b"seed-0"}
+
+    sm.begin(_LOSER_TX_1)                      # loser 1: in flight
+    sm.write(_LOSER_TX_1, OID(900_101), b"loser-1")
+
+    all_oids = {1, 900_101, 900_102, 900_103}
+    barrier = threading.Barrier(threads)
+    failures: list[BaseException] = []
+
+    def worker(tid: int) -> None:
         try:
-            for oid_value, image in expected.items():
-                got = recovered.read(None, OID(oid_value))
-                if got != image:
-                    raise AssertionError(
-                        f"cut@{offset} ({kind}): OID {oid_value} recovered "
-                        f"{got!r}, expected {image!r}")
-            for oid_value in all_oids - set(expected):
-                try:
-                    recovered.read(None, OID(oid_value))
-                except RecordNotFoundError:
-                    pass
-                else:
-                    raise AssertionError(
-                        f"cut@{offset} ({kind}): loser OID {oid_value} "
-                        "survived recovery")
-            if recovered.max_oid_value() != max(expected, default=0):
-                raise AssertionError(
-                    f"cut@{offset} ({kind}): max OID "
-                    f"{recovered.max_oid_value()} != "
-                    f"{max(expected, default=0)}")
-        finally:
-            recovered.close()
-        report.cuts.append(CutResult(offset=offset, kind=kind,
-                                     records=len(records),
-                                     winners=len(_winner_ids(records))))
+            for rnd in range(rounds):
+                tx = 100 + tid * 10 + rnd
+                oid = 1000 + tid * 100 + rnd
+                all_oids.add(oid)
+                sm.begin(tx)
+                sm.write(tx, OID(oid), b"gc-%d-%d" % (tid, rnd))
+                barrier.wait()                  # commit together -> batch
+                sm.commit(tx)
+        except BaseException as exc:            # pragma: no cover - sanity
+            failures.append(exc)
+
+    workers = [threading.Thread(target=worker, args=(tid,))
+               for tid in range(threads)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    if failures:
+        raise failures[0]
+
+    sm.begin(_LOSER_TX_2)                      # loser 2: in flight
+    sm.write(_LOSER_TX_2, OID(900_102), b"loser-2")
+    sm.begin(900_003)                          # loser 3: explicit abort
+    sm.write(900_003, OID(900_103), b"loser-3")
+    sm.abort(900_003)
+    sm.flush()
+    wal_image = _read_file(os.path.join(base_dir, StorageManager.LOG_FILE))
+    batch_hist = metrics.histogram("wal.commits_per_flush").summary()
+    sm.crash()
+    sm.close()
+
+    full_records = parse_wal_prefix(wal_image)
+    report = TortureReport(
+        total_winners=len(_winner_ids(full_records)),
+        total_losers=len({r.tx_id for r in full_records
+                          if r.type is LogRecordType.BEGIN}
+                         - _winner_ids(full_records)),
+        max_commit_batch_observed=int(batch_hist.get("max") or 0))
+    _check_storage_cuts(root, base_image, base_state, wal_image, all_oids,
+                        report, group_commit=True)
     return report
 
 
@@ -282,7 +382,7 @@ _LOSER_TX_1 = 900_001
 _LOSER_TX_2 = 900_002
 
 
-def run_database_torture(root: str) -> TortureReport:
+def run_database_torture(root: str, group_commit: bool = False) -> TortureReport:
     """Exhaustive crash-point check over a full active-database workload.
 
     Four user transactions (winners) mutate and create named objects,
@@ -291,9 +391,12 @@ def run_database_torture(root: str) -> TortureReport:
     after the k committed transactions the prefix retains: fetch-by-name
     values, ``ObjectNotFoundError`` for later objects, a fresh OID above
     every replayed one, and a consistent index over the survivors.
+    With ``group_commit`` every commit (including each recovered
+    instance's fresh persist) goes through the commit barrier.
     """
+    config = ExecutionConfig(group_commit=group_commit, commit_wait_us=0.0)
     base_dir = os.path.join(root, "db-base")
-    db = ReachDatabase(directory=base_dir)
+    db = ReachDatabase(directory=base_dir, config=config)
     db.register_class(TortureRecord)
     objs = {name: TortureRecord(name) for name in ("alpha", "beta", "gamma")}
     with db.transaction():
@@ -355,7 +458,7 @@ def run_database_torture(root: str) -> TortureReport:
         committed = len(_winner_ids(records))
         state = expected[committed]
         directory = _materialize(root, index, base_image, prefix)
-        recovered = ReachDatabase(directory=directory)
+        recovered = ReachDatabase(directory=directory, config=config)
         try:
             recovered.register_class(TortureRecord)
             survivors = []

@@ -97,6 +97,18 @@ class ExecutionConfig:
             null point and pays one no-op call.
         fault_seed: seed for the fault registry's RNG so probabilistic
             schedules replay deterministically.
+        group_commit: batch concurrent committers into one shared WAL
+            force (ARIES-style group commit).  Off by default: every
+            commit then pays its own serialized ``fsync`` exactly as
+            before.  Durability semantics are unchanged — a commit is
+            acknowledged only after the fsync covering its COMMIT record
+            returns (see ``docs/performance.md``).
+        commit_wait_us: how long a group-commit leader lingers, in
+            microseconds, for more committers to join its batch before
+            forcing the log.  0 flushes immediately (batching then relies
+            purely on arrival concurrency).
+        max_commit_batch: once this many committers are queued the leader
+            stops lingering and forces the log at once.
     """
 
     mode: ExecutionMode = ExecutionMode.SYNCHRONOUS
@@ -117,6 +129,9 @@ class ExecutionConfig:
     error_log_capacity: int = 1000
     fault_injection: bool = False
     fault_seed: Optional[int] = None
+    group_commit: bool = False
+    commit_wait_us: float = 200.0
+    max_commit_batch: int = 32
 
     def __post_init__(self) -> None:
         if self.worker_threads < 1:
@@ -140,6 +155,10 @@ class ExecutionConfig:
             raise ValueError("dead_letter_capacity must be >= 1")
         if self.error_log_capacity < 1:
             raise ValueError("error_log_capacity must be >= 1")
+        if self.commit_wait_us < 0:
+            raise ValueError("commit_wait_us must be >= 0")
+        if self.max_commit_batch < 1:
+            raise ValueError("max_commit_batch must be >= 1")
 
     @property
     def threaded(self) -> bool:

@@ -163,7 +163,10 @@ class ReachEngine:
         self.storage = StorageManager(directory,
                                       buffer_capacity=buffer_capacity,
                                       metrics=self.metrics_registry,
-                                      faults=self.faults)
+                                      faults=self.faults,
+                                      group_commit=self.config.group_commit,
+                                      commit_wait_us=self.config.commit_wait_us,
+                                      max_commit_batch=self.config.max_commit_batch)
         self.dictionary = DataDictionary()
         self.active_space = ActiveAddressSpace()
         self.passive_space = PassiveAddressSpace(self.storage)

@@ -63,7 +63,10 @@ class StorageManager:
 
     def __init__(self, directory: str, buffer_capacity: int = 128,
                  metrics: MetricsRegistry = NULL_METRICS,
-                 faults: FaultRegistry = NULL_FAULTS):
+                 faults: FaultRegistry = NULL_FAULTS,
+                 group_commit: bool = False,
+                 commit_wait_us: float = 200.0,
+                 max_commit_batch: int = 32):
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
         self._fp_commit = faults.point(STORAGE_COMMIT)
@@ -71,7 +74,10 @@ class StorageManager:
         self._fp_page_flush = faults.point(STORAGE_PAGE_FLUSH)
         self._fp_crash = faults.point(STORAGE_CRASH)
         self._wal = WriteAheadLog(os.path.join(directory, self.LOG_FILE),
-                                  metrics=metrics, faults=faults)
+                                  metrics=metrics, faults=faults,
+                                  group_commit=group_commit,
+                                  commit_wait_us=commit_wait_us,
+                                  max_commit_batch=max_commit_batch)
         self._file = PageFile(os.path.join(directory, self.DATA_FILE))
         self._pool = BufferPool(self._file, capacity=buffer_capacity,
                                 flush_log=self._wal.flush_to,
@@ -214,18 +220,37 @@ class StorageManager:
             return oid.value in self._object_table
 
     def commit(self, tx_id: int) -> None:
-        """Make the transaction durable, then apply its writes to pages."""
+        """Make the transaction durable, then apply its writes to pages.
+
+        With group commit enabled, the commit barrier (``wal.sync``) runs
+        *outside* the storage mutex so concurrent committers can share one
+        log force; the transaction stays in ``_active`` until its pages are
+        applied, which keeps ``checkpoint`` from truncating a log the
+        commit still depends on.  Page application is safe to defer past
+        the lock release because the lock manager above serializes
+        conflicting transactions until after commit returns.
+        """
         with self._lock:
             ws = self._require_tx(tx_id)
             self._fp_commit.hit(tx_id=tx_id)
-            self._wal.append(LogRecord(LogRecordType.COMMIT, tx_id=tx_id))
-            self._wal.flush()
-            for oid_value, image in ws.writes.items():
-                if image is None:
-                    self._apply_delete(oid_value)
-                else:
-                    self._apply_write(oid_value, image)
-            del self._active[tx_id]
+            lsn = self._wal.append(LogRecord(LogRecordType.COMMIT,
+                                             tx_id=tx_id))
+            if not self._wal.group_commit:
+                self._wal.flush()
+                self._apply_committed(tx_id, ws)
+                return
+        self._wal.sync(lsn)
+        with self._lock:
+            self._apply_committed(tx_id, ws)
+
+    def _apply_committed(self, tx_id: int, ws: _TxWriteSet) -> None:
+        """Apply a durably committed write set to pages (lock held)."""
+        for oid_value, image in ws.writes.items():
+            if image is None:
+                self._apply_delete(oid_value)
+            else:
+                self._apply_write(oid_value, image)
+        del self._active[tx_id]
 
     def abort(self, tx_id: int) -> None:
         with self._lock:

@@ -1,0 +1,326 @@
+"""Event-algebra conformance: composers vs. a naive reference evaluator.
+
+``tests/test_composer_properties.py`` pins structural invariants and count
+oracles; this file pins the *full emission semantics*: for random primitive
+streams, every operator tree (sequence / conjunction / disjunction /
+negation / closure, plus nested trees) must emit exactly the composites a
+naive reference evaluator derives for each SNOOP consumption policy
+(recent / chronicle / continuous / cumulative), occurrence-for-occurrence.
+
+The reference evaluator below is deliberately simple list-shuffling code —
+no shared buffer class, no graph machinery — re-derived from the SNOOP
+policy definitions (consumption.py's module docstring):
+
+* recent     — only the newest instance of an initiator is eligible, and
+               it survives participating in a composition;
+* chronicle  — oldest instance first, each used exactly once;
+* continuous — every buffered instance opens its own window; one
+               terminator completes all of them;
+* cumulative — all buffered instances fold into the one composite raised.
+
+Emissions are compared per fed occurrence as multisets of component-seq
+sets, so internal ordering differences are tolerated but any semantic
+divergence (missed composite, duplicate, wrong components, wrong firing
+time) fails.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algebra import (
+    Closure,
+    Conjunction,
+    Disjunction,
+    EventScope,
+    Negation,
+    Sequence,
+)
+from repro.core.composer import Composer
+from repro.core.consumption import ConsumptionPolicy
+from repro.core.events import EventOccurrence, MethodEventSpec
+
+A = MethodEventSpec("P", "a")
+B = MethodEventSpec("P", "b")
+C = MethodEventSpec("P", "c")
+SPECS = {"a": A, "b": B, "c": C}
+
+
+def occ(kind, timestamp, tx=1):
+    spec = SPECS[kind]
+    return EventOccurrence(spec, spec.category(), timestamp,
+                           tx_ids=frozenset({tx}))
+
+
+# ---------------------------------------------------------------------------
+# Naive reference evaluator
+# ---------------------------------------------------------------------------
+# An emission is a plain list of primitive occurrences (its components).
+
+def _seqs(emission):
+    return {component.seq for component in emission}
+
+
+class RefPrim:
+    def __init__(self, kind):
+        self.key = SPECS[kind].key()
+
+    def feed(self, occurrence):
+        return [[occurrence]] if occurrence.spec_key == self.key else []
+
+
+def _select(buffer, policy, eligible):
+    """Pick composition groups from ``buffer`` per the SNOOP policy.
+
+    Returns a list of groups (each a list of emissions); mutates the
+    buffer per the policy's consumption rule.
+    """
+    candidates = [item for item in buffer if eligible(item)]
+    if not candidates:
+        return []
+    if policy is ConsumptionPolicy.RECENT:
+        return [[candidates[-1]]]          # newest; stays buffered
+    if policy is ConsumptionPolicy.CHRONICLE:
+        buffer.remove(candidates[0])
+        return [[candidates[0]]]
+    for item in candidates:
+        buffer.remove(item)
+    if policy is ConsumptionPolicy.CONTINUOUS:
+        return [[item] for item in candidates]
+    return [candidates]                    # cumulative: fold into one
+
+
+class RefSeq:
+    def __init__(self, left, right, policy):
+        self.left, self.right, self.policy = left, right, policy
+        self.buffer = []
+
+    def _insert(self, emission):
+        if self.policy is ConsumptionPolicy.RECENT:
+            # Only the most recent initiator instance is ever eligible.
+            self.buffer.clear()
+        self.buffer.append(emission)
+
+    def feed(self, occurrence):
+        emissions = []
+        for left_emission in self.left.feed(occurrence):
+            self._insert(left_emission)
+        for right_emission in self.right.feed(occurrence):
+            start = min(_seqs(right_emission))
+            groups = _select(self.buffer, self.policy,
+                             lambda item: max(_seqs(item)) < start)
+            for group in groups:
+                emissions.append(
+                    [c for item in group for c in item] + right_emission)
+        return emissions
+
+
+class RefConj:
+    def __init__(self, left, right, policy):
+        self.left, self.right, self.policy = left, right, policy
+        self.left_buffer = []
+        self.right_buffer = []
+
+    def _insert(self, buffer, emission):
+        if self.policy is ConsumptionPolicy.RECENT:
+            buffer.clear()
+        buffer.append(emission)
+
+    def _match(self, emission, partner_buffer, own_buffer, emissions):
+        seqs = _seqs(emission)
+        groups = _select(partner_buffer, self.policy,
+                         lambda item: seqs.isdisjoint(_seqs(item)))
+        if groups:
+            for group in groups:
+                emissions.append(
+                    [c for item in group for c in item] + emission)
+        else:
+            self._insert(own_buffer, emission)
+
+    def feed(self, occurrence):
+        emissions = []
+        for emission in self.left.feed(occurrence):
+            self._match(emission, self.right_buffer, self.left_buffer,
+                        emissions)
+        for emission in self.right.feed(occurrence):
+            self._match(emission, self.left_buffer, self.right_buffer,
+                        emissions)
+        return emissions
+
+
+class RefDisj:
+    def __init__(self, left, right, policy):
+        self.left, self.right = left, right
+
+    def feed(self, occurrence):
+        return self.left.feed(occurrence) + self.right.feed(occurrence)
+
+
+class RefNeg:
+    """Non-occurrence of subject between start and end; subject checked
+    first (a coincident subject still vetoes), then end, then start."""
+
+    def __init__(self, subject, start, end, policy):
+        self.subject, self.start, self.end = subject, start, end
+        self.window_start = None
+        self.subject_seen = False
+
+    def feed(self, occurrence):
+        emissions = []
+        if self.window_start is not None and self.subject.feed(occurrence):
+            self.subject_seen = True
+        for end_emission in self.end.feed(occurrence):
+            if self.window_start is not None and not self.subject_seen:
+                emissions.append(self.window_start + end_emission)
+            self.window_start = None
+            self.subject_seen = False
+        for start_emission in self.start.feed(occurrence):
+            self.window_start = start_emission
+            self.subject_seen = False
+        return emissions
+
+
+class RefClosure:
+    def __init__(self, of, until, policy):
+        self.of, self.until = of, until
+        self.accumulated = []
+
+    def feed(self, occurrence):
+        emissions = []
+        for emission in self.of.feed(occurrence):
+            self.accumulated.extend(emission)
+        for until_emission in self.until.feed(occurrence):
+            if self.accumulated:
+                emissions.append(self.accumulated + until_emission)
+                self.accumulated = []
+        return emissions
+
+
+class RefEvaluator:
+    """Groups occurrences like a composer: one tree instance per
+    transaction (single-tx scope) or one global instance (multi-tx)."""
+
+    def __init__(self, build, policy, multi_tx=False):
+        self.build = build
+        self.policy = policy
+        self.multi_tx = multi_tx
+        self.instances = {}
+
+    def feed(self, occurrence):
+        group = "*" if self.multi_tx else next(iter(occurrence.tx_ids))
+        instance = self.instances.get(group)
+        if instance is None:
+            instance = self.instances[group] = self.build(self.policy)
+        return instance.feed(occurrence)
+
+
+# ---------------------------------------------------------------------------
+# Operator trees under test: (name, spec builder, reference builder)
+# ---------------------------------------------------------------------------
+
+TREES = [
+    ("seq(a,b)",
+     lambda p: Sequence(A, B).consumed(p),
+     lambda p: RefSeq(RefPrim("a"), RefPrim("b"), p)),
+    ("conj(a,b)",
+     lambda p: Conjunction(A, B).consumed(p),
+     lambda p: RefConj(RefPrim("a"), RefPrim("b"), p)),
+    ("disj(a,b)",
+     lambda p: Disjunction(A, B).consumed(p),
+     lambda p: RefDisj(RefPrim("a"), RefPrim("b"), p)),
+    ("neg(c;a,b)",
+     lambda p: Negation(C, A, B).consumed(p),
+     lambda p: RefNeg(RefPrim("c"), RefPrim("a"), RefPrim("b"), p)),
+    ("closure(a,b)",
+     lambda p: Closure(A, B).consumed(p),
+     lambda p: RefClosure(RefPrim("a"), RefPrim("b"), p)),
+    ("seq(conj(a,b),c)",
+     lambda p: Sequence(Conjunction(A, B).consumed(p), C).consumed(p),
+     lambda p: RefSeq(RefConj(RefPrim("a"), RefPrim("b"), p),
+                      RefPrim("c"), p)),
+    ("disj(seq(a,b),c)",
+     lambda p: Disjunction(Sequence(A, B).consumed(p), C).consumed(p),
+     lambda p: RefDisj(RefSeq(RefPrim("a"), RefPrim("b"), p),
+                       RefPrim("c"), p)),
+    ("conj(disj(a,b),c)",
+     lambda p: Conjunction(Disjunction(A, B).consumed(p), C).consumed(p),
+     lambda p: RefConj(RefDisj(RefPrim("a"), RefPrim("b"), p),
+                       RefPrim("c"), p)),
+]
+
+_streams = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c"]),
+              st.integers(min_value=1, max_value=3)),
+    min_size=0, max_size=40)
+
+_policies = st.sampled_from(list(ConsumptionPolicy))
+
+_trees = st.sampled_from(TREES)
+
+
+def _compare(composer, reference, stream):
+    """Feed both evaluators in lockstep and compare emissions per step."""
+    for index, (kind, tx) in enumerate(stream):
+        occurrence = occ(kind, float(index), tx=tx)
+        got = composer.feed(occurrence)
+        want = reference.feed(occurrence)
+        got_sets = sorted(
+            sorted(c.seq for c in e.all_primitive_components())
+            for e in got)
+        want_sets = sorted(sorted(_seqs(e)) for e in want)
+        assert got_sets == want_sets, (
+            f"step {index} ({kind!r}, tx={tx}): composer emitted "
+            f"{got_sets}, reference expects {want_sets}")
+
+
+class TestReferenceConformance:
+    @given(_streams, _policies, _trees)
+    @settings(max_examples=200, deadline=None)
+    def test_single_tx_trees_match_reference(self, stream, policy, tree):
+        __, make_spec, make_ref = tree
+        composer = Composer(make_spec(policy))
+        reference = RefEvaluator(make_ref, policy, multi_tx=False)
+        _compare(composer, reference, stream)
+
+    @given(_streams, _policies, _trees)
+    @settings(max_examples=200, deadline=None)
+    def test_multi_tx_trees_match_reference(self, stream, policy, tree):
+        __, make_spec, make_ref = tree
+        spec = make_spec(policy).scoped(EventScope.MULTI_TX).within(1e9)
+        composer = Composer(spec)
+        reference = RefEvaluator(make_ref, policy, multi_tx=True)
+        _compare(composer, reference, stream)
+
+
+class TestPolicySpecificOracles:
+    """Direct spot checks that each policy really differs as specified."""
+
+    def _sizes(self, policy, kinds):
+        composer = Composer(Sequence(A, B).consumed(policy))
+        sizes = []
+        for index, kind in enumerate(kinds):
+            for emission in composer.feed(occ(kind, float(index))):
+                sizes.append(len(emission.all_primitive_components()))
+        return sizes
+
+    def test_recent_reuses_newest_initiator(self):
+        # a a b b: the newest 'a' joins both terminators.
+        assert self._sizes(ConsumptionPolicy.RECENT,
+                           ["a", "a", "b", "b"]) == [2, 2]
+
+    def test_chronicle_consumes_oldest_once(self):
+        # a a b b: first b pairs the first a, second b pairs the second.
+        assert self._sizes(ConsumptionPolicy.CHRONICLE,
+                           ["a", "a", "b", "b"]) == [2, 2]
+        # a b b: the single a is consumed; the second b finds nothing.
+        assert self._sizes(ConsumptionPolicy.CHRONICLE,
+                           ["a", "b", "b"]) == [2]
+
+    def test_continuous_completes_every_open_window(self):
+        # a a b: both open windows complete on one terminator.
+        assert self._sizes(ConsumptionPolicy.CONTINUOUS,
+                           ["a", "a", "b"]) == [2, 2]
+
+    def test_cumulative_folds_all_into_one(self):
+        # a a b: both initiators fold into a single 3-component composite.
+        assert self._sizes(ConsumptionPolicy.CUMULATIVE,
+                           ["a", "a", "b"]) == [3]

@@ -1,0 +1,321 @@
+"""Group commit: durability equivalence, ack ordering, torn mid-batch.
+
+Group commit (``ExecutionConfig(group_commit=True)``) changes *when*
+fsyncs happen — one shared force per batch of concurrent committers —
+but must not change durability semantics.  These tests pin that claim:
+
+* the crash-torture harness passes at every WAL-record and torn-tail
+  crash point with group commit enabled, including torn tails that cut
+  through the middle of a shared batch;
+* a committer is acknowledged only after the shared fsync covering its
+  COMMIT record has completed — never before (proved by injecting
+  ``wal.fsync`` faults and observing that the whole covered round raises
+  instead of returning success);
+* the PR 3 fault points (``wal.fsync``, ``wal.torn_tail``) fire exactly
+  once per *physical* flush, batched or not.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.bench.crash_torture import (
+    _replay_expected,
+    _winner_ids,
+    parse_wal_prefix,
+    run_database_torture,
+    run_group_commit_torture,
+    run_storage_torture,
+)
+from repro.config import ExecutionConfig
+from repro.core.engine import ReachEngine
+from repro.errors import InjectedFault, RecordNotFoundError
+from repro.faults.registry import WAL_FSYNC, WAL_TORN_TAIL, FaultRegistry
+from repro.obs.metrics import MetricsRegistry
+from repro.oodb.oid import OID
+from repro.oodb.sentry import sentried
+from repro.storage.storage_manager import StorageManager
+
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+
+def _group_sm(directory, **kwargs):
+    kwargs.setdefault("group_commit", True)
+    kwargs.setdefault("commit_wait_us", 2000.0)
+    kwargs.setdefault("max_commit_batch", 4)
+    return StorageManager(str(directory), **kwargs)
+
+
+def _run_committers(sm, count, base_tx=0, body=None):
+    """``count`` threads begin+write then rendezvous and commit together.
+
+    Returns ``{tx_id: "ok" | exception}`` keyed by transaction id.
+    """
+    barrier = threading.Barrier(count)
+    results = {}
+
+    def worker(tid):
+        tx = base_tx + tid + 1
+        sm.begin(tx)
+        sm.write(tx, OID(1000 + tx), b"payload-%d" % tx)
+        if body is not None:
+            body(tx)
+        barrier.wait(timeout=30)
+        try:
+            sm.commit(tx)
+            results[tx] = "ok"
+        except BaseException as exc:  # noqa: BLE001 - recorded for asserts
+            results[tx] = exc
+
+    threads = [threading.Thread(target=worker, args=(t,))
+               for t in range(count)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results
+
+
+class TestDurabilityEquivalence:
+    """The PR 3 torture invariants hold with group commit enabled."""
+
+    def test_storage_torture_with_group_commit(self, tmp_path):
+        report = run_storage_torture(str(tmp_path), group_commit=True)
+        assert report.total_winners >= 3
+        assert report.total_losers >= 3
+        assert report.boundary_cuts >= 10
+        assert report.torn_cuts >= 10
+        winner_counts = {cut.winners for cut in report.cuts}
+        assert winner_counts == set(range(report.total_winners + 1))
+
+    def test_database_torture_with_group_commit(self, tmp_path):
+        report = run_database_torture(str(tmp_path), group_commit=True)
+        assert report.total_winners >= 4
+        assert report.boundary_cuts >= 10
+        assert report.torn_cuts >= 10
+
+    def test_concurrent_batch_torture(self, tmp_path):
+        """Cuts through genuinely batched commits, incl. torn mid-batch."""
+        report = run_group_commit_torture(str(tmp_path))
+        assert report.total_winners == 16
+        assert report.total_losers >= 3
+        # The workload really batched: at least one shared force covered
+        # more than one COMMIT, so the torn cuts include mid-batch ones.
+        assert report.max_commit_batch_observed >= 2
+        assert report.torn_cuts >= 10
+        winner_counts = {cut.winners for cut in report.cuts}
+        assert 0 in winner_counts and report.total_winners in winner_counts
+
+
+class TestAckOrdering:
+    """Success from commit() implies the shared fsync already covered it."""
+
+    def test_ack_implies_commit_record_written(self, tmp_path):
+        sm = _group_sm(tmp_path / "sm", max_commit_batch=8)
+        wal_path = os.path.join(str(tmp_path / "sm"), StorageManager.LOG_FILE)
+        stale = []
+
+        def check_durable(tx):
+            with open(wal_path, "rb") as fh:
+                image = fh.read()
+            if tx not in _winner_ids(parse_wal_prefix(image)):
+                stale.append(tx)
+
+        barrier = threading.Barrier(8)
+        results = {}
+
+        def worker(tid):
+            for rnd in range(3):
+                tx = tid * 10 + rnd + 1
+                sm.begin(tx)
+                sm.write(tx, OID(1000 + tx), b"x")
+                barrier.wait(timeout=30)
+                sm.commit(tx)
+                check_durable(tx)
+                results[tx] = "ok"
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        try:
+            assert len(results) == 24
+            assert stale == [], f"acked before WAL write: {stale}"
+        finally:
+            sm.close()
+
+    def test_no_ack_when_shared_fsync_fails(self, tmp_path):
+        """An injected wal.fsync failure fails the *whole* covered round."""
+        faults = FaultRegistry(seed=FAULT_SEED)
+        sm = _group_sm(tmp_path / "sm", faults=faults)
+        faults.arm(WAL_FSYNC, nth=1, times=1)
+        results = _run_committers(sm, 4)
+        faulted = [tx for tx, r in results.items()
+                   if isinstance(r, InjectedFault)]
+        acked = [tx for tx, r in results.items() if r == "ok"]
+        # At least the leader's round observed the failure, and nobody in
+        # it was released with success before the fsync.
+        assert faulted, f"no committer saw the injected fsync fault: {results}"
+        unexpected = [tx for tx, r in results.items()
+                      if r != "ok" and not isinstance(r, InjectedFault)]
+        assert unexpected == []
+        sm.flush()  # preserved buffer: a retry forces everything
+        wal_path = os.path.join(str(tmp_path / "sm"), StorageManager.LOG_FILE)
+        with open(wal_path, "rb") as fh:
+            winners = _winner_ids(parse_wal_prefix(fh.read()))
+        for tx in acked:
+            assert tx in winners
+        sm.close()
+
+    def test_failed_round_records_survive_in_buffer(self, tmp_path):
+        """After a failed shared fsync the batch is retried, not dropped."""
+        faults = FaultRegistry(seed=FAULT_SEED)
+        sm = _group_sm(tmp_path / "sm", faults=faults, commit_wait_us=0.0)
+        sm.begin(1)
+        sm.write(1, OID(11), b"first")
+        faults.arm(WAL_FSYNC, nth=1, times=1)
+        with pytest.raises(InjectedFault):
+            sm.commit(1)
+        # The failed round's records stay buffered; the next commit's
+        # shared force makes both transactions durable.
+        sm.begin(2)
+        sm.write(2, OID(12), b"second")
+        sm.commit(2)
+        wal_path = os.path.join(str(tmp_path / "sm"), StorageManager.LOG_FILE)
+        with open(wal_path, "rb") as fh:
+            winners = _winner_ids(parse_wal_prefix(fh.read()))
+        assert {1, 2} <= winners
+        sm.close()
+
+
+class TestTornMidBatch:
+    def test_torn_tail_cuts_through_shared_batch(self, tmp_path):
+        """A torn tail inside one shared force loses exactly the suffix."""
+        faults = FaultRegistry(seed=FAULT_SEED)
+        directory = str(tmp_path / "sm")
+        sm = _group_sm(directory, faults=faults)
+        faults.arm(WAL_TORN_TAIL, nth=1, times=1, payload={"drop": 40})
+        results = _run_committers(sm, 4)
+        torn = [tx for tx, r in results.items()
+                if isinstance(r, InjectedFault)]
+        assert torn, f"torn tail never fired: {results}"
+        wal_path = os.path.join(directory, StorageManager.LOG_FILE)
+        with open(wal_path, "rb") as fh:
+            image = fh.read()
+        records = parse_wal_prefix(image)
+        expected = _replay_expected({}, records)
+        sm.crash()
+        sm.close()
+        recovered = StorageManager(directory, group_commit=True)
+        try:
+            for oid_value, payload in expected.items():
+                assert recovered.read(None, OID(oid_value)) == payload
+            for tx in results:
+                oid_value = 1000 + tx
+                if oid_value not in expected:
+                    with pytest.raises(RecordNotFoundError):
+                        recovered.read(None, OID(oid_value))
+        finally:
+            recovered.close()
+
+
+class TestFlushAccounting:
+    def test_fault_points_fire_once_per_physical_flush(self, tmp_path):
+        """wal.fsync hits == physical flushes, batched or not."""
+        faults = FaultRegistry(seed=FAULT_SEED)
+        metrics = MetricsRegistry()
+        hits = []
+        sm = _group_sm(tmp_path / "sm", faults=faults, metrics=metrics)
+        faults.arm(WAL_FSYNC, times=None, callback=lambda ctx: hits.append(1))
+        flush_base = metrics.counter("wal.flushes").value
+        _run_committers(sm, 6)
+        flushes = metrics.counter("wal.flushes").value - flush_base
+        group_flushes = metrics.counter("wal.group_flushes").value
+        assert group_flushes >= 1
+        # Every physical flush after arming hit the fsync point exactly once.
+        assert len(hits) == flushes
+        sm.close()
+
+    def test_batching_metrics_exposed(self, tmp_path):
+        metrics = MetricsRegistry()
+        sm = _group_sm(tmp_path / "sm", metrics=metrics, max_commit_batch=8)
+        _run_committers(sm, 8)
+        summary = metrics.histogram("wal.commits_per_flush").summary()
+        assert summary["count"] >= 1
+        assert summary["max"] >= 2          # commits really shared a force
+        assert metrics.counter("wal.group_flushes").value == summary["count"]
+        sm.close()
+
+
+@sentried
+class Gauge:
+    """State-tracked so every ``bump`` dirties the object — each commit
+    then flushes to storage and exercises the commit barrier."""
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def bump(self):
+        self.value += 1
+
+
+class TestEngineIntegration:
+    def test_sessions_share_flushes_end_to_end(self, tmp_path):
+        """16 engine sessions commit concurrently through the barrier."""
+        config = ExecutionConfig(group_commit=True, commit_wait_us=1000.0,
+                                 max_commit_batch=16, observability=True)
+        engine = ReachEngine(directory=str(tmp_path / "eng"), config=config)
+        try:
+            engine.register_class(Gauge)
+            sessions = [engine.create_session(f"c{i}") for i in range(16)]
+            gauges = [Gauge(f"g{i}") for i in range(16)]
+            for session, gauge in zip(sessions, gauges):
+                with session.transaction():
+                    session.persist(gauge, gauge.name)
+            barrier = threading.Barrier(16)
+            errors = []
+
+            def client(session, gauge):
+                try:
+                    barrier.wait(timeout=30)
+                    for __ in range(10):
+                        with session.transaction():
+                            gauge.bump()
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client, args=pair)
+                       for pair in zip(sessions, gauges)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
+            for gauge in gauges:
+                assert gauge.value == 10
+            registry = engine.metrics_registry
+            assert registry.counter("wal.group_flushes").value >= 1
+            summary = registry.histogram("wal.commits_per_flush").summary()
+            assert summary["max"] >= 2
+        finally:
+            engine.close()
+
+    def test_group_commit_off_keeps_serial_flushes(self, tmp_path):
+        config = ExecutionConfig(observability=True)
+        engine = ReachEngine(directory=str(tmp_path / "eng"), config=config)
+        try:
+            engine.register_class(Gauge)
+            gauge = Gauge("g")
+            session = engine.create_session("c")
+            with session.transaction():
+                session.persist(gauge, gauge.name)
+            with session.transaction():
+                gauge.bump()
+            registry = engine.metrics_registry
+            assert registry.counter("wal.group_flushes").value == 0
+        finally:
+            engine.close()

@@ -6,7 +6,8 @@ import warnings
 import pytest
 
 from repro.bench.crash_torture import wal_record_boundaries
-from repro.errors import RecoveryWarning, WALError
+from repro.errors import InjectedFault, RecoveryWarning, WALError
+from repro.faults.registry import WAL_FSYNC, FaultRegistry
 from repro.oodb.oid import OID
 from repro.storage.storage_manager import StorageManager
 from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
@@ -167,6 +168,45 @@ class TestCrashTolerance:
         second = reopened.append(LogRecord(LogRecordType.COMMIT, tx_id=1))
         assert second == first + 1
         reopened.close()
+
+
+class TestFsyncFailure:
+    """Regression: flush() must not drop buffered records before the
+    fsync has succeeded.  An earlier version cleared the buffer right
+    after os.write, so a failed fsync silently lost the batch — the
+    records were neither durable nor retryable."""
+
+    def test_buffer_survives_failed_fsync(self, tmp_path):
+        faults = FaultRegistry()
+        log = WriteAheadLog(str(tmp_path / "wal.log"), faults=faults)
+        lsn = log.append(LogRecord(LogRecordType.COMMIT, tx_id=1))
+        faults.arm(WAL_FSYNC, nth=1, times=1)
+        with pytest.raises(InjectedFault):
+            log.flush()
+        # Nothing was acknowledged as durable...
+        assert log.flushed_lsn < lsn
+        # ...and the records are still buffered, so a retry forces them.
+        log.flush()
+        assert log.flushed_lsn == lsn
+        log.close()
+        reopened = WriteAheadLog(str(tmp_path / "wal.log"))
+        records = list(reopened.iter_records())
+        assert [r.tx_id for r in records].count(1) >= 1
+        assert records[-1].type is LogRecordType.COMMIT
+        reopened.close()
+
+    def test_flush_to_also_retries_after_failed_fsync(self, tmp_path):
+        faults = FaultRegistry()
+        log = WriteAheadLog(str(tmp_path / "wal.log"), faults=faults)
+        lsn = log.append(LogRecord(LogRecordType.UPDATE, tx_id=2,
+                                   oid_value=7, after=b"x"))
+        faults.arm(WAL_FSYNC, nth=1, times=1)
+        with pytest.raises(InjectedFault):
+            log.flush_to(lsn)
+        assert log.flushed_lsn < lsn
+        log.flush_to(lsn)
+        assert log.flushed_lsn == lsn
+        log.close()
 
 
 class TestTruncate:
