@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""reproctl — talk to a live REACH engine's admin endpoint.
+
+Start the engine with an admin port::
+
+    db = ReachDatabase(config=ExecutionConfig(admin_port=8787))
+
+then, from any shell (stdlib only — no PYTHONPATH needed)::
+
+    python scripts/reproctl.py --port 8787 stats
+    python scripts/reproctl.py --port 8787 slow-rules
+    python scripts/reproctl.py --port 8787 metrics     # Prometheus text
+    python scripts/reproctl.py --port 8787 flight --tail 20
+    python scripts/reproctl.py --port 8787 dump        # flight dump to disk
+
+See docs/observability.md for the endpoint catalogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.parse
+import urllib.request
+
+COMMANDS = {
+    "stats": "/stats",
+    "metrics": "/metrics",
+    "traces": "/traces",
+    "slow-rules": "/slow-rules",
+    "locks": "/locks",
+    "wal": "/wal",
+    "flight": "/flight",
+    "dump": "/flight/dump",
+}
+
+
+def fetch(host: str, port: int, path: str, params: dict,
+          timeout: float) -> tuple[str, str]:
+    query = urllib.parse.urlencode(
+        {key: value for key, value in params.items() if value})
+    url = f"http://{host}:{port}{path}" + (f"?{query}" if query else "")
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        content_type = response.headers.get("Content-Type", "")
+        return content_type, response.read().decode("utf-8")
+
+
+def summarize_stats(stats: dict) -> str:
+    tx = stats.get("transactions", {})
+    sched = stats.get("scheduler", {})
+    storage = stats.get("storage", {})
+    sessions = stats.get("sessions", {})
+    flight = stats.get("flight", {})
+    lines = [
+        f"sessions   created={sessions.get('created', 0)} "
+        f"active={sessions.get('active', 0)}",
+        f"tx         begun={tx.get('begun', 0)} "
+        f"committed={tx.get('committed', 0)} "
+        f"aborted={tx.get('aborted', 0)}",
+        f"events     detected={stats.get('events_detected', 0)} "
+        f"semi_composed={stats.get('semi_composed_pending', 0)}",
+        f"scheduler  immediate={sched.get('immediate', 0)} "
+        f"deferred_run={sched.get('deferred_run', 0)} "
+        f"detached_run={sched.get('detached_run', 0)} "
+        f"dead_letters={sched.get('dead_letters', 0)}",
+        f"rules      registered={stats.get('rules', 0)} "
+        f"quarantined={len(sched.get('quarantined_rules', []))}",
+        f"storage    objects={storage.get('objects', 0)} "
+        f"pages={storage.get('pages', 0)} "
+        f"wal_bytes={storage.get('wal_bytes', 0)}",
+        f"flight     recorded={flight.get('recorded', 0)} "
+        f"retained={flight.get('retained', 0)} "
+        f"dropped={flight.get('dropped', 0)}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reproctl",
+        description="query a live REACH engine's admin endpoint")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True,
+                        help="admin port (ExecutionConfig(admin_port=...))")
+    parser.add_argument("--timeout", type=float, default=5.0)
+    parser.add_argument("--json", action="store_true", dest="raw_json",
+                        help="print raw JSON even for summarized commands")
+    parser.add_argument("command", choices=sorted(COMMANDS),
+                        help="endpoint to query")
+    parser.add_argument("--limit", type=int, default=0,
+                        help="traces/slow-rules: cap the returned rows")
+    parser.add_argument("--tail", type=int, default=0,
+                        help="flight: include the N most recent entries")
+    args = parser.parse_args(argv)
+
+    params = {"limit": args.limit or "", "tail": args.tail or ""}
+    try:
+        content_type, body = fetch(args.host, args.port,
+                                   COMMANDS[args.command], params,
+                                   args.timeout)
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"reproctl: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    if args.command == "metrics":
+        sys.stdout.write(body)
+        return 0
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError:
+        sys.stdout.write(body)
+        return 0
+    if args.command == "stats" and not args.raw_json:
+        print(summarize_stats(payload))
+        return 0
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

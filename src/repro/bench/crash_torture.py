@@ -33,10 +33,12 @@ import shutil
 import threading
 import zlib
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.config import ExecutionConfig
 from repro.core.database import ReachDatabase
 from repro.errors import ObjectNotFoundError, RecordNotFoundError
+from repro.obs.flight import FlightRecorder, latest_dump, load_dump
 from repro.obs.metrics import MetricsRegistry
 from repro.oodb.oid import OID
 from repro.oodb.sentry import sentried
@@ -143,6 +145,12 @@ class TortureReport:
     #: largest number of commits one shared WAL force covered during the
     #: workload (0 when the workload did not measure it)
     max_commit_batch_observed: int = 0
+    #: the flight dump the simulated crash wrote (None: no recorder ran)
+    flight_dump_path: Optional[str] = None
+    #: True iff the dump's final wal.flush/wal.group_flush record names
+    #: the same LSN as the last record of the full WAL image — i.e. the
+    #: post-mortem record agrees with what recovery will actually see.
+    flight_lsn_matches: Optional[bool] = None
 
     @property
     def boundary_cuts(self) -> int:
@@ -176,6 +184,28 @@ def _materialize(root: str, index: int, base_image: bytes,
 def _read_file(path: str) -> bytes:
     with open(path, "rb") as fh:
         return fh.read()
+
+
+def _validate_flight_dump(base_dir: str, wal_image: bytes,
+                          report: TortureReport) -> None:
+    """Check the crash-time flight dump against the surviving WAL.
+
+    The simulated crash dumps the flight ring before dropping volatile
+    state; the dump must be readable after recovery and its last recorded
+    WAL force must name the LSN of the final record in the full image —
+    the flight recorder's story and the log's must agree at the cut.
+    """
+    path = latest_dump(base_dir)
+    report.flight_dump_path = path
+    if path is None:
+        return
+    __, records = load_dump(path)
+    flushes = [r for r in records
+               if r["category"] in ("wal.flush", "wal.group_flush")]
+    full_records = parse_wal_prefix(wal_image)
+    last_lsn = full_records[-1].lsn if full_records else 0
+    flight_lsn = flushes[-1]["lsn"] if flushes else 0
+    report.flight_lsn_matches = flight_lsn == last_lsn
 
 
 # ---------------------------------------------------------------------------
@@ -233,8 +263,9 @@ def run_storage_torture(root: str, group_commit: bool = False) -> TortureReport:
     recovered instance is opened with the feature on.
     """
     base_dir = os.path.join(root, "sm-base")
+    flight = FlightRecorder(capacity=512, directory=base_dir)
     sm = StorageManager(base_dir, group_commit=group_commit,
-                        commit_wait_us=0.0)
+                        commit_wait_us=0.0, flight=flight)
 
     # Committed pre-state, made the checkpoint image.
     sm.begin(1)
@@ -275,6 +306,7 @@ def run_storage_torture(root: str, group_commit: bool = False) -> TortureReport:
                           if r.type is LogRecordType.BEGIN}
                          - _winner_ids(full_records)))
     all_oids = {11, 12, 13, 14, 15}
+    _validate_flight_dump(base_dir, wal_image, report)
     _check_storage_cuts(root, base_image, base_state, wal_image, all_oids,
                         report, group_commit=group_commit)
     return report
@@ -298,8 +330,10 @@ def run_group_commit_torture(root: str, threads: int = 8,
     """
     base_dir = os.path.join(root, "gc-base")
     metrics = MetricsRegistry()
+    flight = FlightRecorder(capacity=1024, directory=base_dir)
     sm = StorageManager(base_dir, metrics=metrics, group_commit=True,
-                        commit_wait_us=2000.0, max_commit_batch=threads)
+                        commit_wait_us=2000.0, max_commit_batch=threads,
+                        flight=flight)
 
     sm.begin(1)
     sm.write(1, OID(1), b"seed-0")
@@ -355,6 +389,7 @@ def run_group_commit_torture(root: str, threads: int = 8,
                           if r.type is LogRecordType.BEGIN}
                          - _winner_ids(full_records)),
         max_commit_batch_observed=int(batch_hist.get("max") or 0))
+    _validate_flight_dump(base_dir, wal_image, report)
     _check_storage_cuts(root, base_image, base_state, wal_image, all_oids,
                         report, group_commit=True)
     return report
@@ -442,7 +477,7 @@ def run_database_torture(root: str, group_commit: bool = False) -> TortureReport
 
     db.storage.flush()
     wal_image = _read_file(os.path.join(base_dir, StorageManager.LOG_FILE))
-    db.storage.crash()
+    db.storage.crash()            # dumps the engine's own flight ring
     db.close()
 
     full_records = parse_wal_prefix(wal_image)
@@ -451,6 +486,7 @@ def run_database_torture(root: str, group_commit: bool = False) -> TortureReport
         total_losers=len({r.tx_id for r in full_records
                           if r.type is LogRecordType.BEGIN}
                          - _winner_ids(full_records)))
+    _validate_flight_dump(base_dir, wal_image, report)
 
     for index, (offset, kind) in enumerate(_all_cuts(wal_image)):
         prefix = wal_image[:offset]

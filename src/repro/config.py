@@ -109,6 +109,28 @@ class ExecutionConfig:
             purely on arrival concurrency).
         max_commit_batch: once this many committers are queued the leader
             stops lingering and forces the log at once.
+        flight_recorder: keep the always-on flight recorder
+            (``repro.obs.flight``) — a fixed-cost ring of recent pipeline
+            happenings dumped to ``<dbdir>/flight/`` on crash, unhandled
+            abort, or on demand.  On by default (unlike ``observability``,
+            the post-mortem record must exist when nobody was watching);
+            False swaps in the shared no-op recorder.
+        flight_capacity: ring size in records; older records are
+            overwritten (the overwrite count is surfaced as ``dropped``).
+        flight_lock_wait_threshold: minimum lock wait, in seconds, before
+            the wait is recorded in the flight ring (granted waits below
+            it are noise; deadlocks and timeouts are always recorded).
+        telemetry_queue_capacity: bound on the telemetry export queue
+            (``repro.obs.export``).  The queue never blocks the hot
+            path: records offered to a full queue are dropped and
+            counted.
+        telemetry_jsonl: path of a JSONL file to stream span/metric
+            records to; ``None`` (default) attaches no exporter (the
+            pipeline stays inert until ``db.telemetry().add_exporter``).
+        admin_port: serve the live-introspection HTTP endpoint
+            (``repro.obs.admin``, loopback only) on this port; 0 picks an
+            ephemeral port (``engine.admin_address`` has the real one).
+            ``None`` (default) starts no server.
     """
 
     mode: ExecutionMode = ExecutionMode.SYNCHRONOUS
@@ -132,6 +154,12 @@ class ExecutionConfig:
     group_commit: bool = False
     commit_wait_us: float = 200.0
     max_commit_batch: int = 32
+    flight_recorder: bool = True
+    flight_capacity: int = 4096
+    flight_lock_wait_threshold: float = 0.010
+    telemetry_queue_capacity: int = 4096
+    telemetry_jsonl: Optional[str] = None
+    admin_port: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.worker_threads < 1:
@@ -159,6 +187,15 @@ class ExecutionConfig:
             raise ValueError("commit_wait_us must be >= 0")
         if self.max_commit_batch < 1:
             raise ValueError("max_commit_batch must be >= 1")
+        if self.flight_capacity < 1:
+            raise ValueError("flight_capacity must be >= 1")
+        if self.flight_lock_wait_threshold < 0:
+            raise ValueError("flight_lock_wait_threshold must be >= 0")
+        if self.telemetry_queue_capacity < 1:
+            raise ValueError("telemetry_queue_capacity must be >= 1")
+        if self.admin_port is not None and \
+                not 0 <= self.admin_port <= 65535:
+            raise ValueError("admin_port must be in [0, 65535] or None")
 
     @property
     def threaded(self) -> bool:

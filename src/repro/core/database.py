@@ -114,6 +114,8 @@ class ReachDatabase:
         self.metrics_registry = eng.metrics_registry
         self.faults = eng.faults
         self.tracer = eng.tracer
+        self.flight = eng.flight
+        self.telemetry_pipeline = eng.telemetry_pipeline
         self.sentry_registry = eng.sentry_registry
         self.meta = eng.meta
         self.locks = eng.locks
@@ -338,8 +340,26 @@ class ReachDatabase:
         """Every retained trace, oldest first."""
         return self.engine.traces()
 
+    def flight_recorder(self):
+        """The always-on flight recorder (see
+        :class:`~repro.obs.flight.FlightRecorder`); ``dump()`` writes the
+        ring to ``<dbdir>/flight/`` on demand."""
+        return self.engine.flight_recorder()
+
+    def telemetry(self):
+        """The telemetry export pipeline (see
+        :class:`~repro.obs.export.TelemetryPipeline`)."""
+        return self.engine.telemetry()
+
+    @property
+    def admin_address(self) -> Optional[tuple[str, int]]:
+        """``(host, port)`` of the live admin endpoint, or ``None``."""
+        return self.engine.admin_address
+
     def dump_observability(self, json_format: bool = False) -> str:
-        """Text (default) or JSON dump of metrics plus retained traces."""
+        """Text (default) or JSON dump of metrics, retained traces,
+        faults, dead letters, quarantined rules and the flight snapshot
+        (see :meth:`ReachEngine.dump_observability`)."""
         return self.engine.dump_observability(json_format=json_format)
 
     #: see :attr:`ReachEngine.STATISTICS_KEYS` — the facade's statistics
@@ -367,5 +387,7 @@ class ReachDatabase:
     def __enter__(self) -> "ReachDatabase":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Delegate so an exception unwinding the facade scope dumps the
+        # flight ring exactly like one unwinding the engine scope.
+        self.engine.__exit__(exc_type, exc, tb)

@@ -47,6 +47,7 @@ from repro.core.rules import Rule
 from repro.core.scheduler import RuleScheduler
 from repro.clock import Clock
 from repro.faults.registry import COMPOSER_DISPATCH, NULL_FAULTS, FaultRegistry
+from repro.obs.flight import NULL_FLIGHT, FlightRecorder
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.oodb.meta import (
@@ -195,7 +196,8 @@ class EventService:
                  resolve_class: Callable[[str], type],
                  tracer: Tracer = NULL_TRACER,
                  metrics: MetricsRegistry = NULL_METRICS,
-                 faults: FaultRegistry = NULL_FAULTS):
+                 faults: FaultRegistry = NULL_FAULTS,
+                 flight: FlightRecorder = NULL_FLIGHT):
         self.meta = meta
         self.tx_manager = tx_manager
         self.scheduler = scheduler
@@ -205,6 +207,7 @@ class EventService:
         self.resolve_class = resolve_class
         self.tracer = tracer
         self.metrics = metrics
+        self.flight = flight
         self._m_detected = metrics.counter("events.detected")
         self._fp_dispatch = faults.point(COMPOSER_DISPATCH)
         self._detect_span_names: dict[Hashable, str] = {}
@@ -290,6 +293,17 @@ class EventService:
             return frozenset()
         return frozenset({tx.top_level().id})
 
+    def _current_session_id(self) -> Optional[int]:
+        """The detecting session, for trace-root and flight attribution:
+        the context's session when one is bound to the thread, else the
+        current transaction's (covers worker threads running detached
+        work whose transaction carries the originating session)."""
+        sid = self.tx_manager.current_session_id()
+        if sid is not None:
+            return sid
+        tx = self.tx_manager.current()
+        return tx.session_id if tx is not None else None
+
     def emit(self, spec: EventSpec, parameters: dict[str, Any],
              tx_ids: Optional[frozenset[int]] = None) -> EventOccurrence:
         """Create an occurrence of a registered primitive and route it.
@@ -305,8 +319,8 @@ class EventService:
             timestamp=self.clock.now(),
             tx_ids=self._current_tx_ids() if tx_ids is None else tx_ids,
             parameters=parameters)
-        if not self.tracer.enabled:
-            # Disabled fast path: detection costs one attribute check.
+        if not self.tracer.enabled and not self.flight.enabled:
+            # Disabled fast path: detection costs two attribute checks.
             self.route(occ)
             return occ
         # Span names are cached per spec: describe() walks the spec tree
@@ -315,7 +329,21 @@ class EventService:
         if span_name is None:
             span_name = self._detect_span_names[occ.spec_key] = \
                 f"detect:{spec.describe()}"
-        with self.tracer.span(span_name, "sentry", seq=occ.seq) as span:
+        sid = self._current_session_id()
+        if self.flight.enabled:
+            self.flight.record("event", seq=occ.seq,
+                               spec=span_name[7:], session=sid)
+        if not self.tracer.enabled:
+            self.route(occ)
+            return occ
+        # The detecting session travels on the trace root so exporters
+        # and eviction tests can attribute whole traces to sessions.
+        if sid is not None:
+            span_cm = self.tracer.span(span_name, "sentry", seq=occ.seq,
+                                       session_id=sid)
+        else:
+            span_cm = self.tracer.span(span_name, "sentry", seq=occ.seq)
+        with span_cm as span:
             occ.trace_id = span.trace_id
             occ.span_id = span.span_id
             self.route(occ)

@@ -25,6 +25,7 @@ from __future__ import annotations
 import itertools
 import tempfile
 import threading
+import weakref
 from contextlib import ExitStack, contextmanager
 from typing import Any, Iterator, Optional, Type, Union
 
@@ -49,6 +50,9 @@ from repro.core.session import Session
 from repro.core.temporal import TemporalEventSource
 from repro.errors import RuleDefinitionError
 from repro.faults.registry import FaultRegistry
+from repro.obs.admin import AdminServer
+from repro.obs.export import JsonlFileExporter, TelemetryPipeline
+from repro.obs.flight import NULL_FLIGHT, FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Trace, Tracer
 from repro.oodb.address_space import ActiveAddressSpace, PassiveAddressSpace
@@ -72,6 +76,17 @@ from repro.oodb.transactions import (
 )
 
 _engine_ids = itertools.count(1)
+
+#: Every engine constructed and not yet closed, weakly held.  Test
+#: harnesses (``tests/conftest.py``) walk this to dump flight rings and
+#: observability state as failure artifacts; nothing in the engine's own
+#: lifecycle reads it.
+_LIVE_ENGINES: "weakref.WeakSet[ReachEngine]" = weakref.WeakSet()
+
+
+def live_engines() -> list["ReachEngine"]:
+    """Engines currently open in this process (snapshot, weakly held)."""
+    return [eng for eng in list(_LIVE_ENGINES) if not eng.closed]
 
 
 class TransactionPolicyManager(PolicyManager):
@@ -134,13 +149,35 @@ class ReachEngine:
         self.tracer = Tracer(enabled=self.config.observability,
                              capacity=self.config.trace_capacity)
 
+        # -- flight recorder (repro.obs.flight) ---------------------------
+        # Always on (fixed-cost ring) unless explicitly disabled; it is
+        # deliberately independent of ``config.observability`` so the
+        # post-mortem record exists even on unobserved engines.
+        if self.config.flight_recorder:
+            self.flight = FlightRecorder(
+                capacity=self.config.flight_capacity, directory=directory)
+        else:
+            self.flight = NULL_FLIGHT
+
+        # -- telemetry export (repro.obs.export) --------------------------
+        # Inert (no thread, no span sink) until an exporter is attached,
+        # either here via ``config.telemetry_jsonl`` or later through
+        # ``engine.telemetry().add_exporter(...)``.
+        self.telemetry_pipeline = TelemetryPipeline(
+            tracer=self.tracer, metrics=self.metrics_registry,
+            capacity=self.config.telemetry_queue_capacity)
+        if self.config.telemetry_jsonl:
+            self.telemetry_pipeline.add_exporter(
+                JsonlFileExporter(self.config.telemetry_jsonl))
+
         # -- fault injection (repro.faults) -------------------------------
         # Same null-object economics as the obs pipeline: disabled (the
         # default) hands every instrumentation point the shared no-op
         # point; enabled but disarmed costs one list check per hit.
         self.faults = FaultRegistry(enabled=self.config.fault_injection,
                                     seed=self.config.fault_seed,
-                                    metrics=self.metrics_registry)
+                                    metrics=self.metrics_registry,
+                                    flight=self.flight)
 
         # -- low-level event detection -----------------------------------
         # Each engine owns its sentry registry: watches installed through
@@ -154,8 +191,10 @@ class ReachEngine:
 
         # -- meta-architecture and support modules (Figure 1) ------------
         self.meta = MetaArchitecture()
-        self.locks = LockManager(metrics=self.metrics_registry,
-                                 faults=self.faults)
+        self.locks = LockManager(
+            metrics=self.metrics_registry, faults=self.faults,
+            flight=self.flight,
+            flight_wait_threshold=self.config.flight_lock_wait_threshold)
         self.tx_manager = TransactionManager(self.meta, self.locks,
                                              clock=self.clock,
                                              tracer=self.tracer,
@@ -166,7 +205,8 @@ class ReachEngine:
                                       faults=self.faults,
                                       group_commit=self.config.group_commit,
                                       commit_wait_us=self.config.commit_wait_us,
-                                      max_commit_batch=self.config.max_commit_batch)
+                                      max_commit_batch=self.config.max_commit_batch,
+                                      flight=self.flight)
         self.dictionary = DataDictionary()
         self.active_space = ActiveAddressSpace()
         self.passive_space = PassiveAddressSpace(self.storage)
@@ -200,13 +240,14 @@ class ReachEngine:
                                        tracer=self.tracer,
                                        metrics=self.metrics_registry,
                                        sentry_registry=self.sentry_registry,
-                                       faults=self.faults)
+                                       faults=self.faults,
+                                       flight=self.flight)
         self.events = EventService(
             self.meta, self.tx_manager, self.scheduler,
             self.sentry_registry, self.clock, self.config,
             resolve_class=self.dictionary.type_named,
             tracer=self.tracer, metrics=self.metrics_registry,
-            faults=self.faults)
+            faults=self.faults, flight=self.flight)
         self.rule_pm = self.meta.plug(ReachRulePolicyManager(
             self.events, self.scheduler))
         self.temporal = TemporalEventSource(
@@ -230,12 +271,27 @@ class ReachEngine:
         self.metrics_registry.gauge_fn(
             "scheduler.dead_letters.depth",
             self.scheduler.dead_letter_count)
+        self.metrics_registry.gauge_fn(
+            "tracer.retained", self.tracer.__len__)
+        self.metrics_registry.gauge_fn(
+            "tracer.evicted", lambda: self.tracer.evicted)
+        self.metrics_registry.gauge_fn(
+            "telemetry.dropped",
+            lambda: self.telemetry_pipeline.dropped)
 
         self._rules: dict[str, tuple[Rule, Any]] = {}
         self._sessions: list[Session] = []
         self._sessions_created = 0
         self._closed = False
         self._lock = threading.RLock()
+
+        # The admin endpoint starts last so every attribute it serves
+        # already exists; loopback-only, daemon thread, ephemeral port
+        # when admin_port=0 (engine.admin_address has the bound port).
+        self.admin: Optional[AdminServer] = None
+        if self.config.admin_port is not None:
+            self.admin = AdminServer(self, port=self.config.admin_port)
+        _LIVE_ENGINES.add(self)
 
     # ------------------------------------------------------------------
     # Sessions and scope
@@ -547,17 +603,67 @@ class ReachEngine:
         """Every retained trace, oldest first."""
         return self.tracer.traces()
 
+    def flight_recorder(self) -> "FlightRecorder":
+        """The always-on flight recorder (the shared no-op recorder when
+        ``config.flight_recorder`` is False)."""
+        return self.flight
+
+    def telemetry(self) -> TelemetryPipeline:
+        """The telemetry export pipeline; inert until an exporter is
+        attached via :meth:`TelemetryPipeline.add_exporter`."""
+        return self.telemetry_pipeline
+
+    @property
+    def admin_address(self) -> Optional[tuple[str, int]]:
+        """``(host, port)`` of the live admin endpoint, or ``None``."""
+        return self.admin.address if self.admin is not None else None
+
     def dump_observability(self, json_format: bool = False) -> str:
-        """Text (default) or JSON dump of metrics plus retained traces."""
+        """Text (default) or JSON dump of the engine's full observable
+        state: metrics, retained traces, fault-registry snapshot, dead
+        letters, quarantined rules, and the flight-recorder snapshot.
+        """
+        dead_letters = [{
+            "rule": dl.rule_name,
+            "error": dl.error,
+            "attempts": dl.attempts,
+            "mode": dl.work.mode.value,
+            "session_id": dl.work.session_id,
+        } for dl in self.scheduler.dead_letter_list()]
+        with self._lock:
+            quarantined = sorted(
+                rule.name for rule, __ in self._rules.values()
+                if rule.quarantined)
         if json_format:
             import json as _json
             return _json.dumps({
                 "metrics": self.metrics_registry.snapshot(),
                 "traces": [trace.to_dict() for trace in self.traces()],
+                "faults": self.faults.stats(),
+                "dead_letters": dead_letters,
+                "quarantined_rules": quarantined,
+                "flight": self.flight.snapshot(),
             }, indent=2)
         parts = [self.metrics_registry.dump_text()]
         for trace in self.traces():
             parts.append(trace.format())
+        fault_stats = self.faults.stats()
+        parts.append("faults (enabled={enabled})\n  {summary}".format(
+            enabled=fault_stats.get("enabled"),
+            summary=", ".join(f"{k}={v}" for k, v in fault_stats.items()
+                              if k != "enabled") or "none"))
+        if dead_letters:
+            parts.append("dead letters\n" + "\n".join(
+                f"  {dl['rule']} [{dl['mode']}] attempts={dl['attempts']} "
+                f"session={dl['session_id']}: {dl['error']}"
+                for dl in dead_letters))
+        else:
+            parts.append("dead letters\n  none")
+        parts.append("quarantined rules\n  "
+                     + (", ".join(quarantined) if quarantined else "none"))
+        flight = self.flight.snapshot()
+        parts.append("flight recorder\n  "
+                     + " ".join(f"{k}={v}" for k, v in flight.items()))
         return "\n\n".join(parts)
 
     #: The frozen top-level key set of :meth:`statistics`.  Every key is
@@ -567,6 +673,7 @@ class ReachEngine:
         "transactions", "scheduler", "events", "events_detected",
         "semi_composed_pending", "composers", "eca_managers", "storage",
         "rules", "queries", "observability", "sessions", "faults",
+        "flight", "telemetry",
     })
 
     def statistics(self) -> dict[str, Any]:
@@ -597,6 +704,10 @@ class ReachEngine:
         * ``sessions`` — sessions created/active on this engine;
         * ``faults`` — fault-registry snapshot (enabled, seed, injection
           totals per point; inert zeros when fault injection is off);
+        * ``flight`` — flight-recorder snapshot (enabled, capacity,
+          recorded/retained/dropped record counts, dumps written);
+        * ``telemetry`` — export-pipeline counters (queued, enqueued,
+          exported, dropped, export_errors);
         * ``observability`` — ``metrics().snapshot()``.
         """
         if self._closed:
@@ -645,6 +756,8 @@ class ReachEngine:
             "queries": dict(self.query_processor.stats),
             "sessions": sessions,
             "faults": self.faults.stats(),
+            "flight": self.flight.snapshot(),
+            "telemetry": self.telemetry_pipeline.stats(),
             "observability": self.metrics_registry.snapshot(),
         }
 
@@ -683,6 +796,9 @@ class ReachEngine:
                 return
             self._closed = True
             open_sessions = list(self._sessions)
+        _LIVE_ENGINES.discard(self)
+        if self.admin is not None:
+            self.admin.close()
         for session in open_sessions:
             session.close()
         self.temporal.cancel_all()
@@ -698,10 +814,21 @@ class ReachEngine:
         self.change.close()
         self.persistence.detach()
         self.locks.clear()
+        # The telemetry pipeline drains before storage closes so a final
+        # flush can still observe a consistent engine.
+        self.telemetry_pipeline.close()
         self.storage.close()
 
     def __enter__(self) -> "ReachEngine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # An exception unwinding through the engine scope is an unhandled
+        # abort: preserve the flight ring before teardown loses it.
+        if exc_type is not None and not self._closed:
+            try:
+                self.flight.record("engine.abort", error=repr(exc))
+                self.flight.dump(reason="unhandled-abort")
+            except Exception:
+                pass
         self.close()

@@ -41,6 +41,7 @@ from repro.core.events import EventOccurrence
 from repro.core.rules import Rule, RuleContext, sort_for_firing
 from repro.errors import RuleExecutionError, TransactionAborted
 from repro.faults.registry import NULL_FAULTS, SCHEDULER_WORKER, FaultRegistry
+from repro.obs.flight import NULL_FLIGHT, FlightRecorder
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracer import _NULL_SPAN, NULL_TRACER, Tracer
 from repro.oodb.sentry import is_sentried
@@ -134,7 +135,8 @@ class RuleScheduler:
                  tracer: Tracer = NULL_TRACER,
                  metrics: MetricsRegistry = NULL_METRICS,
                  sentry_registry: Any = None,
-                 faults: FaultRegistry = NULL_FAULTS):
+                 faults: FaultRegistry = NULL_FAULTS,
+                 flight: FlightRecorder = NULL_FLIGHT):
         self.db = db
         self.tx_manager = tx_manager
         self.config = config
@@ -144,6 +146,7 @@ class RuleScheduler:
         self.sentry_registry = sentry_registry
         self.tracer = tracer
         self.metrics = metrics
+        self.flight = flight
         self._observe_latency = metrics.enabled
         self._h_condition = metrics.histogram("rule.condition.latency")
         self._h_action = metrics.histogram("rule.action.latency")
@@ -705,6 +708,8 @@ class RuleScheduler:
             rule.enabled = False
             self.stats["quarantined"] += 1
             self._m_quarantined.inc()
+            self.flight.record("rule.quarantine", rule=rule.name,
+                               failures=rule.consecutive_failures)
         return rule.quarantined
 
     def _dead_letter(self, work: DetachedWork, exc: BaseException) -> None:
@@ -720,6 +725,8 @@ class RuleScheduler:
                 self.dead_letters_dropped += excess
         self.stats["dead_lettered"] += 1
         self._m_dead_letters.inc()
+        self.flight.record("rule.dead_letter", rule=entry.rule_name,
+                           error=entry.error, attempts=entry.attempts)
 
     def dead_letter_list(self) -> list[DeadLetter]:
         with self._pending_lock:
@@ -790,6 +797,11 @@ class RuleScheduler:
             self._m_errors.inc()
         else:
             self._m_skipped.inc()
+        if self.flight.enabled:
+            self.flight.record("rule.fire", rule=rule.name,
+                               mode=mode.value, phase=phase, seq=occ.seq,
+                               outcome=outcome, tx=tx_id,
+                               session=session_id)
         with self._log_lock:
             self.firing_log.append(FiringRecord(
                 rule_name=rule.name, mode=mode, phase=phase,

@@ -36,6 +36,7 @@ import time
 from typing import Any, Callable, Optional
 
 from repro.errors import InjectedFault
+from repro.obs.flight import NULL_FLIGHT, FlightRecorder
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 
 # -- well-known fault point names -------------------------------------------
@@ -200,7 +201,8 @@ class FaultRegistry:
     """
 
     def __init__(self, enabled: bool = True, seed: Optional[int] = None,
-                 metrics: MetricsRegistry = NULL_METRICS):
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 flight: FlightRecorder = NULL_FLIGHT):
         self.enabled = enabled
         self.seed = seed
         self.rng = random.Random(seed)
@@ -209,6 +211,7 @@ class FaultRegistry:
         self._lock = threading.RLock()
         self._metrics = metrics
         self._m_injected = metrics.counter("faults.injected")
+        self._flight = flight
 
     # -- point handles -------------------------------------------------------
 
@@ -293,6 +296,9 @@ class FaultRegistry:
                 return None
             self._m_injected.inc()
             self._metrics.counter(f"faults.injected.{point.name}").inc()
+        if self._flight.enabled:
+            self._flight.record("fault", point=point.name,
+                                call=point.calls, spec=repr(triggered))
         # Effects run outside the registry lock: a delay must not stall
         # unrelated points, and callbacks may re-enter the registry.
         if triggered.delay:

@@ -17,6 +17,21 @@ turns them on) and cost one no-op call per instrumentation point when
 off.  See ``docs/observability.md`` for the span model and metric names.
 """
 
+from repro.obs.admin import AdminServer, slow_rules
+from repro.obs.export import (
+    CallbackExporter,
+    InMemoryExporter,
+    JsonlFileExporter,
+    TelemetryExporter,
+    TelemetryPipeline,
+    render_prometheus,
+)
+from repro.obs.flight import (
+    NULL_FLIGHT,
+    FlightRecorder,
+    latest_dump,
+    load_dump,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -33,11 +48,17 @@ from repro.obs.metrics import (
 from repro.obs.tracer import NULL_TRACER, Span, Trace, Tracer
 
 __all__ = [
+    "AdminServer",
+    "CallbackExporter",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "InMemoryExporter",
+    "JsonlFileExporter",
     "MetricsRegistry",
     "NULL_COUNTER",
+    "NULL_FLIGHT",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
     "NULL_METRICS",
@@ -46,6 +67,12 @@ __all__ = [
     "NullGauge",
     "NullHistogram",
     "Span",
+    "TelemetryExporter",
+    "TelemetryPipeline",
     "Trace",
     "Tracer",
+    "latest_dump",
+    "load_dump",
+    "render_prometheus",
+    "slow_rules",
 ]

@@ -1,0 +1,389 @@
+"""Structured telemetry export: spans and metrics leave the process.
+
+The in-process handles (``db.trace()``, ``db.metrics()``) are pull-only;
+this module streams the same data out.  Three pieces:
+
+* **exporters** — pluggable sinks (:class:`JsonlFileExporter`,
+  :class:`InMemoryExporter`, :class:`CallbackExporter`) consuming one
+  JSON-serializable record dict at a time;
+* **the pipeline** — :class:`TelemetryPipeline`, a bounded queue drained
+  by one daemon thread.  The hot path (a span finishing) *offers* the
+  span to the queue: when the queue is full the record is dropped and
+  counted, never waited on, so a slow or wedged exporter can never
+  backpressure the event pipeline.  Serialization and enrichment run on
+  the drain thread;
+* **the Prometheus renderer** — :func:`render_prometheus` turns an
+  atomic :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` into the
+  Prometheus text exposition format for the ``/metrics`` admin endpoint.
+
+Every span record carries ``session_id``, ``tx``, ``rule`` and ``mode``
+top-level keys (None when not applicable) so exported telemetry stays
+attributable across concurrent sessions.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+
+class TelemetryExporter:
+    """Base sink: receives one record dict per call, on the drain thread."""
+
+    def export(self, record: dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Called after each drained batch; override for buffered sinks."""
+
+    def close(self) -> None:
+        """Called once when the pipeline shuts down."""
+
+
+class InMemoryExporter(TelemetryExporter):
+    """Collects records in a list (tests, ad-hoc inspection)."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.capacity = capacity
+        self.records: list[dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    def export(self, record: dict[str, Any]) -> None:
+        with self._lock:
+            self.records.append(record)
+            if self.capacity is not None and len(self.records) > self.capacity:
+                del self.records[:len(self.records) - self.capacity]
+
+    def take(self) -> list[dict[str, Any]]:
+        with self._lock:
+            out = self.records[:]
+            self.records.clear()
+            return out
+
+
+class CallbackExporter(TelemetryExporter):
+    """Hands each record to a user callable."""
+
+    def __init__(self, fn: Callable[[dict[str, Any]], None]):
+        self.fn = fn
+
+    def export(self, record: dict[str, Any]) -> None:
+        self.fn(record)
+
+
+class JsonlFileExporter(TelemetryExporter):
+    """Appends one JSON line per record to a file (opened lazily)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = None
+        self._lock = threading.Lock()
+
+    def export(self, record: dict[str, Any]) -> None:
+        with self._lock:
+            if self._fh is None:
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(json.dumps(record, default=repr) + "\n")
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+# ---------------------------------------------------------------------------
+# The pipeline
+# ---------------------------------------------------------------------------
+
+
+class TelemetryPipeline:
+    """Bounded background export queue with drop accounting.
+
+    Construction is cheap and the pipeline is inert until the first
+    :meth:`add_exporter`: only then does the drain thread start and the
+    tracer's span sink attach, so an engine with no exporters pays
+    nothing on the span path.
+
+    The contract the benchmarks assert: :meth:`_offer` never blocks.  A
+    full queue increments ``dropped`` and returns; the producing thread
+    (a transaction committing, a rule firing) is never coupled to
+    exporter latency.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 capacity: int = 4096):
+        self._tracer = tracer
+        self._metrics = metrics
+        self.capacity = capacity
+        self._queue: deque = deque()
+        self._exporters: list[TelemetryExporter] = []
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self.enqueued = 0
+        self.dropped = 0
+        self.exported = 0
+        self.export_errors = 0
+
+    # -- wiring --------------------------------------------------------------
+
+    def add_exporter(self, exporter: TelemetryExporter) -> TelemetryExporter:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("telemetry pipeline is closed")
+            self._exporters.append(exporter)
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._drain_loop, name="reach-telemetry",
+                    daemon=True)
+                self._thread.start()
+            if self._tracer is not None:
+                self._tracer.set_sink(self._offer_span)
+        return exporter
+
+    def exporters(self) -> list[TelemetryExporter]:
+        with self._lock:
+            return list(self._exporters)
+
+    # -- hot path ------------------------------------------------------------
+
+    def _offer(self, item: tuple) -> bool:
+        if len(self._queue) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._queue.append(item)
+        self.enqueued += 1
+        if not self._wake.is_set():
+            self._wake.set()
+        return True
+
+    def _offer_span(self, span: Span) -> None:
+        """Tracer sink: called from ``Span.__exit__`` on finished spans.
+
+        The span object itself is enqueued; serialization (and the root
+        lookup that resolves the owning session) runs on the drain
+        thread, off the hot path.
+        """
+        self._offer(("span", span))
+
+    def emit(self, record: dict[str, Any]) -> bool:
+        """Queue an application-defined record; False when dropped."""
+        return self._offer(("record", dict(record)))
+
+    def export_metrics(self) -> bool:
+        """Queue one full metrics snapshot (atomic; see satellite fix in
+        :meth:`MetricsRegistry.snapshot`)."""
+        if self._metrics is None:
+            return False
+        return self._offer(("metrics", self._metrics.snapshot()))
+
+    # -- drain thread --------------------------------------------------------
+
+    def _drain_loop(self) -> None:
+        while True:
+            self._wake.wait(timeout=0.1)
+            self._wake.clear()
+            if self._queue:
+                self._idle.clear()
+                try:
+                    self._drain_once()
+                finally:
+                    self._idle.set()
+            if self._closed and not self._queue:
+                return
+
+    def _drain_once(self) -> None:
+        queue = self._queue
+        with self._lock:
+            exporters = list(self._exporters)
+        batch = 0
+        while queue:
+            try:
+                item = queue.popleft()
+            except IndexError:
+                break
+            record = self._serialize(item)
+            batch += 1
+            for exporter in exporters:
+                try:
+                    exporter.export(record)
+                    self.exported += 1
+                except Exception:
+                    self.export_errors += 1
+        if batch:
+            for exporter in exporters:
+                try:
+                    exporter.flush()
+                except Exception:
+                    self.export_errors += 1
+
+    def _serialize(self, item: tuple) -> dict[str, Any]:
+        kind, payload = item
+        if kind == "span":
+            return self._span_record(payload)
+        if kind == "metrics":
+            return {"type": "metrics", "ts": time.time(),
+                    "metrics": payload}
+        record = dict(payload)
+        record.setdefault("type", "record")
+        record.setdefault("ts", time.time())
+        return record
+
+    def _span_record(self, span: Span) -> dict[str, Any]:
+        record = span.to_dict()
+        record["type"] = "span"
+        attributes = record["attributes"]
+        session_id = attributes.get("session_id")
+        if session_id is None:
+            session_id = self._root_session(span)
+        record["session_id"] = session_id
+        record["tx"] = attributes.get("tx")
+        if span.kind == "scheduler" and span.name.startswith("fire:"):
+            record["rule"] = span.name[5:]
+        else:
+            record["rule"] = None
+        record["mode"] = attributes.get("mode")
+        return record
+
+    def _root_session(self, span: Span) -> Optional[int]:
+        """Resolve the session from the span's trace root.
+
+        Reads the tracer's live table without its lock — a benign race
+        (the trace may have been evicted, in which case attribution is
+        simply lost for that record), same philosophy as the metrics.
+        """
+        if self._tracer is None:
+            return None
+        spans = self._tracer._traces.get(span.trace_id)
+        if not spans:
+            return None
+        try:
+            return spans[0].attributes.get("session_id")
+        except (IndexError, AttributeError):
+            return None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def flush(self, timeout: float = 5.0) -> bool:
+        """Wait (bounded) until the queue is drained; True on success."""
+        deadline = time.monotonic() + timeout
+        self._wake.set()
+        while self._queue or not self._idle.is_set():
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.002)
+            self._wake.set()
+        return True
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._tracer is not None:
+                self._tracer.set_sink(None)
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        # Final inline drain: anything the thread left behind still goes
+        # out before the exporters close.
+        if self._queue:
+            self._drain_once()
+        for exporter in self.exporters():
+            try:
+                exporter.close()
+            except Exception:
+                self.export_errors += 1
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-serializable state for ``db.statistics()["telemetry"]``."""
+        with self._lock:
+            exporters = len(self._exporters)
+        return {
+            "capacity": self.capacity,
+            "queued": len(self._queue),
+            "exporters": exporters,
+            "enqueued": self.enqueued,
+            "exported": self.exported,
+            "dropped": self.dropped,
+            "export_errors": self.export_errors,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    return f"{prefix}_{_NAME_SANITIZE.sub('_', name)}"
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value) if value != int(value) else str(int(value))
+
+
+def render_prometheus(snapshot: dict[str, Any], prefix: str = "reach") -> str:
+    """Render a metrics snapshot as Prometheus text exposition format.
+
+    Counters map to ``counter``, gauges to ``gauge``, histograms to
+    ``summary`` (quantile series plus ``_sum``/``_count``).  Dots in
+    instrument names become underscores; every series is prefixed.
+    """
+    lines = [f"# TYPE {prefix}_up gauge", f"{prefix}_up 1"]
+    enabled = 1 if snapshot.get("enabled") else 0
+    lines.append(f"# TYPE {prefix}_observability_enabled gauge")
+    lines.append(f"{prefix}_observability_enabled {enabled}")
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        if value is None:
+            continue  # a pull-gauge callable failed; skip the series
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, summary in snapshot.get("histograms", {}).items():
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, key in (("0.5", "p50"), ("0.95", "p95"),
+                              ("0.99", "p99")):
+            lines.append(f'{metric}{{quantile="{quantile}"}} '
+                         f"{_fmt(summary.get(key, 0.0))}")
+        total = summary.get("sum")
+        if total is None:
+            total = summary.get("mean", 0.0) * summary.get("count", 0)
+        lines.append(f"{metric}_sum {_fmt(total)}")
+        lines.append(f"{metric}_count {int(summary.get('count', 0))}")
+    return "\n".join(lines) + "\n"

@@ -24,6 +24,7 @@ the detection path.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Any, Callable, Optional
 
@@ -128,23 +129,48 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile over the retained reservoir."""
-        if not self.samples:
+        return self._percentile_of(sorted(self.samples), q)
+
+    @staticmethod
+    def _percentile_of(ordered: list[float], q: float) -> float:
+        if not ordered:
             return 0.0
-        ordered = sorted(self.samples)
         index = min(len(ordered) - 1,
                     int(round(q / 100 * (len(ordered) - 1))))
         return ordered[index]
 
-    def summary(self) -> dict[str, float]:
+    def snapshot(self) -> dict[str, float]:
+        """A mutually consistent view of this histogram's fields.
+
+        Writers mutate count/total/min/max/samples without a lock, so a
+        naive field-by-field read can pair a new ``count`` with an old
+        ``total``.  This capture is seqlock-style: copy the fields, then
+        re-read ``count`` — if it moved, a writer interleaved and the
+        copy is retried (bounded; the final attempt is accepted as-is,
+        keeping the no-lock hot path: metrics are statistics, not
+        ledgers, but *exported* values should at least be coherent).
+        """
+        for _ in range(4):
+            count = self.count
+            total = self.total
+            low = self.min
+            high = self.max
+            ordered = sorted(self.samples[-self.reservoir_size:])
+            if self.count == count:
+                break
         return {
-            "count": self.count,
-            "mean": self.mean,
-            "min": self.min if self.count else 0.0,
-            "max": self.max,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": low if count else 0.0,
+            "max": high,
+            "p50": self._percentile_of(ordered, 50),
+            "p95": self._percentile_of(ordered, 95),
+            "p99": self._percentile_of(ordered, 99),
         }
+
+    def summary(self) -> dict[str, float]:
+        return self.snapshot()
 
     def __repr__(self) -> str:
         return (f"<Histogram {self.name} n={self.count} "
@@ -221,6 +247,9 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._gauge_fns: dict[str, Callable[[], float]] = {}
+        # Guards instrument *creation* and snapshot's dict copies; never
+        # taken on the increment/observe hot path.
+        self._lock = threading.Lock()
 
     # -- instrument factories -------------------------------------------------
 
@@ -229,7 +258,10 @@ class MetricsRegistry:
             return NULL_COUNTER
         counter = self._counters.get(name)
         if counter is None:
-            counter = self._counters[name] = Counter(name)
+            with self._lock:
+                counter = self._counters.get(name)
+                if counter is None:
+                    counter = self._counters[name] = Counter(name)
         return counter
 
     def gauge(self, name: str) -> Gauge:
@@ -237,7 +269,10 @@ class MetricsRegistry:
             return NULL_GAUGE
         gauge = self._gauges.get(name)
         if gauge is None:
-            gauge = self._gauges[name] = Gauge(name)
+            with self._lock:
+                gauge = self._gauges.get(name)
+                if gauge is None:
+                    gauge = self._gauges[name] = Gauge(name)
         return gauge
 
     def histogram(self, name: str,
@@ -246,31 +281,45 @@ class MetricsRegistry:
             return NULL_HISTOGRAM
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = Histogram(
-                name, reservoir_size=reservoir_size)
+            with self._lock:
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = Histogram(
+                        name, reservoir_size=reservoir_size)
         return histogram
 
     def gauge_fn(self, name: str, fn: Callable[[], float]) -> None:
         """Register a pull-based gauge evaluated at snapshot time only."""
         if self.enabled:
-            self._gauge_fns[name] = fn
+            with self._lock:
+                self._gauge_fns[name] = fn
 
     # -- export ---------------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
-        """A JSON-serializable view of every instrument's current value."""
+        """An atomic, JSON-serializable view of every instrument.
+
+        Atomic in two senses the exporters and the Prometheus renderer
+        rely on: the instrument *tables* are copied under the registry
+        lock (so a concurrently created instrument cannot corrupt the
+        iteration), and each histogram's fields are captured coherently
+        via :meth:`Histogram.snapshot` (so ``count``/``sum``/percentiles
+        in one export line belong to the same moment).
+        """
         out: dict[str, Any] = {"enabled": self.enabled}
-        counters = {name: c.value
-                    for name, c in sorted(self._counters.items())}
-        gauges = {name: g.value
-                  for name, g in sorted(self._gauges.items())}
-        for name, fn in sorted(self._gauge_fns.items()):
+        with self._lock:
+            counter_items = sorted(self._counters.items())
+            gauge_items = sorted(self._gauges.items())
+            gauge_fn_items = sorted(self._gauge_fns.items())
+            histogram_items = sorted(self._histograms.items())
+        counters = {name: c.value for name, c in counter_items}
+        gauges = {name: g.value for name, g in gauge_items}
+        for name, fn in gauge_fn_items:
             try:
                 gauges[name] = fn()
             except Exception:
                 gauges[name] = None
-        histograms = {name: h.summary()
-                      for name, h in sorted(self._histograms.items())}
+        histograms = {name: h.snapshot() for name, h in histogram_items}
         out["counters"] = counters
         out["gauges"] = gauges
         out["histograms"] = histograms

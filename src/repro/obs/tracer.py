@@ -46,7 +46,7 @@ class Span:
     """
 
     __slots__ = ("trace_id", "span_id", "parent_id", "name", "kind",
-                 "start", "end", "attributes", "_stack")
+                 "start", "end", "attributes", "_stack", "_sink")
 
     def __init__(self, trace_id: int, span_id: int,
                  parent_id: Optional[int], name: str, kind: str,
@@ -64,6 +64,9 @@ class Span:
         #: the creating thread's span stack (span creation and the
         #: ``with`` block always run on the same thread).
         self._stack = stack
+        #: export hook invoked with the finished span (set by the tracer
+        #: when a telemetry pipeline is attached; None otherwise).
+        self._sink = None
 
     def __enter__(self) -> "Span":
         self._stack.append(self)
@@ -78,6 +81,9 @@ class Span:
             stack.remove(self)
         if exc is not None:
             self.attributes.setdefault("error", repr(exc))
+        sink = self._sink
+        if sink is not None:
+            sink(self)
 
     @property
     def duration(self) -> float:
@@ -216,6 +222,20 @@ class Tracer:
         self._traces: dict[int, list[Span]] = {}
         self._lock = threading.Lock()
         self._local = threading.local()
+        #: whole traces dropped by capacity eviction (drop accounting:
+        #: ``evicted + len(tracer)`` equals the number of traces born).
+        self.evicted = 0
+        #: per-finished-span export hook (see :meth:`set_sink`).
+        self._sink = None
+
+    def set_sink(self, sink) -> None:
+        """Attach (or detach, with ``None``) the telemetry export hook.
+
+        The sink is called with every span that finishes *after* this
+        call — spans already open keep the sink they were created with.
+        Only the telemetry pipeline should call this.
+        """
+        self._sink = sink
 
     # -- span creation --------------------------------------------------------
 
@@ -254,6 +274,7 @@ class Tracer:
         span.end = 0.0
         span.attributes = attributes
         span._stack = stack
+        span._sink = self._sink
         # Appending to an existing trace's span list is safe without the
         # lock under the GIL; only trace creation/eviction takes it.
         spans = self._traces.get(trace_id)
@@ -286,6 +307,7 @@ class Tracer:
         span.end = 0.0
         span.attributes = attributes
         span._stack = stack
+        span._sink = self._sink
         spans = self._traces.get(current.trace_id)
         if spans is not None:
             spans.append(span)
@@ -324,6 +346,7 @@ class Tracer:
             try:
                 while len(traces) > keep:
                     del traces[next(iter(traces))]
+                    self.evicted += 1
             except (KeyError, StopIteration, RuntimeError):
                 pass  # concurrent insert/evict race: statistics, not ledgers
 

@@ -14,11 +14,13 @@ from __future__ import annotations
 
 import enum
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Any, Hashable
 
 from repro.errors import DeadlockError, LockTimeoutError
 from repro.faults.registry import LOCK_ACQUIRE, NULL_FAULTS, FaultRegistry
+from repro.obs.flight import NULL_FLIGHT, FlightRecorder
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 
 
@@ -44,7 +46,9 @@ class LockManager:
 
     def __init__(self, timeout: float = 10.0,
                  metrics: MetricsRegistry = NULL_METRICS,
-                 faults: FaultRegistry = NULL_FAULTS):
+                 faults: FaultRegistry = NULL_FAULTS,
+                 flight: FlightRecorder = NULL_FLIGHT,
+                 flight_wait_threshold: float = 0.010):
         self._table: dict[Hashable, _LockState] = {}
         self._mutex = threading.Lock()
         self._condition = threading.Condition(self._mutex)
@@ -55,6 +59,10 @@ class LockManager:
         self._m_deadlocks = metrics.counter("locks.deadlocks")
         self._m_timeouts = metrics.counter("locks.timeouts")
         self._fp_acquire = faults.point(LOCK_ACQUIRE)
+        #: flight ring for waits worth remembering: grants slower than
+        #: ``flight_wait_threshold`` seconds, plus every deadlock/timeout.
+        self._flight = flight
+        self._flight_wait_threshold = flight_wait_threshold
 
     # ------------------------------------------------------------------
 
@@ -78,12 +86,15 @@ class LockManager:
             entry = (family, mode)
             state.waiters.append(entry)
             self._m_waits.inc()
+            wait_start = time.monotonic()
             try:
                 deadline = None
                 while True:
                     if self._would_deadlock(family):
                         self.deadlocks_detected += 1
                         self._m_deadlocks.inc()
+                        self._flight_wait(family, resource, mode,
+                                          wait_start, "deadlock")
                         raise DeadlockError(
                             f"family {family} waiting on {resource!r} "
                             "would deadlock"
@@ -91,17 +102,21 @@ class LockManager:
                     if self._grantable(state, family, mode) and \
                             self._is_next_compatible_waiter(state, entry):
                         self._grant(state, family, mode)
+                        waited = time.monotonic() - wait_start
+                        if waited >= self._flight_wait_threshold:
+                            self._flight_wait(family, resource, mode,
+                                              wait_start, "granted")
                         return
                     if deadline is None:
-                        import time as _time
-                        deadline = _time.monotonic() + self.timeout
+                        deadline = wait_start + self.timeout
                         remaining = self.timeout
                     else:
-                        import time as _time
-                        remaining = deadline - _time.monotonic()
+                        remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         self.timeouts += 1
                         self._m_timeouts.inc()
+                        self._flight_wait(family, resource, mode,
+                                          wait_start, "timeout")
                         raise LockTimeoutError(
                             f"family {family} timed out waiting for "
                             f"{resource!r} ({mode.value})"
@@ -111,6 +126,14 @@ class LockManager:
                 if entry in state.waiters:
                     state.waiters.remove(entry)
                 self._condition.notify_all()
+
+    def _flight_wait(self, family: int, resource: Hashable, mode: LockMode,
+                     started: float, outcome: str) -> None:
+        if self._flight.enabled:
+            self._flight.record(
+                "lock.wait", family=family, resource=repr(resource)[:80],
+                mode=mode.value, outcome=outcome,
+                wait_ms=round((time.monotonic() - started) * 1e3, 3))
 
     def _is_next_compatible_waiter(self, state: _LockState,
                                    entry: tuple[int, LockMode]) -> bool:
@@ -189,6 +212,26 @@ class LockManager:
         with self._mutex:
             state = self._table.get(resource)
             return dict(state.holders) if state else {}
+
+    def snapshot(self) -> dict[str, Any]:
+        """Live lock-table view for the admin endpoint: every resource
+        with holders or waiters, plus the deadlock/timeout totals."""
+        with self._mutex:
+            resources = {}
+            for res, state in self._table.items():
+                if not state.holders and not state.waiters:
+                    continue
+                resources[repr(res)] = {
+                    "holders": {str(fam): held.value
+                                for fam, held in state.holders.items()},
+                    "waiters": [{"family": fam, "mode": mode.value}
+                                for fam, mode in state.waiters],
+                }
+            return {
+                "resources": resources,
+                "deadlocks_detected": self.deadlocks_detected,
+                "timeouts": self.timeouts,
+            }
 
     def locks_held_by(self, family: int) -> list[Hashable]:
         with self._mutex:

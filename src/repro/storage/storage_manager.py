@@ -35,6 +35,7 @@ from repro.faults.registry import (
     STORAGE_PAGE_FLUSH,
     FaultRegistry,
 )
+from repro.obs.flight import NULL_FLIGHT, FlightRecorder
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.oodb.oid import OID
 from repro.storage.buffer import BufferPool, PageFile
@@ -66,18 +67,21 @@ class StorageManager:
                  faults: FaultRegistry = NULL_FAULTS,
                  group_commit: bool = False,
                  commit_wait_us: float = 200.0,
-                 max_commit_batch: int = 32):
+                 max_commit_batch: int = 32,
+                 flight: FlightRecorder = NULL_FLIGHT):
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
         self._fp_commit = faults.point(STORAGE_COMMIT)
         self._fp_checkpoint = faults.point(STORAGE_CHECKPOINT)
         self._fp_page_flush = faults.point(STORAGE_PAGE_FLUSH)
         self._fp_crash = faults.point(STORAGE_CRASH)
+        self._flight = flight
         self._wal = WriteAheadLog(os.path.join(directory, self.LOG_FILE),
                                   metrics=metrics, faults=faults,
                                   group_commit=group_commit,
                                   commit_wait_us=commit_wait_us,
-                                  max_commit_batch=max_commit_batch)
+                                  max_commit_batch=max_commit_batch,
+                                  flight=flight)
         self._file = PageFile(os.path.join(directory, self.DATA_FILE))
         self._pool = BufferPool(self._file, capacity=buffer_capacity,
                                 flush_log=self._wal.flush_to,
@@ -353,9 +357,19 @@ class StorageManager:
             self._pool.flush_all()
 
     def crash(self) -> None:
-        """Simulate a crash: drop volatile state without flushing pages."""
+        """Simulate a crash: drop volatile state without flushing pages.
+
+        The flight ring is preserved first — on a real crash the dump is
+        the post-mortem record the torture harness validates against the
+        recovered WAL prefix.
+        """
         with self._lock:
             self._fp_crash.hit()
+            self._flight.record("storage.crash")
+            try:
+                self._flight.dump(reason="crash")
+            except Exception:
+                pass  # a failed dump must never mask the crash itself
             self._pool.drop_all()
             self._active.clear()
 
@@ -393,3 +407,7 @@ class StorageManager:
                 "buffer_evictions": self._pool.evictions,
                 "wal_bytes": self._wal.size_bytes(),
             }
+
+    def wal_stats(self) -> dict:
+        """The WAL's live view (admin endpoint ``/wal``)."""
+        return self._wal.stats()

@@ -42,6 +42,7 @@ from repro.faults.registry import (
     WAL_TORN_TAIL,
     FaultRegistry,
 )
+from repro.obs.flight import NULL_FLIGHT, FlightRecorder
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.storage.serializer import deserialize, serialize
 
@@ -124,7 +125,8 @@ class WriteAheadLog:
                  faults: FaultRegistry = NULL_FAULTS,
                  group_commit: bool = False,
                  commit_wait_us: float = 200.0,
-                 max_commit_batch: int = 32):
+                 max_commit_batch: int = 32,
+                 flight: FlightRecorder = NULL_FLIGHT):
         self.path = path
         self._fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
         self._lock = threading.RLock()
@@ -152,6 +154,7 @@ class WriteAheadLog:
         self._fp_append = faults.point(WAL_APPEND)
         self._fp_fsync = faults.point(WAL_FSYNC)
         self._fp_torn = faults.point(WAL_TORN_TAIL)
+        self._flight = flight
         self._bootstrap_lsns()
 
     def _bootstrap_lsns(self) -> None:
@@ -208,6 +211,8 @@ class WriteAheadLog:
         self._buffer.clear()
         self._flushed_lsn = self._next_lsn - 1
         self._m_flushes.inc()
+        if self._flight.enabled:
+            self._flight.record("wal.flush", lsn=self._flushed_lsn)
 
     def _await_no_group_flush(self) -> None:
         """Wait out an in-flight group flush (caller holds the lock).
@@ -322,6 +327,10 @@ class WriteAheadLog:
             self._m_flushes.inc()
             self._m_group_flushes.inc()
             self._m_commits_per_flush.observe(float(len(released)))
+            if self._flight.enabled:
+                self._flight.record("wal.group_flush",
+                                    lsn=self._flushed_lsn,
+                                    commits=len(released))
         finally:
             self._flush_in_progress = False
             self._barrier.notify_all()
@@ -335,6 +344,24 @@ class WriteAheadLog:
     def next_lsn(self) -> int:
         with self._lock:
             return self._next_lsn
+
+    def stats(self) -> dict[str, Any]:
+        """Live WAL view for the admin endpoint (consistent snapshot)."""
+        with self._lock:
+            try:
+                size = os.fstat(self._fd).st_size
+            except OSError:
+                size = None
+            return {
+                "path": self.path,
+                "size_bytes": size,
+                "next_lsn": self._next_lsn,
+                "flushed_lsn": self._flushed_lsn,
+                "buffered_records": len(self._buffer),
+                "group_commit": self.group_commit,
+                "commit_queue_depth": len(self._commit_queue),
+                "flush_in_progress": self._flush_in_progress,
+            }
 
     # -- reading ---------------------------------------------------------------
 

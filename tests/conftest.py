@@ -1,11 +1,53 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the failure-artifact hook:
+when ``REPRO_ARTIFACT_DIR`` is set (CI does), every failing test dumps
+each live engine's flight ring and observability snapshot there so the
+post-mortem record survives the ephemeral tmp_path."""
 
 from __future__ import annotations
+
+import os
+import re
+import shutil
 
 import pytest
 
 from repro import ExecutionConfig, ExecutionMode, ReachDatabase, VirtualClock
 from repro.bench.workloads import Reactor, River
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    artifact_dir = os.environ.get("REPRO_ARTIFACT_DIR")
+    if not artifact_dir:
+        return
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    try:
+        from repro.core.engine import live_engines
+
+        engines = live_engines()
+        if not engines:
+            return
+        os.makedirs(artifact_dir, exist_ok=True)
+        stem = re.sub(r"[^A-Za-z0-9_.-]+", "-", item.nodeid).strip("-")[-80:]
+        for index, engine in enumerate(engines):
+            base = os.path.join(artifact_dir, f"{stem}-engine{index}")
+            try:
+                with open(f"{base}-observability.json", "w",
+                          encoding="utf-8") as fh:
+                    fh.write(engine.dump_observability(json_format=True))
+            except Exception:
+                pass
+            try:
+                dump = engine.flight.dump(reason="test-failure")
+                if dump:
+                    shutil.copy(dump, f"{base}-flight.jsonl")
+            except Exception:
+                pass
+    except Exception:
+        pass  # artifact capture must never mask the real failure
 
 
 @pytest.fixture

@@ -1,0 +1,196 @@
+"""Live introspection endpoint (``repro.obs.admin``) and the matching
+``scripts/reproctl.py`` CLI.
+
+An engine started with ``ExecutionConfig(admin_port=0)`` binds a
+loopback HTTP server on an ephemeral port (``db.admin_address``); these
+tests exercise every route against a real engine, validate the
+``/metrics`` body as Prometheus text exposition format, and — the PR-5
+acceptance bar — drive ``reproctl stats`` as a subprocess against a
+live sixteen-session engine.
+"""
+
+import json
+import re
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro import ExecutionConfig, MethodEventSpec, ReachDatabase, sentried
+
+REPROCTL = str(Path(__file__).resolve().parent.parent
+               / "scripts" / "reproctl.py")
+
+
+@sentried
+class Meter:
+    def __init__(self):
+        self.reading = 0
+
+    def advance(self, by):
+        self.reading += by
+
+
+ADVANCE = MethodEventSpec("Meter", "advance", param_names=("by",))
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = ReachDatabase(
+        directory=str(tmp_path / "admin-db"),
+        config=ExecutionConfig(observability=True, admin_port=0))
+    database.register_class(Meter)
+    database.on(ADVANCE).do(lambda ctx: None).named("MeterWatch")
+    meter = Meter()
+    with database.transaction():
+        database.persist(meter, "m")
+        meter.advance(3)
+    yield database
+    database.close()
+
+
+def get(db, path):
+    host, port = db.admin_address
+    with urllib.request.urlopen(f"http://{host}:{port}{path}",
+                                timeout=5.0) as response:
+        return (response.status, response.headers.get("Content-Type", ""),
+                response.read().decode("utf-8"))
+
+
+class TestEndpoints:
+    def test_no_admin_port_means_no_server(self, tmp_path):
+        database = ReachDatabase(directory=str(tmp_path / "plain-db"))
+        assert database.admin_address is None
+        database.close()
+
+    def test_index_catalogues_the_routes(self, db):
+        status, content_type, body = get(db, "/")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        endpoints = json.loads(body)["endpoints"]
+        for route in ("/stats", "/metrics", "/traces", "/slow-rules",
+                      "/locks", "/wal", "/flight", "/flight/dump"):
+            assert route in endpoints
+
+    def test_stats_serves_the_frozen_key_snapshot(self, db):
+        __, __, body = get(db, "/stats")
+        assert set(json.loads(body)) == set(ReachDatabase.STATISTICS_KEYS)
+
+    def test_metrics_is_prometheus_text(self, db):
+        line = re.compile(
+            r"^(# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* ?.*"
+            r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? "
+            r"(-?\d+(\.\d+)?([eE]-?\d+)?|[+-]Inf|NaN))$")
+        __, content_type, body = get(db, "/metrics")
+        assert content_type.startswith("text/plain")
+        for text_line in body.rstrip("\n").split("\n"):
+            assert line.match(text_line), f"bad line: {text_line!r}"
+        assert "reach_up 1" in body
+
+    def test_traces_respect_the_limit(self, db):
+        __, __, body = get(db, "/traces?limit=1")
+        payload = json.loads(body)
+        assert payload["count"] >= 1
+        assert len(payload["traces"]) == 1
+        assert payload["traces"][0]["spans"]
+
+    def test_slow_rules_aggregate_firing_latency(self, db):
+        __, __, body = get(db, "/slow-rules")
+        rows = json.loads(body)["rules"]
+        (row,) = [r for r in rows if r["rule"] == "MeterWatch"]
+        assert row["firings"] >= 1
+        assert row["mean_s"] > 0.0
+        assert row["quarantined"] is False
+
+    def test_locks_and_wal_report_their_snapshots(self, db):
+        __, __, locks_body = get(db, "/locks")
+        locks = json.loads(locks_body)
+        assert {"resources", "deadlocks_detected", "timeouts"} <= set(locks)
+        __, __, wal_body = get(db, "/wal")
+        wal = json.loads(wal_body)
+        assert wal["flushed_lsn"] >= 1
+        assert wal["size_bytes"] > 0
+
+    def test_flight_tail_returns_recent_entries(self, db):
+        __, __, body = get(db, "/flight?tail=5")
+        payload = json.loads(body)
+        assert payload["enabled"] is True
+        assert 0 < len(payload["entries"]) <= 5
+
+    def test_flight_dump_writes_a_file(self, db):
+        __, __, body = get(db, "/flight/dump?reason=test")
+        path = json.loads(body)["path"]
+        assert path is not None and Path(path).exists()
+        header = json.loads(Path(path).read_text().splitlines()[0])
+        assert header["reason"] == "test"
+
+    def test_unknown_route_is_a_404_with_the_catalogue(self, db):
+        host, port = db.admin_address
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"http://{host}:{port}/nope", timeout=5.0)
+        assert excinfo.value.code == 404
+        payload = json.loads(excinfo.value.read().decode("utf-8"))
+        assert "/stats" in payload["endpoints"]
+
+
+class TestReproctl:
+    def test_stats_against_a_live_sixteen_session_engine(self, tmp_path):
+        database = ReachDatabase(
+            directory=str(tmp_path / "fleet-db"),
+            config=ExecutionConfig(observability=True, admin_port=0))
+        database.register_class(Meter)
+        database.on(ADVANCE).do(lambda ctx: None).named("MeterWatch")
+
+        def session_worker(index):
+            session = database.create_session(f"s{index}")
+            meter = Meter()
+            with session.transaction():
+                session.persist(meter, f"m{index}")
+                meter.advance(index)
+
+        threads = [threading.Thread(target=session_worker, args=(i,))
+                   for i in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        host, port = database.admin_address
+        try:
+            result = subprocess.run(
+                [sys.executable, REPROCTL, "--host", host,
+                 "--port", str(port), "stats"],
+                capture_output=True, text=True, timeout=30)
+            assert result.returncode == 0, result.stderr
+            assert "sessions" in result.stdout
+            assert re.search(r"tx\s+begun=\d+ committed=\d+",
+                             result.stdout)
+
+            raw = subprocess.run(
+                [sys.executable, REPROCTL, "--host", host,
+                 "--port", str(port), "--json", "stats"],
+                capture_output=True, text=True, timeout=30)
+            stats = json.loads(raw.stdout)
+            assert stats["sessions"]["created"] >= 16
+            assert stats["transactions"]["committed"] >= 16
+
+            metrics = subprocess.run(
+                [sys.executable, REPROCTL, "--host", host,
+                 "--port", str(port), "metrics"],
+                capture_output=True, text=True, timeout=30)
+            assert metrics.returncode == 0
+            assert "reach_up 1" in metrics.stdout
+        finally:
+            database.close()
+
+    def test_unreachable_port_exits_nonzero(self):
+        result = subprocess.run(
+            [sys.executable, REPROCTL, "--port", "1",
+             "--timeout", "0.5", "stats"],
+            capture_output=True, text=True, timeout=30)
+        assert result.returncode == 1
+        assert "cannot reach" in result.stderr

@@ -9,6 +9,7 @@ from repro.bench.crash_torture import (
     torn_offsets,
     wal_record_boundaries,
 )
+from repro.obs.flight import load_dump
 from repro.oodb.oid import OID
 from repro.storage.storage_manager import StorageManager
 from repro.storage.wal import LogRecordType
@@ -64,6 +65,22 @@ class TestStorageTorture:
         assert 0 in winner_counts
         assert report.total_winners in winner_counts
 
+    def test_crash_dumps_a_flight_record_matching_the_wal(self, tmp_path):
+        """The simulated crash must leave a readable flight dump whose
+        last recorded WAL force names the recovered log's final LSN."""
+        report = run_storage_torture(str(tmp_path))
+        assert report.flight_dump_path is not None
+        assert report.flight_lsn_matches is True
+        header, records = load_dump(report.flight_dump_path)
+        assert header["reason"] == "crash"
+        assert records, "crash dump must retain ring contents"
+        categories = {r["category"] for r in records}
+        assert "wal.flush" in categories
+        assert records[-1]["category"] == "storage.crash"
+        # seq strictly increases: the ring preserved record order.
+        seqs = [r["seq"] for r in records]
+        assert seqs == sorted(seqs)
+
 
 class TestDatabaseTorture:
     def test_every_cut_recovers_consistently(self, tmp_path):
@@ -75,3 +92,15 @@ class TestDatabaseTorture:
         winner_counts = {cut.winners for cut in report.cuts}
         assert 0 in winner_counts
         assert report.total_winners in winner_counts
+
+    def test_engine_flight_recorder_survives_the_crash(self, tmp_path):
+        """The full database's own (always-on) flight recorder dumps at
+        the simulated crash, and its WAL story matches recovery's."""
+        report = run_database_torture(str(tmp_path))
+        assert report.flight_dump_path is not None
+        assert report.flight_lsn_matches is True
+        __, records = load_dump(report.flight_dump_path)
+        categories = {r["category"] for r in records}
+        # A database workload leaves richer happenings than raw storage.
+        assert "wal.flush" in categories
+        assert "storage.crash" in categories

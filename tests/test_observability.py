@@ -391,6 +391,41 @@ class TestMetricsContent:
         parsed = json.loads(db.dump_observability(json_format=True))
         assert parsed["metrics"]["enabled"] is True
         assert isinstance(parsed["traces"], list)
+        # PR-5 satellite: the dump carries the robustness sections too.
+        assert parsed["faults"]["enabled"] is False
+        assert parsed["dead_letters"] == []
+        assert parsed["quarantined_rules"] == []
+        assert parsed["flight"]["enabled"] is True
+        for section in ("faults", "dead letters", "quarantined rules",
+                        "flight"):
+            assert section in text
+        db.close()
+
+    def test_dump_reports_dead_letters_and_quarantine(self, tmp_path):
+        db = make_db(tmp_path, quarantine_threshold=2,
+                     detached_max_retries=0, retry_base_delay=0.0)
+
+        def explode(ctx):
+            raise RuntimeError("boom")
+
+        db.on(HEAT).do(explode) \
+            .coupling(CouplingMode.DETACHED).named("Exploder")
+        boiler = Boiler()
+        with db.transaction():
+            db.persist(boiler, "b")
+        for __ in range(2):
+            with db.transaction():
+                boiler.heat(1)
+        db.drain_detached()
+        import json
+        parsed = json.loads(db.dump_observability(json_format=True))
+        assert parsed["quarantined_rules"] == ["Exploder"]
+        letters = parsed["dead_letters"]
+        assert letters and letters[0]["rule"] == "Exploder"
+        assert "boom" in letters[0]["error"]
+        assert letters[0]["mode"] == "detached"
+        text = db.dump_observability()
+        assert "Exploder" in text
         db.close()
 
     def test_registry_reset(self):
@@ -492,3 +527,66 @@ class TestDeprecatedReachIns:
                      "Trace", "Span", "MetricsRegistry", "RuleBuilder"):
             assert name in repro.__all__, name
             assert getattr(repro, name) is not None
+
+
+# ---------------------------------------------------------------------------
+# Tracer eviction under concurrent sessions (PR-5 satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestTracerEvictionUnderConcurrency:
+    def test_sixteen_sessions_past_capacity_evict_whole_traces(
+            self, tmp_path):
+        """16 sessions push well past ``trace_capacity=256``: retention
+        stays bounded, eviction drops whole traces oldest-first with the
+        drop accounted (``evicted + retained == born``), and no retained
+        trace interleaves spans from two sessions."""
+        import threading
+
+        db = make_db(tmp_path, trace_capacity=256)
+        db.on(HEAT).do(lambda ctx: None).named("HeatWatch")
+        session_ids = []
+        ids_lock = threading.Lock()
+
+        def worker(index):
+            session = db.create_session(f"evict-{index}")
+            with ids_lock:
+                session_ids.append(session.id)
+            boiler = Boiler()
+            with session.transaction():
+                session.persist(boiler, f"b{index}")
+                for __ in range(40):
+                    boiler.heat(1)
+
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        traces = db.traces()          # trims down to capacity exactly
+        assert len(traces) <= 256
+        # Drop accounting: every trace ever born is either retained or
+        # counted as evicted.  (Consuming one id reads the birth count.)
+        born = next(db.tracer._trace_ids) - 1
+        assert born >= 16 * 40
+        assert db.tracer.evicted + len(traces) == born
+        assert db.tracer.evicted >= born - 256
+
+        known = set(session_ids)
+        assert len(known) == 16
+        for trace in traces:
+            span_ids = {span.span_id for span in trace.spans}
+            roots = [span for span in trace.spans
+                     if span.parent_id is None]
+            # Whole-trace eviction: never a headless tail of children.
+            assert len(roots) == 1
+            for span in trace.spans:
+                assert span.parent_id is None or span.parent_id in span_ids
+            sessions = {span.attributes["session_id"]
+                        for span in trace.spans
+                        if "session_id" in span.attributes}
+            assert len(sessions) == 1
+            assert sessions <= known
+        db.close()
