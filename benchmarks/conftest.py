@@ -21,6 +21,7 @@ BENCH_OBS_PATH = os.path.join(RESULTS_DIR, "BENCH_obs.json")
 BENCH_SESSIONS_PATH = os.path.join(RESULTS_DIR, "BENCH_sessions.json")
 BENCH_FAULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_faults.json")
 BENCH_GROUP_COMMIT_PATH = os.path.join(RESULTS_DIR, "BENCH_group_commit.json")
+BENCH_CONTENTION_PATH = os.path.join(RESULTS_DIR, "BENCH_contention.json")
 
 
 def report(experiment: str, lines: list[str]) -> str:
@@ -77,3 +78,14 @@ def group_commit_report(experiment: str,
 @pytest.fixture
 def bench_group_commit_report():
     return group_commit_report
+
+
+def contention_report(experiment: str,
+                      payload: dict[str, Any]) -> dict[str, Any]:
+    """Merge one experiment's metrics into ``results/BENCH_contention.json``."""
+    return merge_bench_json(BENCH_CONTENTION_PATH, experiment, payload)
+
+
+@pytest.fixture
+def bench_contention_report():
+    return contention_report

@@ -33,7 +33,12 @@ modules instead.
 import warnings as _warnings
 
 from repro.clock import Clock, SystemClock, VirtualClock
-from repro.config import ExecutionConfig, ExecutionMode, TieBreakPolicy
+from repro.config import (
+    ConcurrencyConfig,
+    ExecutionConfig,
+    ExecutionMode,
+    TieBreakPolicy,
+)
 from repro.core.algebra import (
     Closure,
     Conjunction,
@@ -80,6 +85,7 @@ __all__ = [
     "Clock",
     "SystemClock",
     "VirtualClock",
+    "ConcurrencyConfig",
     "ExecutionConfig",
     "ExecutionMode",
     "TieBreakPolicy",

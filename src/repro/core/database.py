@@ -366,10 +366,20 @@ class ReachDatabase:
     #: are the engine's.
     STATISTICS_KEYS = ReachEngine.STATISTICS_KEYS
 
+    #: see :attr:`ReachEngine.CONCURRENCY_STATS_KEYS`.
+    CONCURRENCY_STATS_KEYS = ReachEngine.CONCURRENCY_STATS_KEYS
+
     def statistics(self) -> dict[str, Any]:
         """A consistent snapshot of every subsystem's counters (see
         :meth:`ReachEngine.statistics` for the key-by-key contract)."""
         return self.engine.statistics()
+
+    def concurrency_stats(self) -> dict[str, Any]:
+        """The curated concurrency introspection surface: striped lock
+        waits, WAL group commit, history merge lag, effective knobs (see
+        :meth:`ReachEngine.concurrency_stats` for the key-by-key
+        contract)."""
+        return self.engine.concurrency_stats()
 
     def checkpoint(self) -> None:
         self.engine.checkpoint()

@@ -71,7 +71,8 @@ class PrimitiveECAManager:
                  global_history: GlobalHistory,
                  tracer: Tracer = NULL_TRACER,
                  metrics: MetricsRegistry = NULL_METRICS,
-                 history_capacity: Optional[int] = None):
+                 history_capacity: Optional[int] = None,
+                 history_segments: int = 1):
         self.spec = spec
         self.key = spec.key()
         self.scheduler = scheduler
@@ -81,7 +82,8 @@ class PrimitiveECAManager:
         #: primitive event; populated by the event service.
         self.listeners: list[Callable[[EventOccurrence], None]] = []
         self.history = LocalHistory(name=str(self.key),
-                                    capacity=history_capacity)
+                                    capacity=history_capacity,
+                                    segments=history_segments)
         global_history.attach_source(self.history)
         self.handled = 0
         self._span_name = f"eca:{spec.describe()}"
@@ -136,7 +138,8 @@ class CompositeECAManager:
                  global_history: GlobalHistory, name: str = "",
                  tracer: Tracer = NULL_TRACER,
                  metrics: MetricsRegistry = NULL_METRICS,
-                 history_capacity: Optional[int] = None):
+                 history_capacity: Optional[int] = None,
+                 history_segments: int = 1):
         self.spec = spec
         self.composer = Composer(spec, name=name, tracer=tracer,
                                  metrics=metrics)
@@ -144,7 +147,8 @@ class CompositeECAManager:
         self.tracer = tracer
         self.rules: list[Rule] = []
         self.history = LocalHistory(name=f"composite:{self.composer.name}",
-                                    capacity=history_capacity)
+                                    capacity=history_capacity,
+                                    segments=history_segments)
         global_history.attach_source(self.history)
         self._span_name = f"eca:composite:{self.composer.name}"
         self.handled = 0
@@ -211,7 +215,16 @@ class EventService:
         self._m_detected = metrics.counter("events.detected")
         self._fp_dispatch = faults.point(COMPOSER_DISPATCH)
         self._detect_span_names: dict[Hashable, str] = {}
-        self.global_history = GlobalHistory(metrics=metrics)
+        # Concurrency knobs (ConcurrencyConfig): lazy merge turns the
+        # per-commit history merge into an O(1) enqueue; segments shard
+        # each manager's local log across recording threads.
+        concurrency = getattr(config, "concurrency", None)
+        self._history_segments = (concurrency.history_segments
+                                  if concurrency is not None else 1)
+        self.global_history = GlobalHistory(
+            metrics=metrics,
+            lazy=(concurrency.lazy_history_merge
+                  if concurrency is not None else False))
         self._primitive: dict[Hashable, PrimitiveECAManager] = {}
         self._composite: dict[Hashable, CompositeECAManager] = {}
         self._subscriptions: list[Subscription] = []
@@ -246,7 +259,8 @@ class EventService:
                 manager = PrimitiveECAManager(
                     spec, self.scheduler, self.global_history,
                     tracer=self.tracer, metrics=self.metrics,
-                    history_capacity=self.config.history_capacity)
+                    history_capacity=self.config.history_capacity,
+                    history_segments=self._history_segments)
                 self._primitive[key] = manager
                 self._install_detector(spec)
             return manager
@@ -261,7 +275,8 @@ class EventService:
             manager = CompositeECAManager(
                 spec, self.scheduler, self.global_history, name=name,
                 tracer=self.tracer, metrics=self.metrics,
-                history_capacity=self.config.history_capacity)
+                history_capacity=self.config.history_capacity,
+                history_segments=self._history_segments)
             self._composite[key] = manager
         # Every leaf primitive must be detectable and must propagate here.
         for leaf in spec.leaves():

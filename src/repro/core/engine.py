@@ -191,14 +191,16 @@ class ReachEngine:
 
         # -- meta-architecture and support modules (Figure 1) ------------
         self.meta = MetaArchitecture()
+        concurrency = self.config.concurrency
         self.locks = LockManager(
+            stripes=concurrency.lock_stripes,
             metrics=self.metrics_registry, faults=self.faults,
             flight=self.flight,
             flight_wait_threshold=self.config.flight_lock_wait_threshold)
-        self.tx_manager = TransactionManager(self.meta, self.locks,
-                                             clock=self.clock,
-                                             tracer=self.tracer,
-                                             metrics=self.metrics_registry)
+        self.tx_manager = TransactionManager(
+            self.meta, self.locks, clock=self.clock, tracer=self.tracer,
+            metrics=self.metrics_registry,
+            seqlock_stats=concurrency.seqlock_stats)
         self.storage = StorageManager(directory,
                                       buffer_capacity=buffer_capacity,
                                       metrics=self.metrics_registry,
@@ -673,7 +675,16 @@ class ReachEngine:
         "transactions", "scheduler", "events", "events_detected",
         "semi_composed_pending", "composers", "eca_managers", "storage",
         "rules", "queries", "observability", "sessions", "faults",
-        "flight", "telemetry",
+        "flight", "telemetry", "concurrency",
+    })
+
+    #: The frozen top-level key set of :meth:`concurrency_stats` — the
+    #: curated, stable introspection surface over the striped lock
+    #: manager, the WAL group-commit machinery, and the lazy history
+    #: merge.  Same contract as :attr:`STATISTICS_KEYS`: tests assert
+    #: equality, so additions are deliberate API changes.
+    CONCURRENCY_STATS_KEYS = frozenset({
+        "locks", "wal", "history", "config",
     })
 
     def statistics(self) -> dict[str, Any]:
@@ -708,6 +719,8 @@ class ReachEngine:
           recorded/retained/dropped record counts, dumps written);
         * ``telemetry`` — export-pipeline counters (queued, enqueued,
           exported, dropped, export_errors);
+        * ``concurrency`` — :meth:`concurrency_stats` (striped lock
+          waits, WAL group commit, history merge lag);
         * ``observability`` — ``metrics().snapshot()``.
         """
         if self._closed:
@@ -715,20 +728,23 @@ class ReachEngine:
         composers = self.events.composers()
         primitive = self.events.primitive_managers()
         composite = self.events.composite_managers()
-        with self._lock:
-            sessions = {"created": self._sessions_created,
-                        "active": len(self._sessions)}
-        scheduler = dict(self.scheduler.stats)
+        # Lock-free reads throughout: the counters are either ints (atomic
+        # under the GIL) or SeqlockCounters whose snapshot() retries past
+        # in-flight writers, so a statistics() poller never blocks a
+        # committing session on self._lock.
+        sessions = {"created": self._sessions_created,
+                    "active": len(self._sessions)}
+        scheduler = self._stats_view(self.scheduler.stats)
         scheduler["errors_depth"] = len(self.scheduler.errors)
         scheduler["errors_dropped"] = self.scheduler.errors.dropped
         scheduler["dead_letters"] = self.scheduler.dead_letter_count()
         scheduler["dead_letters_dropped"] = \
             self.scheduler.dead_letters_dropped
         scheduler["quarantined_rules"] = sorted(
-            rule.name for rule, __ in self._rules.values()
+            rule.name for rule, __ in list(self._rules.values())
             if rule.quarantined)
         return {
-            "transactions": dict(self.tx_manager.stats),
+            "transactions": self._stats_view(self.tx_manager.stats),
             "scheduler": scheduler,
             "events": {
                 "detected": self.events.events_detected,
@@ -758,7 +774,53 @@ class ReachEngine:
             "faults": self.faults.stats(),
             "flight": self.flight.snapshot(),
             "telemetry": self.telemetry_pipeline.stats(),
+            "concurrency": self.concurrency_stats(),
             "observability": self.metrics_registry.snapshot(),
+        }
+
+    @staticmethod
+    def _stats_view(stats: dict) -> dict[str, Any]:
+        """A coherent copy of a counters dict: seqlock snapshot when the
+        counters are :class:`~repro.obs.metrics.SeqlockCounters`, plain
+        copy otherwise."""
+        snapshot = getattr(stats, "snapshot", None)
+        return snapshot() if snapshot is not None else dict(stats)
+
+    def concurrency_stats(self) -> dict[str, Any]:
+        """The curated concurrency introspection surface.
+
+        The key set is exactly :attr:`CONCURRENCY_STATS_KEYS`; every value
+        is well-defined from construction onward.  This promotes the
+        previously ad-hoc ``LockManager.snapshot()`` /
+        ``WriteAheadLog.stats()`` / history-merge counters into one stable
+        dict, also served under ``statistics()["concurrency"]`` and at
+        ``/locks`` on the admin endpoint.
+
+        Keys:
+
+        * ``locks`` — stripe count, total waits/deadlocks/timeouts, and
+          per-stripe wait-latency aggregates (count, p50/p99/max in ms);
+        * ``wal`` — the write-ahead log's stats (group-commit machinery,
+          queue depth, LSNs);
+        * ``history`` — global-history merge machinery: lazy flag, merge
+          operations run, deferred requests, current merge lag (pending
+          un-applied merges), merged entry count;
+        * ``config`` — the effective :class:`~repro.config.ConcurrencyConfig`
+          knob values.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        concurrency = self.config.concurrency
+        return {
+            "locks": self.locks.wait_stats(),
+            "wal": self.storage.wal_stats(),
+            "history": self.events.global_history.stats(),
+            "config": {
+                "lock_stripes": concurrency.lock_stripes,
+                "history_segments": concurrency.history_segments,
+                "seqlock_stats": concurrency.seqlock_stats,
+                "lazy_history_merge": concurrency.lazy_history_merge,
+            },
         }
 
     # -- self-healing ----------------------------------------------------

@@ -13,46 +13,107 @@ finishes (or immediately for transaction-less temporal events pending the
 next merge).  Because every occurrence carries a global sequence number,
 the merged history is totally ordered without any central lock on the
 detection path — that absence is what benchmark E7 measures.
+
+Two scaling refinements ride on that same sequence-number property:
+
+* **Segmented local histories** — a :class:`LocalHistory` constructed
+  with ``segments > 1`` shards its append log by recording thread, so
+  sessions recording into the same manager do not serialize on one lock.
+  ``entries()`` re-establishes the total order by sorting on ``seq``.
+* **Lazy global merge** — a :class:`GlobalHistory` constructed with
+  ``lazy=True`` turns ``merge_transaction``/``merge_transactionless``
+  into O(1) enqueue operations; the O(total-history) gather-and-filter
+  runs batched at the next *read* (``entries``, ``__len__``,
+  ``iter_transaction``, ``merge_all``, ``prune_before``).  This is safe
+  precisely because occurrences carry global sequence numbers: merging
+  late cannot lose, duplicate, or reorder anything — the merged view is
+  a pure function of which occurrences exist, not of when the merge ran
+  (see DESIGN.md).  Commits that used to pay a full history scan each
+  now pay a list append.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.core.events import EventOccurrence
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 
 
-class LocalHistory:
-    """Per-ECA-manager append-only log of event occurrences."""
+class _Segment:
+    """One independently locked shard of a local history."""
 
-    def __init__(self, name: str, capacity: Optional[int] = None):
-        self.name = name
-        self.capacity = capacity
-        self._entries: list[EventOccurrence] = []
-        self._lock = threading.Lock()
+    __slots__ = ("lock", "entries", "recorded")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.entries: list[EventOccurrence] = []
         self.recorded = 0
 
+
+class LocalHistory:
+    """Per-ECA-manager append-only log of event occurrences.
+
+    With ``segments == 1`` (the default) this is a single list under a
+    single lock and ``entries()`` preserves insertion order.  With
+    ``segments > 1`` each recording thread hashes onto its own segment
+    (own lock, own list) and ``entries()`` merges them sorted by global
+    sequence number; ``capacity`` then bounds each segment at
+    ``ceil(capacity / segments)`` so the total stays within one segment's
+    worth of the requested bound.
+    """
+
+    def __init__(self, name: str, capacity: Optional[int] = None,
+                 segments: int = 1):
+        if segments < 1:
+            raise ValueError("segments must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.segments = segments
+        self._segment_capacity = (
+            None if capacity is None
+            else max(1, -(-capacity // segments)))
+        self._segs = tuple(_Segment() for _ in range(segments))
+
+    def _segment(self) -> _Segment:
+        if len(self._segs) == 1:
+            return self._segs[0]
+        return self._segs[threading.get_ident() % len(self._segs)]
+
     def record(self, occ: EventOccurrence) -> None:
-        with self._lock:
-            self._entries.append(occ)
-            self.recorded += 1
-            if self.capacity is not None and \
-                    len(self._entries) > self.capacity:
-                del self._entries[:len(self._entries) - self.capacity]
+        seg = self._segment()
+        with seg.lock:
+            seg.entries.append(occ)
+            seg.recorded += 1
+            cap = self._segment_capacity
+            if cap is not None and len(seg.entries) > cap:
+                del seg.entries[:len(seg.entries) - cap]
+
+    @property
+    def recorded(self) -> int:
+        """Total occurrences ever recorded (across segments)."""
+        return sum(seg.recorded for seg in self._segs)
 
     def entries(self) -> list[EventOccurrence]:
-        with self._lock:
-            return list(self._entries)
+        if len(self._segs) == 1:
+            seg = self._segs[0]
+            with seg.lock:
+                return list(seg.entries)
+        gathered: list[EventOccurrence] = []
+        for seg in self._segs:
+            with seg.lock:
+                gathered.extend(seg.entries)
+        gathered.sort(key=lambda occ: occ.seq)
+        return gathered
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
+        return sum(len(seg.entries) for seg in self._segs)
 
     def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()
+        for seg in self._segs:
+            with seg.lock:
+                seg.entries.clear()
 
 
 class GlobalHistory:
@@ -63,16 +124,30 @@ class GlobalHistory:
     ``merge_transactionless()`` pulls temporal/no-transaction occurrences.
     Both run off the detection path — in threaded mode on a background
     worker, in synchronous mode right after commit/abort.
+
+    In **lazy** mode both calls merely enqueue the request (O(1) under a
+    short lock) and return 0; the actual gather-and-filter is batched at
+    the next read.  ``merge_lag`` exposes how many requests are pending.
+    Eager mode (the default, and what the unit tests exercise) keeps the
+    original merge-now semantics including meaningful return counts.
     """
 
-    def __init__(self, metrics: MetricsRegistry = NULL_METRICS) -> None:
+    def __init__(self, metrics: MetricsRegistry = NULL_METRICS,
+                 lazy: bool = False) -> None:
+        self.lazy = lazy
         self._lock = threading.Lock()
         self._entries: list[EventOccurrence] = []
         self._merged_seqs: set[int] = set()
         self._sources: list[LocalHistory] = []
         self.merge_operations = 0
+        self.deferred_requests = 0
+        # Pending lazy-merge requests; tiny critical section (commit path).
+        self._pending_lock = threading.Lock()
+        self._pending_txs: set[int] = set()
+        self._pending_txless = False
         self._m_merges = metrics.counter("history.merges")
         self._m_merged_entries = metrics.counter("history.merged_entries")
+        self._m_deferred = metrics.counter("history.merges_deferred")
 
     def attach_source(self, local: LocalHistory) -> None:
         with self._lock:
@@ -86,24 +161,71 @@ class GlobalHistory:
     # ------------------------------------------------------------------
 
     def merge_transaction(self, tx_id: int) -> int:
-        """Merge all occurrences involving top-level transaction ``tx_id``."""
+        """Merge all occurrences involving top-level transaction ``tx_id``.
+
+        Lazy mode defers the scan and returns 0 (the count materializes
+        at the next read); eager mode merges now and returns how many
+        entries were added.
+        """
+        if self.lazy:
+            with self._pending_lock:
+                self._pending_txs.add(tx_id)
+                self.deferred_requests += 1
+            self._m_deferred.inc()
+            return 0
         return self._merge(lambda occ: tx_id in occ.tx_ids)
 
     def merge_transactionless(self) -> int:
         """Merge occurrences that originated in no transaction."""
+        if self.lazy:
+            with self._pending_lock:
+                self._pending_txless = True
+                self.deferred_requests += 1
+            self._m_deferred.inc()
+            return 0
         return self._merge(lambda occ: not occ.tx_ids)
 
     def merge_all(self) -> int:
         """Merge everything (maintenance / shutdown)."""
+        with self._pending_lock:
+            self._pending_txs.clear()
+            self._pending_txless = False
         return self._merge(lambda occ: True)
 
-    def _merge(self, wanted) -> int:
+    @property
+    def merge_lag(self) -> int:
+        """Deferred merge requests not yet applied (0 in eager mode)."""
+        with self._pending_lock:
+            return len(self._pending_txs) + (1 if self._pending_txless
+                                             else 0)
+
+    def drain(self) -> int:
+        """Apply all pending lazy-merge requests in one batched scan.
+
+        Readers call this implicitly; it is also the hook a background
+        maintenance thread would use.  Returns entries added.
+        """
+        with self._pending_lock:
+            if not self._pending_txs and not self._pending_txless:
+                return 0
+            txs = frozenset(self._pending_txs)
+            txless = self._pending_txless
+            self._pending_txs.clear()
+            self._pending_txless = False
+
+        def wanted(occ: EventOccurrence) -> bool:
+            if txless and not occ.tx_ids:
+                return True
+            return not occ.tx_ids.isdisjoint(txs)
+
+        return self._merge(wanted)
+
+    def _merge(self, wanted: Callable[[EventOccurrence], bool]) -> int:
         with self._lock:
             sources = list(self._sources)
         gathered: list[EventOccurrence] = []
         for source in sources:
-            for occ in source.entries():
-                gathered.append(occ)
+            gathered.extend(source.entries())
         with self._lock:
             added = 0
             for occ in gathered:
@@ -122,10 +244,12 @@ class GlobalHistory:
     # ------------------------------------------------------------------
 
     def entries(self) -> list[EventOccurrence]:
+        self.drain()
         with self._lock:
             return list(self._entries)
 
     def __len__(self) -> int:
+        self.drain()
         with self._lock:
             return len(self._entries)
 
@@ -137,12 +261,23 @@ class GlobalHistory:
             if tx_id in occ.tx_ids:
                 yield occ
 
+    def stats(self) -> dict:
+        """Merge-machinery counters for ``db.concurrency_stats()``."""
+        return {
+            "lazy": self.lazy,
+            "merge_operations": self.merge_operations,
+            "deferred_requests": self.deferred_requests,
+            "merge_lag": self.merge_lag,
+            "merged_entries": len(self._entries),
+        }
+
     def prune_before(self, seq: int) -> int:
         """Drop merged entries with ``occ.seq < seq`` (and also clear
         them from the attached local histories) so long-running systems
         can bound history growth once compensation can no longer need
         the old entries.  Returns the number of global entries dropped.
         """
+        self.drain()
         with self._lock:
             before = len(self._entries)
             self._entries = [occ for occ in self._entries

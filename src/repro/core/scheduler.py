@@ -42,7 +42,12 @@ from repro.core.rules import Rule, RuleContext, sort_for_firing
 from repro.errors import RuleExecutionError, TransactionAborted
 from repro.faults.registry import NULL_FAULTS, SCHEDULER_WORKER, FaultRegistry
 from repro.obs.flight import NULL_FLIGHT, FlightRecorder
-from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counters,
+    MetricsRegistry,
+    SeqlockCounters,
+)
 from repro.obs.tracer import _NULL_SPAN, NULL_TRACER, Tracer
 from repro.oodb.sentry import is_sentried
 from repro.oodb.transactions import (
@@ -181,12 +186,20 @@ class RuleScheduler:
             self._pool = ThreadPoolExecutor(
                 max_workers=config.worker_threads,
                 thread_name_prefix="reach-detached")
-        self.stats = {
+        counters = {
             "immediate": 0, "deferred_enqueued": 0, "deferred_run": 0,
             "detached_run": 0, "detached_skipped": 0,
             "recursion_limited": 0, "parallel_batches": 0,
             "detached_retries": 0, "dead_lettered": 0, "quarantined": 0,
         }
+        # Seqlock-backed counters let db.statistics() readers copy the
+        # dict without ever contending with the firing hot path (and
+        # make concurrent increments lose-free).
+        concurrency = getattr(config, "concurrency", None)
+        if concurrency is not None and concurrency.seqlock_stats:
+            self.stats: Counters = SeqlockCounters(counters)
+        else:
+            self.stats = Counters(counters)
 
     def _bound_scope(self):
         """Bind the owning engine's sentry scope on the calling thread
@@ -210,7 +223,7 @@ class RuleScheduler:
         current = self.tx_manager.current()
         depth = current.rule_depth if current is not None else 0
         if depth >= self.config.max_rule_recursion:
-            self.stats["recursion_limited"] += 1
+            self.stats.inc("recursion_limited")
             session_id = current.session_id if current is not None else None
             for rule in ordered:
                 self._log(rule, rule.cond_coupling, PHASE_FULL, occ,
@@ -245,7 +258,7 @@ class RuleScheduler:
         current = tm.current()
         depth = (current.rule_depth if current is not None else 0) + 1
         tx = tm.begin(rule_depth=depth)
-        self.stats["immediate"] += 1
+        self.stats.inc("immediate")
         self._run_in_tx(rule, occ, phase, tx, CouplingMode.IMMEDIATE)
 
     def _fire_parallel(self, rules: list[Rule], occ: EventOccurrence,
@@ -256,7 +269,7 @@ class RuleScheduler:
         transactions exist; the thread setup cost it incurs is exactly
         what benchmark E3 compares against ordered sequential firing.
         """
-        self.stats["parallel_batches"] += 1
+        self.stats.inc("parallel_batches")
 
         def run_one(rule: Rule) -> None:
             with self._bound_scope():
@@ -266,7 +279,7 @@ class RuleScheduler:
                     # The sibling thread has no session bound; attribute
                     # the subtransaction to the triggering session.
                     tx.session_id = trigger.session_id
-                self.stats["immediate"] += 1
+                self.stats.inc("immediate")
                 self._run_in_tx(rule, occ, PHASE_FULL, tx,
                                 CouplingMode.IMMEDIATE)
 
@@ -400,7 +413,7 @@ class RuleScheduler:
             self._fire_immediate(rule, occ, phase)
             return
         tx.deferred_rules.append((rule, occ, phase, bindings))
-        self.stats["deferred_enqueued"] += 1
+        self.stats.inc("deferred_enqueued")
 
     def drain_deferred(self, tx: Transaction) -> int:
         """Run the deferred queue at top-level EOT.
@@ -416,7 +429,7 @@ class RuleScheduler:
         while tx.deferred_rules:
             rounds += 1
             if rounds > self.config.max_rule_recursion:
-                self.stats["recursion_limited"] += 1
+                self.stats.inc("recursion_limited")
                 tx.deferred_rules.clear()
                 break
             entries = list(tx.deferred_rules)
@@ -427,7 +440,7 @@ class RuleScheduler:
                     tx, rule_depth=tx.rule_depth + 1)
                 if sub.session_id is None:
                     sub.session_id = tx.session_id
-                self.stats["deferred_run"] += 1
+                self.stats.inc("deferred_run")
                 self._run_in_tx(rule, occ, phase, sub,
                                 CouplingMode.DEFERRED, bindings=bindings)
                 executed += 1
@@ -632,7 +645,7 @@ class RuleScheduler:
             self.errors.append((rule, failure))
             quarantined = self._note_failure(rule)
             if not quarantined and work.attempts <= retries_allowed:
-                self.stats["detached_retries"] += 1
+                self.stats.inc("detached_retries")
                 self._m_retries.inc()
                 self._backoff(work.attempts)
                 continue
@@ -655,7 +668,7 @@ class RuleScheduler:
         if work.mode is CouplingMode.EXCLUSIVE_CAUSALLY_DEPENDENT and \
                 work.rule.transfer_locks:
             self._claim_reserved_locks(work, tx)
-        self.stats["detached_run"] += 1
+        self.stats.inc("detached_run")
         with self._fire_span(work.rule, work.occ, work.mode, work.phase,
                              tx) as span:
             try:
@@ -706,7 +719,7 @@ class RuleScheduler:
             # clears ``rule.quarantined`` and re-enables it.
             rule.quarantined = True
             rule.enabled = False
-            self.stats["quarantined"] += 1
+            self.stats.inc("quarantined")
             self._m_quarantined.inc()
             self.flight.record("rule.quarantine", rule=rule.name,
                                failures=rule.consecutive_failures)
@@ -723,7 +736,7 @@ class RuleScheduler:
             if excess > 0:
                 del self._dead_letters[:excess]
                 self.dead_letters_dropped += excess
-        self.stats["dead_lettered"] += 1
+        self.stats.inc("dead_lettered")
         self._m_dead_letters.inc()
         self.flight.record("rule.dead_letter", rule=entry.rule_name,
                            error=entry.error, attempts=entry.attempts)
@@ -764,7 +777,7 @@ class RuleScheduler:
     def _skip(self, work: DetachedWork) -> None:
         if work.rule.transfer_locks:
             self._drop_reservations(work)
-        self.stats["detached_skipped"] += 1
+        self.stats.inc("detached_skipped")
         self._log(work.rule, work.mode, work.phase, work.occ, "skipped",
                   session_id=work.session_id)
 

@@ -13,7 +13,7 @@ the engine's existing introspection surfaces:
 ``/metrics``              Prometheus text exposition of the metric registry
 ``/traces``               retained span trees (``?limit=N`` for the tail)
 ``/slow-rules``           per-rule firing latency aggregated from traces
-``/locks``                lock table: holders, waiters, deadlocks, timeouts
+``/locks``                lock table + ``concurrency_stats()`` (stripe waits)
 ``/wal``                  WAL depth: LSNs, buffered records, group commit
 ``/flight``               flight-recorder state (``?tail=N`` recent entries)
 ``/flight/dump``          trigger a dump; returns the file path
@@ -187,7 +187,13 @@ class AdminServer:
         return self._json({"rules": slow_rules(self.engine, limit=limit)})
 
     def _locks(self, query: dict[str, str]) -> tuple[str, str]:
-        return self._json(self.engine.locks.snapshot())
+        # The live lock-table view plus the curated concurrency surface
+        # (stripe wait percentiles, WAL, history merge lag).  The legacy
+        # top-level keys (resources/deadlocks_detected/timeouts) are part
+        # of the endpoint's contract and stay.
+        payload = self.engine.locks.snapshot()
+        payload["concurrency"] = self.engine.concurrency_stats()
+        return self._json(payload)
 
     def _wal(self, query: dict[str, str]) -> tuple[str, str]:
         return self._json(self.engine.storage.wal_stats())

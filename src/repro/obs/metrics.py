@@ -177,6 +177,70 @@ class Histogram:
                 f"mean={self.mean * 1e6:.1f}us>")
 
 
+class Counters(dict):
+    """A plain counters dict with an :meth:`inc` mutation hook.
+
+    ``inc`` is the one write operation stats owners use; keeping it a
+    method (rather than ``stats[key] += 1`` at every call site) lets
+    :class:`SeqlockCounters` harden the exact same call sites without
+    touching them.  This base class does the legacy unlocked increment.
+    """
+
+    __slots__ = ()
+
+    def inc(self, key: Any, n: int = 1) -> None:
+        self[key] += n
+
+    def snapshot(self) -> dict[str, Any]:
+        return dict(self)
+
+
+class SeqlockCounters(Counters):
+    """A counters dict whose readers never contend with writers.
+
+    ``inc`` takes a writer-side mutex — increments are read-modify-write
+    and concurrent committers would otherwise lose updates (``begun``
+    must equal ``committed`` when the system is idle; these counters ARE
+    ledgers, unlike histogram reservoirs) — and brackets the write with
+    a version bump to odd/even (the classic seqlock discipline, same
+    family as :meth:`Histogram.snapshot`).  :meth:`snapshot` copies the
+    dict with NO lock and retries while a writer is mid-flight or
+    interleaved, so a ``db.statistics()`` poller never blocks the commit
+    path, yet its multi-key view is coherent.  The final attempt is
+    accepted as-is rather than spinning forever.
+    """
+
+    __slots__ = ("_version", "_write_lock")
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self._version = 0
+        self._write_lock = threading.Lock()
+
+    def inc(self, key: Any, n: int = 1) -> None:
+        with self._write_lock:
+            self._version += 1
+            dict.__setitem__(self, key, dict.__getitem__(self, key) + n)
+            self._version += 1
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        with self._write_lock:
+            self._version += 1
+            dict.__setitem__(self, key, value)
+            self._version += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        """A coherent lock-free copy (bounded seqlock retry)."""
+        for __ in range(8):
+            start = self._version
+            if start & 1:
+                continue
+            copy = dict(self)
+            if self._version == start:
+                return copy
+        return dict(self)
+
+
 class _NullContext:
     """Reusable no-op context manager for disabled instruments."""
 

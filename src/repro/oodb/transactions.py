@@ -41,7 +41,12 @@ from repro.errors import (
     NestedTransactionError,
     TransactionStateError,
 )
-from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counters,
+    MetricsRegistry,
+    SeqlockCounters,
+)
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.oodb.locks import LockManager, LockMode
 from repro.oodb.meta import MetaArchitecture, SystemEventKind
@@ -165,7 +170,8 @@ class TransactionManager:
     def __init__(self, meta: MetaArchitecture, locks: LockManager,
                  clock: Any = None,
                  tracer: Tracer = NULL_TRACER,
-                 metrics: MetricsRegistry = NULL_METRICS):
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 seqlock_stats: bool = False):
         self.meta = meta
         self.locks = locks
         self.clock = clock
@@ -182,7 +188,11 @@ class TransactionManager:
         self.pre_commit_hooks: list[Callable[[Transaction], None]] = []
         self.post_commit_hooks: list[Callable[[Transaction], None]] = []
         self.abort_hooks: list[Callable[[Transaction], None]] = []
-        self.stats = {"begun": 0, "committed": 0, "aborted": 0}
+        counters = {"begun": 0, "committed": 0, "aborted": 0}
+        # Seqlock counters keep db.statistics() reads off the commit path
+        # and make concurrent session commits increment lose-free.
+        self.stats: Counters = (SeqlockCounters(counters) if seqlock_stats
+                                else Counters(counters))
 
     # -- current-transaction contexts -----------------------------------------
 
@@ -284,7 +294,7 @@ class TransactionManager:
         context.stack.append(tx)
         with self._live_lock:
             self._live[tx.id] = tx
-        self.stats["begun"] += 1
+        self.stats.inc("begun")
         self._m_begun.inc()
 
     def begin_child_of(self, parent: Transaction,
@@ -352,7 +362,7 @@ class TransactionManager:
             self.locks.release_all(tx.family_id)
             self._record_outcome(tx)
             self._pop(tx)
-            self.stats["committed"] += 1
+            self.stats.inc("committed")
             self._m_committed.inc()
             self.meta.raise_event(SystemEventKind.TX_COMMIT, tx=tx)
             for hook in self.post_commit_hooks:
@@ -366,7 +376,7 @@ class TransactionManager:
             parent.active_children -= 1
             tx.state = TransactionState.COMMITTED
             self._pop(tx)
-            self.stats["committed"] += 1
+            self.stats.inc("committed")
             self._m_committed.inc()
             self.meta.raise_event(SystemEventKind.TX_COMMIT, tx=tx)
 
@@ -399,7 +409,7 @@ class TransactionManager:
         else:
             tx.parent.active_children -= 1
         self._pop(tx)
-        self.stats["aborted"] += 1
+        self.stats.inc("aborted")
         self._m_aborted.inc()
         self.meta.raise_event(SystemEventKind.TX_ABORT, tx=tx)
 

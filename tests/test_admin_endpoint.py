@@ -110,6 +110,13 @@ class TestEndpoints:
         __, __, locks_body = get(db, "/locks")
         locks = json.loads(locks_body)
         assert {"resources", "deadlocks_detected", "timeouts"} <= set(locks)
+        assert locks["stripes"] == 16
+        assert len(locks["stripe_occupancy"]) == 16
+        # The curated concurrency snapshot rides along (ISSUE 6).
+        concurrency = locks["concurrency"]
+        assert set(concurrency) == {"locks", "wal", "history", "config"}
+        assert concurrency["locks"]["stripes"] == 16
+        assert concurrency["history"]["lazy"] is True
         __, __, wal_body = get(db, "/wal")
         wal = json.loads(wal_body)
         assert wal["flushed_lsn"] >= 1

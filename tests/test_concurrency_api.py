@@ -1,0 +1,142 @@
+"""The curated concurrency API (ISSUE 6).
+
+``ConcurrencyConfig`` groups every knob that decides how N concurrent
+sessions share the kernel's hot structures, nested in
+``ExecutionConfig`` as ``config.concurrency``; the legacy flat kwargs
+keep working one release with a ``DeprecationWarning``.  The read side
+is ``db.concurrency_stats()`` — a frozen-key snapshot tested the same
+way as ``db.statistics()``.
+"""
+
+import warnings
+
+import pytest
+
+from repro import (
+    ConcurrencyConfig,
+    ExecutionConfig,
+    ReachDatabase,
+    ReachEngine,
+)
+
+
+class TestConcurrencyConfig:
+    def test_defaults(self):
+        concurrency = ConcurrencyConfig()
+        assert concurrency.lock_stripes == 16
+        assert concurrency.history_segments == 8
+        assert concurrency.seqlock_stats is True
+        assert concurrency.lazy_history_merge is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConcurrencyConfig(lock_stripes=0)
+        with pytest.raises(ValueError):
+            ConcurrencyConfig(history_segments=0)
+
+    def test_nested_config_passes_through_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = ExecutionConfig(
+                concurrency=ConcurrencyConfig(lock_stripes=4))
+        assert config.concurrency.lock_stripes == 4
+
+    def test_default_execution_config_normalizes_the_group(self):
+        # No knobs passed: the group is materialized with its defaults,
+        # so engine code never needs a None check.
+        assert ExecutionConfig().concurrency == ConcurrencyConfig()
+
+    @pytest.mark.parametrize("kwarg,attr,value", [
+        ("lock_stripes", "lock_stripes", 4),
+        ("history_segments", "history_segments", 2),
+        ("seqlock_stats", "seqlock_stats", False),
+        ("lazy_history_merge", "lazy_history_merge", False),
+    ])
+    def test_legacy_flat_kwargs_warn_and_map(self, kwarg, attr, value):
+        with pytest.warns(DeprecationWarning, match=kwarg):
+            config = ExecutionConfig(**{kwarg: value})
+        assert getattr(config.concurrency, attr) == value
+        # Unnamed knobs keep the ConcurrencyConfig defaults.
+        defaults = ConcurrencyConfig()
+        for other in ("lock_stripes", "history_segments",
+                      "seqlock_stats", "lazy_history_merge"):
+            if other != attr:
+                assert getattr(config.concurrency, other) == \
+                    getattr(defaults, other)
+
+    def test_flat_kwarg_conflicts_with_nested(self):
+        with pytest.raises(ValueError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                ExecutionConfig(concurrency=ConcurrencyConfig(),
+                                lock_stripes=4)
+
+
+class TestEngineWiring:
+    def test_config_reaches_the_lock_manager(self, tmp_path):
+        config = ExecutionConfig(
+            concurrency=ConcurrencyConfig(lock_stripes=4))
+        engine = ReachEngine(directory=str(tmp_path / "eng"), config=config)
+        try:
+            assert engine.locks.stripe_count == 4
+        finally:
+            engine.close()
+
+    def test_defaults_apply_without_explicit_config(self, tmp_path):
+        engine = ReachEngine(directory=str(tmp_path / "eng"))
+        try:
+            assert engine.locks.stripe_count == 16
+            assert engine.history.lazy is True
+        finally:
+            engine.close()
+
+    def test_lazy_merge_can_be_disabled(self, tmp_path):
+        config = ExecutionConfig(
+            concurrency=ConcurrencyConfig(lazy_history_merge=False))
+        engine = ReachEngine(directory=str(tmp_path / "eng"), config=config)
+        try:
+            assert engine.history.lazy is False
+        finally:
+            engine.close()
+
+
+class TestConcurrencyStats:
+    @pytest.fixture
+    def db(self, tmp_path):
+        database = ReachDatabase(directory=str(tmp_path / "db"))
+        yield database
+        database.close()
+
+    def test_frozen_keys(self, db):
+        stats = db.concurrency_stats()
+        assert set(stats) == ReachDatabase.CONCURRENCY_STATS_KEYS
+
+    def test_config_echo(self, db):
+        config = db.concurrency_stats()["config"]
+        assert config == {"lock_stripes": 16, "history_segments": 8,
+                          "seqlock_stats": True,
+                          "lazy_history_merge": True}
+
+    def test_lock_stats_shape(self, db):
+        locks = db.concurrency_stats()["locks"]
+        assert locks["stripes"] == 16
+        assert len(locks["per_stripe"]) == 16
+        for entry in locks["per_stripe"]:
+            assert {"waits", "p50_ms", "p99_ms", "max_ms"} <= set(entry)
+
+    def test_history_stats_track_merge_lag(self, db):
+        history = db.concurrency_stats()["history"]
+        assert history["lazy"] is True
+        assert history["merge_lag"] == 0
+
+    def test_statistics_embeds_concurrency(self, db):
+        stats = db.statistics()
+        assert set(stats) == ReachDatabase.STATISTICS_KEYS
+        assert set(stats["concurrency"]) == \
+            ReachDatabase.CONCURRENCY_STATS_KEYS
+
+    def test_closed_database_refuses(self, tmp_path):
+        database = ReachDatabase(directory=str(tmp_path / "db2"))
+        database.close()
+        with pytest.raises(RuntimeError):
+            database.concurrency_stats()
