@@ -22,6 +22,7 @@ BENCH_SESSIONS_PATH = os.path.join(RESULTS_DIR, "BENCH_sessions.json")
 BENCH_FAULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_faults.json")
 BENCH_GROUP_COMMIT_PATH = os.path.join(RESULTS_DIR, "BENCH_group_commit.json")
 BENCH_CONTENTION_PATH = os.path.join(RESULTS_DIR, "BENCH_contention.json")
+BENCH_SHARDS_PATH = os.path.join(RESULTS_DIR, "BENCH_shards.json")
 
 
 def report(experiment: str, lines: list[str]) -> str:
@@ -89,3 +90,13 @@ def contention_report(experiment: str,
 @pytest.fixture
 def bench_contention_report():
     return contention_report
+
+
+def shards_report(experiment: str, payload: dict[str, Any]) -> dict[str, Any]:
+    """Merge one experiment's metrics into ``results/BENCH_shards.json``."""
+    return merge_bench_json(BENCH_SHARDS_PATH, experiment, payload)
+
+
+@pytest.fixture
+def bench_shards_report():
+    return shards_report

@@ -37,6 +37,7 @@ from repro.config import (
     ConcurrencyConfig,
     ExecutionConfig,
     ExecutionMode,
+    ShardingConfig,
     TieBreakPolicy,
 )
 from repro.core.algebra import (
@@ -55,7 +56,7 @@ from repro.core.consumption import ConsumptionPolicy
 from repro.core.coupling import CouplingMode, is_supported, supported_modes
 from repro.core.database import ReachDatabase
 from repro.core.engine import ReachEngine
-from repro.core.session import Session
+from repro.core.session import Session, ShardedSession
 from repro.core.events import (
     AbsoluteEventSpec,
     EventCategory,
@@ -88,6 +89,7 @@ __all__ = [
     "ConcurrencyConfig",
     "ExecutionConfig",
     "ExecutionMode",
+    "ShardingConfig",
     "TieBreakPolicy",
     "Closure",
     "Conjunction",
@@ -106,6 +108,7 @@ __all__ = [
     "ReachDatabase",
     "ReachEngine",
     "Session",
+    "ShardedSession",
     "RuleBuilder",
     "Tracer",
     "Trace",

@@ -50,6 +50,7 @@ __all__ = [
     "TortureReport",
     "run_database_torture",
     "run_group_commit_torture",
+    "run_replica_torture",
     "run_storage_torture",
     "wal_record_boundaries",
     "torn_offsets",
@@ -392,6 +393,148 @@ def run_group_commit_torture(root: str, threads: int = 8,
     _validate_flight_dump(base_dir, wal_image, report)
     _check_storage_cuts(root, base_image, base_state, wal_image, all_oids,
                         report, group_commit=True)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Replica torture: kill the primary mid-batch, replay on the standby
+# ---------------------------------------------------------------------------
+
+def run_replica_torture(root: str, threads: int = 8,
+                        rounds: int = 2) -> TortureReport:
+    """Kill-the-primary torture for WAL-shipped read replicas.
+
+    The workload is the group-commit shape (barrier-rendezvoused
+    committers whose COMMIT records share fsyncs, plus in-flight and
+    aborted losers); every commit that *returns* to its worker is acked.
+    The primary is then crashed and the claim under test is the
+    durability equivalence of log shipping:
+
+    * a replica tailing the *surviving* log converges to exactly the
+      acked state — every acked transaction present (no lost acked
+      commit), every loser absent (no phantom unacked commit);
+    * for every prefix of the log (each record boundary and mid-record
+      torn tail — a crash between the ``os.write`` and the ``fsync`` of
+      a shared force), a fresh replica over that prefix shows exactly
+      the state the prefix's committed transactions produce, matching
+      what primary-side recovery itself would rebuild.
+    """
+    base_dir = os.path.join(root, "rt-base")
+    metrics = MetricsRegistry()
+    sm = StorageManager(base_dir, metrics=metrics, group_commit=True,
+                        commit_wait_us=2000.0, max_commit_batch=threads)
+
+    sm.begin(1)
+    sm.write(1, OID(1), b"seed-0")
+    sm.commit(1)
+    sm.checkpoint()
+    base_image = _read_file(os.path.join(base_dir, StorageManager.DATA_FILE))
+    base_state = {1: b"seed-0"}
+
+    sm.begin(_LOSER_TX_1)                      # loser 1: in flight
+    sm.write(_LOSER_TX_1, OID(900_101), b"loser-1")
+
+    all_oids = {1, 900_101, 900_102, 900_103}
+    # The seed transaction's durability is the checkpoint *image*, not
+    # the log, so it is not part of the acked-in-log set under test.
+    acked: set[int] = set()
+    barrier = threading.Barrier(threads)
+    failures: list[BaseException] = []
+
+    def worker(tid: int) -> None:
+        try:
+            for rnd in range(rounds):
+                tx = 100 + tid * 10 + rnd
+                oid = 1000 + tid * 100 + rnd
+                all_oids.add(oid)
+                sm.begin(tx)
+                sm.write(tx, OID(oid), b"rt-%d-%d" % (tid, rnd))
+                barrier.wait()                  # commit together -> batch
+                sm.commit(tx)
+                acked.add(tx)                   # commit returned == acked
+        except BaseException as exc:            # pragma: no cover - sanity
+            failures.append(exc)
+
+    workers = [threading.Thread(target=worker, args=(tid,))
+               for tid in range(threads)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    if failures:
+        raise failures[0]
+
+    sm.begin(_LOSER_TX_2)                      # loser 2: in flight
+    sm.write(_LOSER_TX_2, OID(900_102), b"loser-2")
+    sm.begin(900_003)                          # loser 3: explicit abort
+    sm.write(900_003, OID(900_103), b"loser-3")
+    sm.abort(900_003)
+    sm.flush()
+    wal_image = _read_file(os.path.join(base_dir, StorageManager.LOG_FILE))
+    batch_hist = metrics.histogram("wal.commits_per_flush").summary()
+    sm.crash()                                 # the primary dies here
+    sm.close()
+
+    from repro.storage.replication import ReadReplica
+
+    full_records = parse_wal_prefix(wal_image)
+    winners = _winner_ids(full_records)
+    if not acked <= winners:
+        raise AssertionError(
+            f"acked transactions missing from the surviving log: "
+            f"{sorted(acked - winners)} — an acked commit was lost")
+
+    report = TortureReport(
+        total_winners=len(winners),
+        total_losers=len({r.tx_id for r in full_records
+                          if r.type is LogRecordType.BEGIN} - winners),
+        max_commit_batch_observed=int(batch_hist.get("max") or 0))
+
+    def check_replica(replica: ReadReplica, offset: int, kind: str,
+                      expected: dict[int, bytes]) -> None:
+        for oid_value, image in expected.items():
+            got = replica.read(OID(oid_value))
+            if got != image:
+                raise AssertionError(
+                    f"cut@{offset} ({kind}): replica has OID {oid_value} "
+                    f"= {got!r}, expected {image!r}")
+        for oid_value in all_oids - set(expected):
+            if replica.exists(OID(oid_value)):
+                raise AssertionError(
+                    f"cut@{offset} ({kind}): phantom OID {oid_value} "
+                    "on the replica")
+
+    # The dead primary's surviving file IS the durable prefix, so the
+    # tailer runs unbounded: the replica must converge to the acked state.
+    live = ReadReplica(base_dir, os.path.join(root, "rt-replica"))
+    try:
+        live.poll(limit_lsn=None)
+        check_replica(live, len(wal_image), "surviving",
+                      _replay_expected(base_state, full_records))
+        if live.applied_txs != len(winners):
+            raise AssertionError(
+                f"replica applied {live.applied_txs} transactions, "
+                f"log holds {len(winners)} winners")
+    finally:
+        live.close()
+
+    # Every earlier crash point: the replica over the prefix must agree
+    # with what primary recovery itself would rebuild from it.
+    for index, (offset, kind) in enumerate(_all_cuts(wal_image)):
+        prefix = wal_image[:offset]
+        records = parse_wal_prefix(prefix)
+        expected = _replay_expected(base_state, records)
+        directory = _materialize(root, index, base_image, prefix)
+        replica = ReadReplica(directory,
+                              os.path.join(directory, "replica"))
+        try:
+            replica.poll(limit_lsn=None)
+            check_replica(replica, offset, kind, expected)
+        finally:
+            replica.close()
+        report.cuts.append(CutResult(offset=offset, kind=kind,
+                                     records=len(records),
+                                     winners=len(_winner_ids(records))))
     return report
 
 

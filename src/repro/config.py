@@ -10,8 +10,7 @@ run; tests default to the deterministic synchronous mode.
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import InitVar, dataclass, replace
+from dataclasses import InitVar, dataclass
 from enum import Enum
 from typing import Optional
 
@@ -81,6 +80,45 @@ class ConcurrencyConfig:
             raise ValueError("lock_stripes must be >= 1")
         if self.history_segments < 1:
             raise ValueError("history_segments must be >= 1")
+
+
+@dataclass
+class ShardingConfig:
+    """Horizontal scale-out knobs; nested as ``config.sharding``.
+
+    Attributes:
+        shards: number of :class:`~repro.core.engine.ReachEngine` kernels
+            the database runs.  1 (the default) builds the classic
+            single-kernel engine with no coordinator in the path.  Above
+            1, :class:`~repro.core.sharding.ShardedEngine` owns one kernel
+            per shard with disjoint OID ranges, routes object access by
+            OID block and events by spec home, and sessions become
+            :class:`~repro.core.session.ShardedSession`.
+        oid_range_size: width of one contiguous OID block owned by a
+            single shard (see :func:`repro.oodb.oid.route`).  Changing it
+            on an existing on-disk database re-homes every object, so it
+            must match the value the data was created with.
+        wal_ship: ship each shard's WAL to a warm read replica
+            (``repro.storage.replication``): a tailing reader follows the
+            primary's acked (fsynced) prefix and replays committed
+            transactions into a replica store under
+            ``<dbdir>/shard-K/replica/``.  Off by default.
+        wal_ship_interval: seconds between shipping polls of each
+            primary's log.
+    """
+
+    shards: int = 1
+    oid_range_size: int = 1024
+    wal_ship: bool = False
+    wal_ship_interval: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.oid_range_size < 1:
+            raise ValueError("oid_range_size must be >= 1")
+        if self.wal_ship_interval <= 0:
+            raise ValueError("wal_ship_interval must be positive")
 
 
 @dataclass
@@ -184,9 +222,13 @@ class ExecutionConfig:
             segmentation, seqlock stats, lazy history merge.  ``None``
             (default) builds the defaults.  The flat constructor kwargs
             ``lock_stripes=`` / ``history_segments=`` /
-            ``seqlock_stats=`` / ``lazy_history_merge=`` are accepted
-            for one release and map onto this field with a
-            ``DeprecationWarning``.
+            ``seqlock_stats=`` / ``lazy_history_merge=`` from before the
+            grouping were deprecated for one release and are now
+            rejected with a ``TypeError`` naming this field.
+        sharding: the horizontal scale-out knobs
+            (:class:`ShardingConfig`): shard count, OID block width, WAL
+            shipping to read replicas.  ``None`` (default) builds the
+            defaults (one shard, no shipping).
     """
 
     mode: ExecutionMode = ExecutionMode.SYNCHRONOUS
@@ -217,9 +259,11 @@ class ExecutionConfig:
     telemetry_jsonl: Optional[str] = None
     admin_port: Optional[int] = None
     concurrency: Optional[ConcurrencyConfig] = None
-    #: deprecated flat aliases for the ``concurrency`` group; ``None``
-    #: means "not passed".  Kept one release for callers that predate
-    #: :class:`ConcurrencyConfig`.
+    sharding: Optional[ShardingConfig] = None
+    #: removed flat aliases for the ``concurrency`` group.  They were
+    #: deprecated (with a mapping) for one release; passing any of them
+    #: now raises a ``TypeError`` that names the replacement, which beats
+    #: the bare "unexpected keyword argument" a plain removal would give.
     lock_stripes: InitVar[Optional[int]] = None
     history_segments: InitVar[Optional[int]] = None
     seqlock_stats: InitVar[Optional[bool]] = None
@@ -229,31 +273,24 @@ class ExecutionConfig:
                       history_segments: Optional[int],
                       seqlock_stats: Optional[bool],
                       lazy_history_merge: Optional[bool]) -> None:
-        explicit_group = self.concurrency is not None
-        if self.concurrency is None:
-            self.concurrency = ConcurrencyConfig()
         legacy = {"lock_stripes": lock_stripes,
                   "history_segments": history_segments,
                   "seqlock_stats": seqlock_stats,
                   "lazy_history_merge": lazy_history_merge}
-        passed = {name: value for name, value in legacy.items()
-                  if value is not None}
-        if passed and explicit_group:
-            raise ValueError(
-                "pass concurrency knobs either via "
-                "concurrency=ConcurrencyConfig(...) or via the "
-                "deprecated flat kwargs, not both: {}".format(
-                    ", ".join(sorted(passed))))
+        passed = sorted(name for name, value in legacy.items()
+                        if value is not None)
         if passed:
-            warnings.warn(
-                "flat ExecutionConfig({}) is deprecated; pass "
-                "ExecutionConfig(concurrency=ConcurrencyConfig({}))".format(
+            raise TypeError(
+                "ExecutionConfig({}) was removed: the flat concurrency "
+                "kwargs were deprecated for one release and have been "
+                "dropped; pass ExecutionConfig("
+                "concurrency=ConcurrencyConfig({})) instead".format(
                     ", ".join(f"{k}=..." for k in passed),
-                    ", ".join(f"{k}=..." for k in passed)),
-                DeprecationWarning, stacklevel=3)
-            # replace() re-runs ConcurrencyConfig validation on the
-            # overridden values.
-            self.concurrency = replace(self.concurrency, **passed)
+                    ", ".join(f"{k}=..." for k in passed)))
+        if self.concurrency is None:
+            self.concurrency = ConcurrencyConfig()
+        if self.sharding is None:
+            self.sharding = ShardingConfig()
         if self.worker_threads < 1:
             raise ValueError("worker_threads must be >= 1")
         if self.max_rule_recursion < 1:

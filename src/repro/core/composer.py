@@ -382,12 +382,21 @@ class Composer:
     def _group_of(self, occ: EventOccurrence) -> Optional[Hashable]:
         if self.scope is EventScope.MULTI_TX:
             return _GLOBAL_GROUP
-        if len(occ.tx_ids) != 1:
+        if not occ.tx_ids:
             # An occurrence raised outside any transaction cannot belong
             # to a single-transaction composition (there is no EOT to
             # scope its lifespan to): ignore it.
             self.ignored_no_transaction += 1
             return None
+        if len(occ.tx_ids) > 1:
+            # A sharded transaction: the event service expanded the
+            # detecting member's id to the full member group, so every
+            # occurrence of one sharded transaction carries the same
+            # frozenset — which therefore serves as the group key.  The
+            # coordinator sweeps it via on_group_end when the sharded
+            # transaction finishes (per-member EOT cannot: members end
+            # one at a time while later members may still raise events).
+            return occ.tx_ids
         return next(iter(occ.tx_ids))
 
     def feed(self, occ: EventOccurrence) -> list[EventOccurrence]:
@@ -443,6 +452,20 @@ class Composer:
             return 0
         with self._lock:
             graph = self._graphs.pop(tx_id, None)
+            if graph is None:
+                return 0
+            removed = graph.pending()
+            self.gc_removed += removed
+            self._m_gc_removed.inc(removed)
+            return removed
+
+    def on_group_end(self, tx_ids: frozenset) -> int:
+        """Discard the graph instance of a finished *sharded* transaction
+        (grouped by its full member-id set, see :meth:`_group_of`)."""
+        if self.scope is not EventScope.SINGLE_TX:
+            return 0
+        with self._lock:
+            graph = self._graphs.pop(tx_ids, None)
             if graph is None:
                 return 0
             removed = graph.pending()

@@ -79,13 +79,21 @@ class ReachDatabase:
         engine: serve an existing engine instead of building one —
             ``directory``/``config``/``clock``/``buffer_capacity`` must
             then be omitted.
+
+    With ``config.sharding.shards > 1`` the facade builds a
+    :class:`~repro.core.sharding.ShardedEngine` instead of a single
+    kernel: the default session becomes a
+    :class:`~repro.core.session.ShardedSession` (``db.transaction()``
+    begins one member per shard), single-object subsystem attributes
+    (``db.tx_manager``, ``db.storage``, ...) refer to shard 0, and
+    ``db.statistics()["shards"]`` carries the per-shard topology.
     """
 
     def __init__(self, directory: Optional[str] = None,
                  config: Optional[ExecutionConfig] = None,
                  clock: Optional[Clock] = None,
                  buffer_capacity: int = 128,
-                 engine: Optional[ReachEngine] = None):
+                 engine: Optional[Any] = None):
         if engine is not None:
             if directory is not None or config is not None \
                     or clock is not None:
@@ -93,6 +101,11 @@ class ReachDatabase:
                     "pass either an engine or construction arguments, "
                     "not both")
             self.engine = engine
+        elif config is not None and config.sharding.shards > 1:
+            from repro.core.sharding import ShardedEngine
+            self.engine = ShardedEngine(directory=directory, config=config,
+                                        clock=clock,
+                                        buffer_capacity=buffer_capacity)
         else:
             self.engine = ReachEngine(directory=directory, config=config,
                                       clock=clock,
@@ -100,7 +113,9 @@ class ReachDatabase:
         #: the implicit session serving the classic embedded API.  It is
         #: thread-affine: ``db.begin()`` / ``db.transaction()`` keep their
         #: historical per-thread transaction stacks, so existing
-        #: multi-threaded callers are unaffected.
+        #: multi-threaded callers are unaffected.  (A sharded engine
+        #: ignores ``thread_affine`` — its sessions always own explicit
+        #: per-shard contexts.)
         self.default_session = self.engine.create_session(
             name="default", thread_affine=True)
 

@@ -214,6 +214,13 @@ class EventService:
         self.flight = flight
         self._m_detected = metrics.counter("events.detected")
         self._fp_dispatch = faults.point(COMPOSER_DISPATCH)
+        #: sharded engines install a hook mapping a member transaction id
+        #: to the frozen set of ALL member ids of its sharded transaction,
+        #: so occurrences detected on any shard correlate under same-tx
+        #: composite scope regardless of which member did the detecting.
+        #: ``None`` (single-kernel default) leaves tx ids untouched.
+        self.tx_group_resolver: Optional[
+            Callable[[int], Optional[frozenset[int]]]] = None
         self._detect_span_names: dict[Hashable, str] = {}
         # Concurrency knobs (ConcurrencyConfig): lazy merge turns the
         # per-commit history merge into an O(1) enqueue; segments shard
@@ -265,8 +272,8 @@ class EventService:
                 self._install_detector(spec)
             return manager
 
-    def composite_manager(self, spec: CompositeEventSpec,
-                          name: str = "") -> CompositeECAManager:
+    def composite_manager(self, spec: CompositeEventSpec, name: str = "",
+                          wire_leaves: bool = True) -> CompositeECAManager:
         key = spec.key()
         with self._lock:
             manager = self._composite.get(key)
@@ -279,12 +286,16 @@ class EventService:
                 history_segments=self._history_segments)
             self._composite[key] = manager
         # Every leaf primitive must be detectable and must propagate here.
-        for leaf in spec.leaves():
-            if isinstance(leaf, TemporalEventSpec) and \
-                    isinstance(leaf, MilestoneEventSpec):
-                pass  # milestones are raised explicitly, manager suffices
-            primitive = self.primitive_manager(leaf)
-            primitive.add_listener(manager.feed)
+        # A sharded coordinator passes wire_leaves=False and connects the
+        # leaves itself: each leaf detects on its own home shard and feeds
+        # this manager through the cross-shard event bus instead.
+        if wire_leaves:
+            for leaf in spec.leaves():
+                if isinstance(leaf, TemporalEventSpec) and \
+                        isinstance(leaf, MilestoneEventSpec):
+                    pass  # milestones are raised explicitly, manager suffices
+                primitive = self.primitive_manager(leaf)
+                primitive.add_listener(manager.feed)
         return manager
 
     def primitive_managers(self) -> list[PrimitiveECAManager]:
@@ -302,11 +313,23 @@ class EventService:
     # Detection: building occurrences
     # ------------------------------------------------------------------
 
+    def _expand_tx_ids(self, tx_ids: frozenset[int]) -> frozenset[int]:
+        """Widen member transaction ids to their full sharded-tx group."""
+        resolver = self.tx_group_resolver
+        if resolver is None or not tx_ids:
+            return tx_ids
+        expanded = set(tx_ids)
+        for tx_id in tx_ids:
+            group = resolver(tx_id)
+            if group:
+                expanded |= group
+        return frozenset(expanded)
+
     def _current_tx_ids(self) -> frozenset[int]:
         tx = self.tx_manager.current()
         if tx is None:
             return frozenset()
-        return frozenset({tx.top_level().id})
+        return self._expand_tx_ids(frozenset({tx.top_level().id}))
 
     def _current_session_id(self) -> Optional[int]:
         """The detecting session, for trace-root and flight attribution:
@@ -481,7 +504,7 @@ class EventService:
         parameters = dict(event.info)
         tx_ids: Optional[frozenset[int]] = None
         if tx is not None:
-            tx_ids = frozenset({tx.top_level().id})
+            tx_ids = self._expand_tx_ids(frozenset({tx.top_level().id}))
         self.emit(manager.spec, parameters, tx_ids=tx_ids)
 
     def dispatch_temporal(self, spec: TemporalEventSpec,

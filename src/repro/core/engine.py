@@ -55,9 +55,13 @@ from repro.obs.export import JsonlFileExporter, TelemetryPipeline
 from repro.obs.flight import NULL_FLIGHT, FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Trace, Tracer
-from repro.oodb.address_space import ActiveAddressSpace, PassiveAddressSpace
+from repro.oodb.address_space import (
+    ActiveAddressSpace,
+    PassiveAddressSpace,
+    ShardMap,
+)
 from repro.oodb.change import ChangePolicyManager
-from repro.oodb.data_dictionary import DataDictionary
+from repro.oodb.data_dictionary import FIRST_USER_OID, DataDictionary
 from repro.oodb.indexing import HashIndex, IndexPolicyManager
 from repro.oodb.locks import LockManager
 from repro.oodb.meta import (
@@ -65,7 +69,7 @@ from repro.oodb.meta import (
     PolicyManager,
     SupportModule,
 )
-from repro.oodb.oid import OID
+from repro.oodb.oid import OID, ShardedOIDAllocator
 from repro.oodb.persistence import PersistencePolicyManager
 from repro.oodb.query import QueryProcessor
 from repro.oodb.sentry import SentryRegistry
@@ -123,14 +127,26 @@ class ReachEngine:
         buffer_capacity: buffer-pool frames for the storage manager.
         sentry_registry: low-level event detector; defaults to a fresh
             *scoped* registry so concurrent engines in one process do not
-            observe each other's sessions.
+            observe each other's sessions.  A
+            :class:`~repro.core.sharding.ShardedEngine` passes one shared
+            registry to all of its shards so a single session binding
+            covers the whole topology.
+        shard_id: this kernel's position in a sharded topology (0 in the
+            classic single-kernel case).
+        shard_map: the topology's routing state
+            (:class:`~repro.oodb.address_space.ShardMap`).  When it names
+            more than one shard, the engine's data dictionary allocates
+            from a :class:`~repro.oodb.oid.ShardedOIDAllocator` so this
+            kernel only ever issues OIDs it owns.
     """
 
     def __init__(self, directory: Optional[str] = None,
                  config: Optional[ExecutionConfig] = None,
                  clock: Optional[Clock] = None,
                  buffer_capacity: int = 128,
-                 sentry_registry: Optional[SentryRegistry] = None):
+                 sentry_registry: Optional[SentryRegistry] = None,
+                 shard_id: int = 0,
+                 shard_map: Optional[ShardMap] = None):
         from repro.storage.storage_manager import StorageManager
 
         self.engine_id = next(_engine_ids)
@@ -139,6 +155,8 @@ class ReachEngine:
         if directory is None:
             directory = tempfile.mkdtemp(prefix="reach-db-")
         self.directory = directory
+        self.shard_id = shard_id
+        self.shard_map = shard_map or ShardMap(shard_count=1)
 
         # -- observability (repro.obs) -----------------------------------
         # Built first so every subsystem can bind its instruments at
@@ -209,12 +227,20 @@ class ReachEngine:
                                       commit_wait_us=self.config.commit_wait_us,
                                       max_commit_batch=self.config.max_commit_batch,
                                       flight=self.flight)
-        self.dictionary = DataDictionary()
+        if self.shard_map.shard_count > 1:
+            allocator = ShardedOIDAllocator(
+                shard_id, self.shard_map.shard_count,
+                self.shard_map.range_size, start=FIRST_USER_OID)
+            self.dictionary = DataDictionary(allocator=allocator)
+        else:
+            self.dictionary = DataDictionary()
         self.active_space = ActiveAddressSpace()
         self.passive_space = PassiveAddressSpace(self.storage)
         self.meta.add_support_module(self.active_space)
         self.meta.add_support_module(self.passive_space)
         self.meta.add_support_module(self.dictionary)
+        if self.shard_map.shard_count > 1:
+            self.meta.add_support_module(self.shard_map)
         self.meta.add_support_module(
             _NamedSupportModule("translation (swizzling serializer)"))
         self.meta.add_support_module(
@@ -441,7 +467,14 @@ class ReachEngine:
         """Start a fluent rule definition (terminal ``.named(name)``)."""
         return RuleBuilder(self, event)
 
-    def register_rule(self, rule: Rule) -> Rule:
+    def register_rule(self, rule: Rule, manager: Any = None) -> Rule:
+        """Register a rule, building (or reusing) its ECA-manager.
+
+        A pre-built ``manager`` can be supplied by the sharded
+        coordinator, which wires composite managers to remote leaves over
+        the event bus instead of letting :meth:`_manager_for` wire them
+        locally; Table 1 validation and bookkeeping are identical.
+        """
         with self._lock:
             if rule.name in self._rules:
                 raise RuleDefinitionError(
@@ -449,7 +482,8 @@ class ReachEngine:
             category = rule.event.category()
             check_supported(rule.cond_coupling, category, rule.name)
             check_supported(rule.action_coupling, category, rule.name)
-            manager = self._manager_for(rule.event)
+            if manager is None:
+                manager = self._manager_for(rule.event)
             manager.add_rule(rule)
             self._rules[rule.name] = (rule, manager)
             return rule
@@ -675,7 +709,7 @@ class ReachEngine:
         "transactions", "scheduler", "events", "events_detected",
         "semi_composed_pending", "composers", "eca_managers", "storage",
         "rules", "queries", "observability", "sessions", "faults",
-        "flight", "telemetry", "concurrency",
+        "flight", "telemetry", "concurrency", "shards",
     })
 
     #: The frozen top-level key set of :meth:`concurrency_stats` — the
@@ -721,6 +755,9 @@ class ReachEngine:
           exported, dropped, export_errors);
         * ``concurrency`` — :meth:`concurrency_stats` (striped lock
           waits, WAL group commit, history merge lag);
+        * ``shards`` — :meth:`shard_stats` (topology plus per-shard
+          commit/event/storage counters; a single-kernel engine reports
+          itself as a one-shard topology);
         * ``observability`` — ``metrics().snapshot()``.
         """
         if self._closed:
@@ -775,6 +812,7 @@ class ReachEngine:
             "flight": self.flight.snapshot(),
             "telemetry": self.telemetry_pipeline.stats(),
             "concurrency": self.concurrency_stats(),
+            "shards": self.shard_stats(),
             "observability": self.metrics_registry.snapshot(),
         }
 
@@ -821,6 +859,35 @@ class ReachEngine:
                 "seqlock_stats": concurrency.seqlock_stats,
                 "lazy_history_merge": concurrency.lazy_history_merge,
             },
+        }
+
+    def shard_summary(self) -> dict[str, Any]:
+        """This kernel's row in a shard topology listing: identity, OID
+        allocation position, and the per-shard hot counters (transactions,
+        events, storage, WAL)."""
+        tx_stats = self._stats_view(self.tx_manager.stats)
+        return {
+            "shard_id": self.shard_id,
+            "directory": self.directory,
+            "next_oid": self.dictionary.allocator.next_value,
+            "objects": self.storage.object_count(),
+            "transactions": tx_stats,
+            "events_detected": self.events.events_detected,
+            "rules": len(self._rules),
+            "wal": self.storage.wal_stats(),
+        }
+
+    def shard_stats(self) -> dict[str, Any]:
+        """The shard-topology introspection surface (also served at
+        ``/shards`` on the admin endpoint).  A plain single-kernel engine
+        reports itself as a one-shard topology so callers never need to
+        special-case; :class:`~repro.core.sharding.ShardedEngine`
+        overrides this with the real N-shard view."""
+        return {
+            "count": self.shard_map.shard_count,
+            "oid_range_size": self.shard_map.range_size,
+            "wal_ship": False,
+            "per_shard": [self.shard_summary()],
         }
 
     # -- self-healing ----------------------------------------------------

@@ -29,8 +29,13 @@ import threading
 from contextlib import ExitStack, contextmanager
 from typing import Any, Iterator, Optional, Union
 
+from repro.errors import NestedTransactionError
 from repro.oodb.oid import OID
-from repro.oodb.transactions import Transaction, TransactionContext
+from repro.oodb.transactions import (
+    Transaction,
+    TransactionContext,
+    TransactionState,
+)
 
 _session_ids = itertools.count(1)
 
@@ -229,3 +234,252 @@ class Session:
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
         return f"<Session {self.id} {self.name!r} {state}>"
+
+
+class ShardedTransaction:
+    """One logical unit of work spanning member transactions on shards.
+
+    Not an atomic distributed transaction: members commit independently
+    in shard order (there is no two-phase commit — see
+    ``docs/architecture.md``).  What the handle does guarantee is that
+    every member carries the full group's transaction-id set on the
+    occurrences it detects, so same-transaction composite-event scope
+    treats work on different shards as one transaction.
+    """
+
+    def __init__(self, members: dict[int, Transaction]):
+        #: shard id -> that shard's member transaction, begun eagerly so
+        #: the group's id set is complete before any user work runs.
+        self.members = members
+        self.ids = frozenset(tx.id for tx in members.values())
+
+    def member(self, shard_id: int) -> Transaction:
+        return self.members[shard_id]
+
+    def __repr__(self) -> str:
+        ids = ", ".join(f"{sid}:{tx.id}" for sid, tx in
+                        sorted(self.members.items()))
+        return f"<ShardedTransaction [{ids}]>"
+
+
+class ShardedSession:
+    """One client's scope over a :class:`~repro.core.sharding.ShardedEngine`.
+
+    The same client contract as :class:`Session` — one request in flight,
+    explicit scoped binding, pin cache dropped at transaction end — but
+    the binding covers the whole topology: ``use()`` activates one
+    :class:`~repro.oodb.transactions.TransactionContext` per shard (each
+    shard has its own transaction manager, so the bindings coexist on one
+    thread) plus the single shared sentry registry, and ``transaction()``
+    yields a :class:`ShardedTransaction` whose members were begun on
+    every participating shard.
+    """
+
+    def __init__(self, engine: Any, name: Optional[str] = None,
+                 shards: Optional[list[int]] = None):
+        self.engine = engine
+        self.id = next(_session_ids)
+        self.name = name or f"session-{self.id}"
+        all_ids = range(engine.shard_count)
+        self.shard_ids = sorted(all_ids if shards is None else shards)
+        for sid in self.shard_ids:
+            if not 0 <= sid < engine.shard_count:
+                raise ValueError(f"no shard {sid} in a "
+                                 f"{engine.shard_count}-shard topology")
+        self.contexts: dict[int, TransactionContext] = {
+            sid: TransactionContext(name=f"{self.name}@shard{sid}",
+                                    session_id=self.id)
+            for sid in self.shard_ids}
+        self._pins: dict[Any, Any] = {}
+        self._serving = threading.RLock()
+        self.stats = {"transactions": 0, "commits": 0, "aborts": 0,
+                      "fetches": 0, "pin_hits": 0}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def use(self) -> Iterator["ShardedSession"]:
+        """Bind this session to the calling thread: every participating
+        shard's transaction context plus the shared sentry scope."""
+        if self._closed:
+            raise RuntimeError(f"{self.name} is closed")
+        with ExitStack() as stack:
+            stack.enter_context(self._serving)
+            for sid in self.shard_ids:
+                shard = self.engine.shards[sid]
+                stack.enter_context(
+                    shard.tx_manager.activate(self.contexts[sid]))
+            stack.enter_context(self.engine.sentry_registry.bound())
+            yield self
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self, nested: Optional[bool] = None,
+                    deadline: Optional[float] = None,
+                    shards: Optional[list[int]] = None) \
+            -> Iterator[ShardedTransaction]:
+        """``with session.transaction() as stx:`` over the shards.
+
+        Member transactions are begun *eagerly* on every participating
+        shard (default: all of this session's shards; ``shards=[k]``
+        restricts the unit of work to known-local shards and skips the
+        rest entirely).  Eager begin is cheap — an untouched member only
+        pays in-memory bookkeeping, its storage transaction starts at
+        first dirty flush — and it makes the group's id set complete
+        before user work runs, which cross-shard composite scope needs.
+
+        On success members commit in ascending shard order; a member
+        commit failure aborts the not-yet-committed members and
+        re-raises, so a failure can leave earlier shards committed
+        (documented non-atomicity).  On exception all active members
+        abort in reverse order.
+        """
+        if nested:
+            raise NestedTransactionError(
+                "sharded transactions cannot nest; use per-shard "
+                "sessions for nested work")
+        participating = self.shard_ids if shards is None else sorted(shards)
+        for sid in participating:
+            if sid not in self.contexts:
+                raise ValueError(f"shard {sid} is not part of {self.name}")
+        with self.use():
+            self.stats["transactions"] += 1
+            members: dict[int, Transaction] = {}
+            try:
+                for sid in participating:
+                    members[sid] = self.engine.shards[sid].tx_manager.begin(
+                        deadline=deadline)
+            except BaseException:
+                self._abort_members(members)
+                self.stats["aborts"] += 1
+                raise
+            handle = ShardedTransaction(members)
+            self.engine.register_tx_group(handle.ids)
+            try:
+                yield handle
+            except BaseException:
+                self._abort_members(members)
+                self.stats["aborts"] += 1
+                raise
+            else:
+                committed: list[int] = []
+                try:
+                    for sid in participating:
+                        self.engine.shards[sid].tx_manager.commit(
+                            members[sid])
+                        committed.append(sid)
+                except BaseException:
+                    self._abort_members({
+                        sid: tx for sid, tx in members.items()
+                        if sid not in committed})
+                    self.stats["aborts"] += 1
+                    raise
+                self.stats["commits"] += 1
+            finally:
+                self.engine.unregister_tx_group(handle.ids)
+                if all(ctx.current() is None
+                       for ctx in self.contexts.values()):
+                    self._pins.clear()
+
+    def _abort_members(self, members: dict[int, Transaction]) -> None:
+        for sid in sorted(members, reverse=True):
+            tx = members[sid]
+            try:
+                if tx.state is TransactionState.ACTIVE:
+                    self.engine.shards[sid].tx_manager.abort(tx)
+            except Exception:
+                pass
+
+    def current_transaction(self, shard_id: int = 0) -> Optional[Transaction]:
+        context = self.contexts.get(shard_id)
+        return context.current() if context is not None else None
+
+    # ------------------------------------------------------------------
+    # Objects and queries
+    # ------------------------------------------------------------------
+
+    def persist(self, obj: Any, name: Optional[str] = None,
+                shard: Optional[int] = None) -> OID:
+        with self.use():
+            return self.engine.persist(obj, name, shard=shard)
+
+    def fetch(self, target: Union[str, OID]) -> Any:
+        self.stats["fetches"] += 1
+        with self.use():
+            in_tx = any(ctx.current() is not None
+                        for ctx in self.contexts.values())
+            if in_tx:
+                if target in self._pins:
+                    self.stats["pin_hits"] += 1
+                    return self._pins[target]
+                obj = self.engine.fetch(target)
+                self._pins[target] = obj
+                return obj
+            return self.engine.fetch(target)
+
+    def delete(self, target: Union[str, OID, Any]) -> None:
+        with self.use():
+            self.engine.delete(target)
+            self._pins.clear()
+
+    def query(self, text: str, **params: Any) -> list[Any]:
+        with self.use():
+            return self.engine.query(text, **params)
+
+    def signal(self, name: str, **parameters: Any) -> None:
+        with self.use():
+            self.engine.signal(name, **parameters)
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+
+    def firing_log(self) -> list[Any]:
+        """Firing records attributed to this session, over all shards."""
+        records = []
+        for sid in self.shard_ids:
+            records.extend(
+                self.engine.shards[sid].scheduler.firing_log_for(self.id))
+        return records
+
+    def pinned_count(self) -> int:
+        return len(self._pins)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for sid in self.shard_ids:
+            context = self.contexts[sid]
+            manager = self.engine.shards[sid].tx_manager
+            while context.stack:
+                tx = context.stack[-1]
+                try:
+                    with manager.activate(context):
+                        manager.abort(tx)
+                except Exception:
+                    if tx in context.stack:
+                        context.stack.remove(tx)
+        self._pins.clear()
+        self.engine._forget_session(self)
+
+    def __enter__(self) -> "ShardedSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"<ShardedSession {self.id} {self.name!r} "
+                f"shards={self.shard_ids} {state}>")

@@ -15,6 +15,7 @@ the engine's existing introspection surfaces:
 ``/slow-rules``           per-rule firing latency aggregated from traces
 ``/locks``                lock table + ``concurrency_stats()`` (stripe waits)
 ``/wal``                  WAL depth: LSNs, buffered records, group commit
+``/shards``               shard topology: per-shard counters, replication
 ``/flight``               flight-recorder state (``?tail=N`` recent entries)
 ``/flight/dump``          trigger a dump; returns the file path
 ========================  ==================================================
@@ -198,6 +199,12 @@ class AdminServer:
     def _wal(self, query: dict[str, str]) -> tuple[str, str]:
         return self._json(self.engine.storage.wal_stats())
 
+    def _shards(self, query: dict[str, str]) -> tuple[str, str]:
+        # Topology view: shard count, OID block size, per-shard hot
+        # counters, replication state.  Duck-typed like everything else —
+        # a single-kernel engine reports itself as a one-shard topology.
+        return self._json(self.engine.shard_stats())
+
     def _flight(self, query: dict[str, str]) -> tuple[str, str]:
         flight = self.engine.flight
         payload = flight.snapshot()
@@ -219,6 +226,7 @@ _ROUTES = {
     "/slow-rules": AdminServer._slow_rules,
     "/locks": AdminServer._locks,
     "/wal": AdminServer._wal,
+    "/shards": AdminServer._shards,
     "/flight": AdminServer._flight,
     "/flight/dump": AdminServer._flight_dump,
 }

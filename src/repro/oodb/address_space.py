@@ -15,10 +15,11 @@ that converts live objects to storable images and back.
 from __future__ import annotations
 
 import threading
-from typing import Any, Iterator, Optional
+import zlib
+from typing import Any, Iterator, Optional, Union
 
 from repro.oodb.meta import SupportModule
-from repro.oodb.oid import OID
+from repro.oodb.oid import DEFAULT_OID_RANGE_SIZE, OID, route
 from repro.storage.storage_manager import StorageManager
 
 
@@ -72,6 +73,46 @@ class ActiveAddressSpace(SupportModule):
 
     def describe(self) -> str:
         return f"{self.name} ({self.resident_count} resident objects)"
+
+
+class ShardMap(SupportModule):
+    """The topology view: which shard owns an OID, a key, a spec.
+
+    A ``ShardMap`` is pure routing state — shard count and OID block size —
+    shared by the coordinator and every shard so that any component can
+    answer "where does this live?" without consulting another shard.  Two
+    routing functions live here:
+
+    * ``shard_of`` routes *objects* by OID block (see
+      :func:`repro.oodb.oid.route`);
+    * ``shard_of_key`` routes *names* (event-spec keys, rule homes) by a
+      stable content hash.  Python's built-in ``hash`` is salted per
+      process, which would scatter a spec's home shard across restarts, so
+      the CRC of the key's ``repr`` is used instead.
+    """
+
+    name = "shard map"
+
+    def __init__(self, shard_count: int = 1,
+                 range_size: int = DEFAULT_OID_RANGE_SIZE):
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if range_size < 1:
+            raise ValueError("range_size must be >= 1")
+        self.shard_count = shard_count
+        self.range_size = range_size
+
+    def shard_of(self, oid: Union[OID, int]) -> int:
+        value = oid.value if isinstance(oid, OID) else oid
+        return route(value, self.shard_count, self.range_size)
+
+    def shard_of_key(self, key: Any) -> int:
+        digest = zlib.crc32(repr(key).encode("utf-8", "backslashreplace"))
+        return digest % self.shard_count
+
+    def describe(self) -> str:
+        return (f"{self.name} ({self.shard_count} shards, "
+                f"OID blocks of {self.range_size})")
 
 
 class PassiveAddressSpace(SupportModule):

@@ -18,7 +18,7 @@ OID, written by the persistence policy manager at every top-level commit.
 from __future__ import annotations
 
 import threading
-from typing import Any, Iterator, Type
+from typing import Any, Iterator, Optional, Type
 
 from repro.errors import (
     DuplicateNameError,
@@ -38,13 +38,16 @@ class DataDictionary(SupportModule):
 
     name = "data-dictionary"
 
-    def __init__(self) -> None:
+    def __init__(self, allocator: Optional[OIDAllocator] = None) -> None:
         self._lock = threading.RLock()
         self._types: dict[str, Type] = {}
         self._names: dict[str, OID] = {}
         self._extents: dict[str, set[OID]] = {}
         self._classes_of: dict[OID, str] = {}
-        self.allocator = OIDAllocator(start=FIRST_USER_OID)
+        #: sharded engines inject a ShardedOIDAllocator so each shard's
+        #: dictionary only ever issues OIDs from that shard's blocks.
+        self.allocator = allocator if allocator is not None \
+            else OIDAllocator(start=FIRST_USER_OID)
         #: persisted rule-DDL blocks ("rules are objects too": REACH rule
         #: definitions are database objects; the DDL text is their stored
         #: form, recompiled at load time by the application).

@@ -41,6 +41,35 @@ class OID:
 
 NULL_OID = OID(OID.NULL_VALUE)
 
+#: Default width of one contiguous OID block owned by a single shard.
+#: Block-striped ownership (block ``k`` belongs to shard ``k mod N``) keeps
+#: allocation purely local to a shard while still letting ``route`` be a
+#: pure function of the OID value — no shared allocation state, no lookup
+#: table that could drift between coordinator and shard.
+DEFAULT_OID_RANGE_SIZE = 1024
+
+
+def route(oid_value: int, shard_count: int,
+          range_size: int = DEFAULT_OID_RANGE_SIZE) -> int:
+    """Map an OID value to the shard that owns it.
+
+    Pure, total over non-negative OID values, and deterministic: the same
+    ``(oid_value, shard_count, range_size)`` always yields the same shard,
+    in this process or any other.  Ownership is block-striped: OID values
+    are divided into contiguous blocks of ``range_size`` and block ``k``
+    belongs to shard ``k % shard_count``.  The null OID (0) routes to
+    shard 0 like any other value in block 0.
+    """
+    if isinstance(oid_value, OID):
+        oid_value = oid_value.value
+    if oid_value < 0:
+        raise ValueError("OID value must be non-negative")
+    if shard_count < 1:
+        raise ValueError("shard_count must be >= 1")
+    if range_size < 1:
+        raise ValueError("range_size must be >= 1")
+    return (oid_value // range_size) % shard_count
+
 
 class OIDAllocator:
     """Thread-safe monotonically increasing OID source.
@@ -71,6 +100,52 @@ class OIDAllocator:
     def next_value(self) -> int:
         with self._lock:
             return self._next
+
+
+class ShardedOIDAllocator(OIDAllocator):
+    """An :class:`OIDAllocator` that only issues OIDs owned by one shard.
+
+    Each shard runs one of these; together they partition the OID space
+    without any coordination.  The allocator walks the shard's blocks in
+    order, jumping over blocks owned by other shards, so
+    ``route(allocate().value, shard_count, range_size) == shard_id`` always
+    holds.  ``ensure_above`` keeps its recovery contract: after a restart
+    the catalog floor is re-applied and allocation resumes in the next
+    owned position strictly above it.
+    """
+
+    def __init__(self, shard_id: int, shard_count: int,
+                 range_size: int = DEFAULT_OID_RANGE_SIZE, start: int = 1):
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if not 0 <= shard_id < shard_count:
+            raise ValueError("shard_id must be in [0, shard_count)")
+        if range_size < 1:
+            raise ValueError("range_size must be >= 1")
+        super().__init__(start=start)
+        self.shard_id = shard_id
+        self.shard_count = shard_count
+        self.range_size = range_size
+
+    def _next_owned(self, value: int) -> int:
+        """Smallest shard-owned OID value >= ``value``."""
+        block = value // self.range_size
+        offset = block % self.shard_count
+        if offset == self.shard_id:
+            return value
+        delta = (self.shard_id - offset) % self.shard_count
+        return (block + delta) * self.range_size
+
+    def allocate(self) -> OID:
+        with self._lock:
+            value = self._next_owned(self._next)
+            self._next = value + 1
+            return OID(value)
+
+    @property
+    def next_value(self) -> int:
+        with self._lock:
+            return self._next_owned(self._next)
 
 
 @dataclass(frozen=True)

@@ -421,3 +421,88 @@ class WriteAheadLog:
         with self._lock:
             self.flush()
             os.close(self._fd)
+
+
+class WALTailer:
+    """Incremental consistent-prefix reader over a (possibly live) log file.
+
+    The shipping side of primary->replica replication: a tailer holds its
+    own read descriptor on the primary's log and, on every :meth:`poll`,
+    decodes the records appended since the last poll.  Three invariants
+    make this safe against a concurrently writing (or crashing) primary:
+
+    * **frame-atomic** — a torn or incomplete frame at the tail stops the
+      poll *before* it; the offset does not advance past it, so the next
+      poll retries once the writer has finished (or never, if the primary
+      died mid-write — exactly the prefix recovery would keep);
+    * **CRC-checked** — a corrupt mid-log record also stops the poll (the
+      consistent prefix wins, mirroring ``iter_records(strict=False)``);
+    * **acked-bounded** — callers pass ``limit_lsn`` (the primary's
+      ``flushed_lsn``) so the replica never applies a record the primary
+      has not yet acknowledged as durable, even though such records can
+      be visible in the OS page cache.
+
+    Checkpoint truncation on the primary shrinks the file below the
+    tailer's offset; :meth:`poll` detects that and rewinds to the start
+    (the caller re-seeds from the primary's data file in that case).
+    """
+
+    def __init__(self, path: str, offset: int = 0):
+        self.path = path
+        self._fd = os.open(path, os.O_RDONLY)
+        self.offset = offset
+        self.records_read = 0
+        self.truncations = 0
+
+    def poll(self, limit_lsn: Optional[int] = None) -> list[LogRecord]:
+        """Decode every new complete record, oldest first.
+
+        Returns an empty list when nothing new (or nothing admissible
+        under ``limit_lsn``) has appeared.  On primary truncation the
+        tailer rewinds to offset 0 and reads the fresh log from its
+        start, counting the event in ``truncations``.
+        """
+        size = os.fstat(self._fd).st_size
+        if size < self.offset:
+            # The primary checkpointed and truncated its log: everything
+            # we shipped so far is now baked into its data file.
+            self.offset = 0
+            self.truncations += 1
+        if size == self.offset:
+            return []
+        data = os.pread(self._fd, size - self.offset, self.offset)
+        records: list[LogRecord] = []
+        cursor = 0
+        end = len(data)
+        while cursor < end:
+            if cursor + _FRAME.size > end:
+                break  # incomplete frame header: retry next poll
+            length, crc = _FRAME.unpack_from(data, cursor)
+            start = cursor + _FRAME.size
+            if start + length > end:
+                break  # incomplete payload: retry next poll
+            payload = data[start:start + length]
+            if zlib.crc32(payload) != crc:
+                break  # torn/corrupt record: the prefix before it wins
+            record = LogRecord.decode(payload)
+            if limit_lsn is not None and record.lsn > limit_lsn:
+                break  # not yet acked by the primary: wait
+            records.append(record)
+            cursor = start + length
+        self.offset += cursor
+        self.records_read += len(records)
+        return records
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "offset": self.offset,
+            "records_read": self.records_read,
+            "truncations": self.truncations,
+        }
+
+    def close(self) -> None:
+        try:
+            os.close(self._fd)
+        except OSError:
+            pass

@@ -46,30 +46,21 @@ class TestConcurrencyConfig:
         # so engine code never needs a None check.
         assert ExecutionConfig().concurrency == ConcurrencyConfig()
 
-    @pytest.mark.parametrize("kwarg,attr,value", [
-        ("lock_stripes", "lock_stripes", 4),
-        ("history_segments", "history_segments", 2),
-        ("seqlock_stats", "seqlock_stats", False),
-        ("lazy_history_merge", "lazy_history_merge", False),
+    @pytest.mark.parametrize("kwarg,value", [
+        ("lock_stripes", 4),
+        ("history_segments", 2),
+        ("seqlock_stats", False),
+        ("lazy_history_merge", False),
     ])
-    def test_legacy_flat_kwargs_warn_and_map(self, kwarg, attr, value):
-        with pytest.warns(DeprecationWarning, match=kwarg):
-            config = ExecutionConfig(**{kwarg: value})
-        assert getattr(config.concurrency, attr) == value
-        # Unnamed knobs keep the ConcurrencyConfig defaults.
-        defaults = ConcurrencyConfig()
-        for other in ("lock_stripes", "history_segments",
-                      "seqlock_stats", "lazy_history_merge"):
-            if other != attr:
-                assert getattr(config.concurrency, other) == \
-                    getattr(defaults, other)
+    def test_legacy_flat_kwargs_are_removed(self, kwarg, value):
+        # The flat kwargs were deprecated (with mapping) for one release;
+        # they now fail fast with a pointer at the nested group.
+        with pytest.raises(TypeError, match="ConcurrencyConfig"):
+            ExecutionConfig(**{kwarg: value})
 
-    def test_flat_kwarg_conflicts_with_nested(self):
-        with pytest.raises(ValueError):
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                ExecutionConfig(concurrency=ConcurrencyConfig(),
-                                lock_stripes=4)
+    def test_removal_error_names_the_offending_kwarg(self):
+        with pytest.raises(TypeError, match="lock_stripes"):
+            ExecutionConfig(lock_stripes=4)
 
 
 class TestEngineWiring:

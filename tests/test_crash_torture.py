@@ -5,6 +5,7 @@ winners replayed, losers absent, and allocator/index state consistent."""
 from repro.bench.crash_torture import (
     parse_wal_prefix,
     run_database_torture,
+    run_replica_torture,
     run_storage_torture,
     torn_offsets,
     wal_record_boundaries,
@@ -104,3 +105,23 @@ class TestDatabaseTorture:
         # A database workload leaves richer happenings than raw storage.
         assert "wal.flush" in categories
         assert "storage.crash" in categories
+
+
+class TestReplicaTorture:
+    def test_replica_recovers_exactly_the_acked_prefix(self, tmp_path):
+        """Kill the primary mid-batch (ISSUE 7): a replica tailing the
+        surviving log — and one per crash-cut prefix — must show exactly
+        the acked transactions: none lost, no phantom loser applied.
+        The assertions proper live inside ``run_replica_torture``; what
+        is pinned here is that the workload actually exercised the
+        interesting regime."""
+        report = run_replica_torture(str(tmp_path))
+        assert report.total_winners >= 2
+        assert report.total_losers >= 2
+        # Commits genuinely shared fsyncs, so cuts land mid-batch.
+        assert report.max_commit_batch_observed >= 2
+        assert report.boundary_cuts >= 10
+        assert report.torn_cuts >= 10
+        winner_counts = {cut.winners for cut in report.cuts}
+        assert 0 in winner_counts          # pre-first-commit cuts
+        assert report.total_winners in winner_counts   # full-log cuts
