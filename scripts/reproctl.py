@@ -11,6 +11,7 @@ then, from any shell (stdlib only — no PYTHONPATH needed)::
     python scripts/reproctl.py --port 8787 slow-rules
     python scripts/reproctl.py --port 8787 metrics     # Prometheus text
     python scripts/reproctl.py --port 8787 shards      # shard topology
+    python scripts/reproctl.py --port 8787 composer    # half-matched state
     python scripts/reproctl.py --port 8787 flight --tail 20
     python scripts/reproctl.py --port 8787 dump        # flight dump to disk
 
@@ -33,6 +34,7 @@ COMMANDS = {
     "slow-rules": "/slow-rules",
     "locks": "/locks",
     "wal": "/wal",
+    "composer": "/composer",
     "shards": "/shards",
     "flight": "/flight",
     "dump": "/flight/dump",

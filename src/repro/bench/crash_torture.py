@@ -35,8 +35,21 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.config import ExecutionConfig
+from repro.config import ExecutionConfig, ShardingConfig
+from repro.core.algebra import (
+    Closure,
+    Conjunction,
+    Disjunction,
+    EventScope,
+    History,
+    Negation,
+    Sequence,
+)
+from repro.core.composer import Composer
+from repro.core.consumption import ConsumptionPolicy
+from repro.core.coupling import CouplingMode
 from repro.core.database import ReachDatabase
+from repro.core.events import EventOccurrence, SignalEventSpec
 from repro.errors import ObjectNotFoundError, RecordNotFoundError
 from repro.obs.flight import FlightRecorder, latest_dump, load_dump
 from repro.obs.metrics import MetricsRegistry
@@ -46,8 +59,11 @@ from repro.storage.storage_manager import StorageManager
 from repro.storage.wal import _FRAME, LogRecord, LogRecordType
 
 __all__ = [
+    "ComposerCutResult",
+    "ComposerTortureReport",
     "CutResult",
     "TortureReport",
+    "run_composer_torture",
     "run_database_torture",
     "run_group_commit_torture",
     "run_replica_torture",
@@ -687,4 +703,409 @@ def run_database_torture(root: str, group_commit: bool = False) -> TortureReport
         report.cuts.append(CutResult(offset=offset, kind=kind,
                                      records=len(records),
                                      winners=committed))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Composer torture: kill mid-composition, recover, finish the composite
+# ---------------------------------------------------------------------------
+
+#: the three signal leaves every composer-torture case is built from
+_CT_A = SignalEventSpec("ct-a")
+_CT_B = SignalEventSpec("ct-b")
+_CT_C = SignalEventSpec("ct-c")
+_CT_NAMES = {"a": "ct-a", "b": "ct-b", "c": "ct-c"}
+_CT_SPECS = {"a": _CT_A, "b": _CT_B, "c": _CT_C}
+_CT_WINDOW = 1e9
+
+
+def _ct_spec(make, policy: ConsumptionPolicy):
+    """Scope a case's operator tree for engine-level multi-tx streams."""
+    return make(policy).scoped(EventScope.MULTI_TX).within(_CT_WINDOW)
+
+
+def composer_torture_cases() -> list[tuple[str, object, list[str]]]:
+    """Every algebra operator with a stream that leaves a half-match
+    between each consecutive pair of constituents.  ``(name, make_spec,
+    stream)`` — ``make_spec(policy)`` builds the scoped spec."""
+    return [
+        ("seq",
+         lambda p: _ct_spec(lambda q: Sequence(_CT_A, _CT_B).consumed(q), p),
+         ["a", "b", "a", "b"]),
+        ("conj",
+         lambda p: _ct_spec(
+             lambda q: Conjunction(_CT_A, _CT_B).consumed(q), p),
+         ["a", "b", "b", "a"]),
+        ("disj",
+         lambda p: _ct_spec(
+             lambda q: Disjunction(_CT_A, _CT_B).consumed(q), p),
+         ["a", "b"]),
+        ("neg",
+         lambda p: _ct_spec(
+             lambda q: Negation(_CT_C, _CT_A, _CT_B).consumed(q), p),
+         ["a", "b", "a", "c", "b"]),
+        ("closure",
+         lambda p: _ct_spec(lambda q: Closure(_CT_A, _CT_B).consumed(q), p),
+         ["a", "a", "b", "a", "b"]),
+        ("history",
+         lambda p: _ct_spec(
+             lambda q: History(_CT_A, count=2,
+                               window=_CT_WINDOW).consumed(q), p),
+         ["a", "a", "a"]),
+        ("nested",
+         lambda p: _ct_spec(
+             lambda q: Sequence(
+                 Conjunction(_CT_A, _CT_B).consumed(q).within(_CT_WINDOW),
+                 _CT_C).consumed(q), p),
+         ["a", "b", "c", "b", "a", "c"]),
+    ]
+
+
+@dataclass
+class ComposerCutResult:
+    offset: int
+    kind: str              # "boundary" | "torn"
+    case: str              # "<operator>:<policy>"
+    covered: int           # stream events the restored checkpoint captured
+    replayed: int          # suffix events re-fed after recovery
+    expected: int          # completions the uninterrupted oracle predicts
+    fired: int             # completions the recovered engine actually fired
+
+
+@dataclass
+class ComposerTortureReport:
+    cases: list[str] = field(default_factory=list)
+    cuts: list[ComposerCutResult] = field(default_factory=list)
+    #: completions the uninterrupted oracle fires over every full stream
+    total_completions: int = 0
+    #: COMPOSER_CHECKPOINT records present across the full WAL images
+    checkpoint_records_seen: int = 0
+    #: torn cuts landing *inside* a COMPOSER_CHECKPOINT frame — the CRC
+    #: scan must end the prefix there and recovery must fall back to the
+    #: previous durable checkpoint
+    checkpoint_torn_cuts: int = 0
+    #: COMPOSER_CHECKPOINT frames a data-only read replica skipped while
+    #: tailing a dead primary's surviving log
+    replica_checkpoints_skipped: int = 0
+    #: cross-shard tx-id-frozenset group graphs restored from a crash
+    #: image taken while the group's transaction was still open
+    sharded_ghost_groups: int = 0
+    #: completions a fresh same-transaction pair fired on the recovered
+    #: sharded topology, next to the restored ghost group (must be 1)
+    sharded_recovered_fired: int = 0
+
+    @property
+    def boundary_cuts(self) -> int:
+        return sum(1 for cut in self.cuts if cut.kind == "boundary")
+
+    @property
+    def torn_cuts(self) -> int:
+        return sum(1 for cut in self.cuts if cut.kind == "torn")
+
+
+def _ct_occurrence(kind: str, index: int) -> EventOccurrence:
+    spec = _CT_SPECS[kind]
+    return EventOccurrence(spec, spec.category(), float(index),
+                           tx_ids=frozenset({index}), seq=index)
+
+
+def _ct_oracle_suffix(spec, stream: list[str], split: int) -> list[tuple]:
+    """What an *uninterrupted* composer fires for ``stream[split:]`` after
+    silently absorbing ``stream[:split]`` — expressed as sorted tuples of
+    1-based stream indices (oracle occurrences carry ``seq = index``)."""
+    oracle = Composer(spec)
+    occurrences = [_ct_occurrence(kind, index)
+                   for index, kind in enumerate(stream, 1)]
+    for occurrence in occurrences[:split]:
+        oracle.feed(occurrence)
+    emissions: list[EventOccurrence] = []
+    for occurrence in occurrences[split:]:
+        emissions.extend(oracle.feed(occurrence))
+    return sorted(
+        tuple(sorted(c.seq for c in e.all_primitive_components()))
+        for e in emissions)
+
+
+def _ct_checkpoint_frames(wal_image: bytes) -> list[tuple[int, int]]:
+    """(start, end) byte ranges of every COMPOSER_CHECKPOINT frame."""
+    frames = []
+    boundaries = wal_record_boundaries(wal_image)
+    records = parse_wal_prefix(wal_image)
+    for record, (start, end) in zip(records,
+                                    zip(boundaries, boundaries[1:])):
+        if record.type is LogRecordType.COMPOSER_CHECKPOINT:
+            frames.append((start, end))
+    return frames
+
+
+def _run_composer_case(root: str, case: str, spec, stream: list[str],
+                       report: ComposerTortureReport) -> str:
+    """Run one (operator, policy) workload to a crash image, then recover
+    from every cut and check exactly-once completion against the oracle.
+    Returns the workload's base directory (its files are the crash image).
+    """
+    base_dir = os.path.join(root, f"ct-{case.replace(':', '-')}")
+    db = ReachDatabase(directory=base_dir)
+    db.rule(f"ct-{case}", spec, action=lambda ctx: None,
+            coupling=CouplingMode.DETACHED)
+
+    live_seq_to_index: dict[int, int] = {}
+    cursor = {"index": 0}
+
+    def live_listener(occurrence: EventOccurrence) -> None:
+        live_seq_to_index[occurrence.seq] = cursor["index"]
+
+    for leaf in set(spec.leaves()):
+        db.engine.events.primitive_manager(leaf).add_listener(live_listener)
+
+    # The pre-stream checkpoint: compaction emits the (empty) composer
+    # snapshot, and its LSN marks "zero events covered".
+    db.checkpoint()
+    base_image = _read_file(os.path.join(base_dir, StorageManager.DATA_FILE))
+    lsn_to_index = {
+        db.engine.storage.wal_stats()["last_composer_checkpoint_lsn"]: 0}
+
+    for index, kind in enumerate(stream, 1):
+        cursor["index"] = index
+        with db.transaction():
+            db.signal(_CT_NAMES[kind])
+        db.drain_detached()
+        lsn = db.engine.storage.wal_stats()["last_composer_checkpoint_lsn"]
+        if lsn in lsn_to_index:
+            raise AssertionError(
+                f"{case}: commit of event {index} emitted no composer "
+                "checkpoint — the commit boundary lost detection state")
+        lsn_to_index[lsn] = index
+
+    db.storage.flush()
+    wal_image = _read_file(os.path.join(base_dir, StorageManager.LOG_FILE))
+    db.storage.crash()
+    db.close()
+
+    full_records = parse_wal_prefix(wal_image)
+    report.checkpoint_records_seen += sum(
+        1 for r in full_records
+        if r.type is LogRecordType.COMPOSER_CHECKPOINT)
+    report.total_completions += len(_ct_oracle_suffix(spec, stream, 0))
+    checkpoint_frames = _ct_checkpoint_frames(wal_image)
+    oracle_cache: dict[int, list[tuple]] = {}
+
+    for cut_index, (offset, kind) in enumerate(_all_cuts(wal_image)):
+        prefix = wal_image[:offset]
+        records = parse_wal_prefix(prefix)
+        checkpoints = [r for r in records
+                       if r.type is LogRecordType.COMPOSER_CHECKPOINT]
+        covered = lsn_to_index.get(checkpoints[-1].lsn, 0) \
+            if checkpoints else 0
+        if kind == "torn" and any(start < offset < end
+                                  for start, end in checkpoint_frames):
+            report.checkpoint_torn_cuts += 1
+
+        directory = _materialize(
+            os.path.join(root, f"ct-cuts-{case.replace(':', '-')}"),
+            cut_index, base_image, prefix)
+        recovered = ReachDatabase(directory=directory)
+        fired: list[EventOccurrence] = []
+        try:
+            recovered.rule(f"ct-{case}", spec,
+                           action=lambda ctx: fired.append(ctx.event),
+                           coupling=CouplingMode.DETACHED)
+            recovery_seq_to_index: dict[int, int] = {}
+            recovery_cursor = {"index": 0}
+
+            def recovery_listener(
+                    occurrence: EventOccurrence,
+                    __map=recovery_seq_to_index,
+                    __cur=recovery_cursor) -> None:
+                __map[occurrence.seq] = __cur["index"]
+
+            for leaf in set(spec.leaves()):
+                recovered.engine.events.primitive_manager(
+                    leaf).add_listener(recovery_listener)
+            for index in range(covered + 1, len(stream) + 1):
+                recovery_cursor["index"] = index
+                with recovered.transaction():
+                    recovered.signal(_CT_NAMES[stream[index - 1]])
+                recovered.drain_detached()
+
+            if covered not in oracle_cache:
+                oracle_cache[covered] = _ct_oracle_suffix(
+                    spec, stream, covered)
+            expected = oracle_cache[covered]
+            index_of = {**live_seq_to_index, **recovery_seq_to_index}
+            got = []
+            for emission in fired:
+                components = emission.all_primitive_components()
+                try:
+                    got.append(tuple(sorted(
+                        index_of[c.seq] for c in components)))
+                except KeyError as exc:
+                    raise AssertionError(
+                        f"{case} cut@{offset} ({kind}): completion "
+                        f"references unknown constituent seq {exc}")
+            got.sort()
+            if got != expected:
+                raise AssertionError(
+                    f"{case} cut@{offset} ({kind}, {covered} events "
+                    f"covered): recovered composer fired {got}, oracle "
+                    f"predicts {expected} — "
+                    + ("duplicate completion" if len(got) > len(expected)
+                       else "forgotten half-match"))
+        finally:
+            recovered.close()
+        report.cuts.append(ComposerCutResult(
+            offset=offset, kind=kind, case=case, covered=covered,
+            replayed=len(stream) - covered, expected=len(expected),
+            fired=len(got)))
+    report.cases.append(case)
+    return base_dir
+
+
+def _sharded_signal_names(shard_map, wanted_shards: list[int]) -> list[str]:
+    """Signal names whose spec keys home on the given shards, in order."""
+    names = []
+    candidate = 0
+    for want in wanted_shards:
+        while True:
+            name = f"ct-sig-{candidate}"
+            candidate += 1
+            if shard_map.shard_of_key(
+                    SignalEventSpec(name).key()) == want:
+                names.append(name)
+                break
+    return names
+
+
+def _run_sharded_composer_case(root: str,
+                               report: ComposerTortureReport) -> None:
+    """Cross-shard group durability: a same-transaction composite whose
+    leaves home on different shards is half-composed inside an *open*
+    sharded transaction when another transaction's commit boundary
+    checkpoints the composer — so the tx-id-frozenset group graph is on
+    disk when the power cut lands.  The recovered topology must (a) hold
+    the ghost group, (b) never complete it (its member transactions died
+    with the crash), (c) compose a fresh same-transaction pair exactly
+    once alongside it, and (d) reclaim it through the group sweep."""
+    config = ExecutionConfig(sharding=ShardingConfig(shards=2))
+    base_dir = os.path.join(root, "ct-sharded-base")
+    crash_dir = os.path.join(root, "ct-sharded-crash")
+    fired: list[str] = []
+    db = ReachDatabase(directory=base_dir, config=config)
+    a_name, b_name = _sharded_signal_names(db.engine.shard_map, [0, 1])
+    spec = Sequence(SignalEventSpec(a_name), SignalEventSpec(b_name))
+    db.rule("ct-sharded", spec, action=lambda ctx: fired.append("live"),
+            coupling=CouplingMode.DEFERRED)
+    victim = db.engine.create_session("ct-victim")
+    witness = db.engine.create_session("ct-witness")
+    victim_tx = victim.transaction()
+    victim_tx.__enter__()
+    db.engine.signal(a_name)           # half-match inside the open group
+    with witness.transaction():
+        pass                           # commit boundary -> checkpoint
+    for shard in db.engine.shards:
+        shard.storage.flush()
+    # The on-disk state *is* the crash image: copy it while the victim
+    # transaction is still open, exactly what a power cut preserves.
+    if os.path.exists(crash_dir):
+        shutil.rmtree(crash_dir)
+    shutil.copytree(base_dir, crash_dir)
+    victim_tx.__exit__(None, None, None)
+    db.close()
+    if fired:
+        raise AssertionError("sharded half-match completed prematurely")
+
+    recovered = ReachDatabase(directory=crash_dir, config=config)
+    try:
+        recovered.rule("ct-sharded", spec,
+                       action=lambda ctx: fired.append("recovered"),
+                       coupling=CouplingMode.DEFERRED)
+        engine = recovered.engine
+        home = engine.shards[engine.shard_for_key(spec.key())]
+        composer = home.events.composite_manager(
+            spec, wire_leaves=False).composer
+        ghost_groups = [group for group in composer.groups()
+                        if isinstance(group, frozenset)]
+        report.sharded_ghost_groups = len(ghost_groups)
+        if not ghost_groups:
+            raise AssertionError(
+                "crash image held a cross-shard group half-match but "
+                "recovery restored no group graph")
+        # (b) the ghost's terminator arrives in a *new* transaction: the
+        # dead group must not complete, and same-tx scope keeps the new
+        # transaction from pairing with it.
+        with recovered.transaction():
+            recovered.signal(b_name)
+        if fired:
+            raise AssertionError(
+                "a dead pre-crash group completed after recovery")
+        # (c) a fresh same-transaction pair must compose exactly once
+        # alongside the restored ghost.
+        with recovered.transaction():
+            recovered.signal(a_name)
+            recovered.signal(b_name)
+        report.sharded_recovered_fired = len(fired)
+        if report.sharded_recovered_fired != 1:
+            raise AssertionError(
+                f"fresh pair fired {report.sharded_recovered_fired} "
+                "times next to a restored ghost group, expected 1")
+        # (d) the sharded group sweep reclaims the ghost.
+        for ghost in ghost_groups:
+            engine.unregister_tx_group(ghost)
+        if any(isinstance(group, frozenset) for group in composer.groups()):
+            raise AssertionError("ghost group survived the group sweep")
+    finally:
+        recovered.close()
+
+
+def run_composer_torture(
+        root: str,
+        operators: Optional[list[str]] = None,
+        policies: Optional[list[ConsumptionPolicy]] = None,
+) -> ComposerTortureReport:
+    """Mid-composition crash torture: for every algebra operator and
+    SNOOP policy, feed constituents one transaction at a time (so a
+    durable composer checkpoint lands at each commit boundary), snapshot
+    the crash image, and for every WAL record boundary *and* torn offset
+    re-open the database, re-register the rule, feed exactly the
+    constituents the restored checkpoint does not cover, and require the
+    recovered composer to fire *exactly* the completions an uninterrupted
+    oracle composer predicts — never a duplicate, never a forgotten
+    half-match.  Torn cuts inside COMPOSER_CHECKPOINT frames exercise the
+    fall-back-to-previous-checkpoint path; a final pass checks that a
+    data-only read replica tailing a checkpoint-bearing log skips the
+    frames cleanly and that a sharded topology recovers a cross-shard
+    half-match exactly once.
+
+    ``operators``/``policies`` restrict the matrix (default: all seven
+    operator trees x all four policies).
+    """
+    report = ComposerTortureReport()
+    wanted = composer_torture_cases()
+    if operators is not None:
+        wanted = [case for case in wanted if case[0] in operators]
+    for policy in (policies or list(ConsumptionPolicy)):
+        for name, make_spec, stream in wanted:
+            case = f"{name}:{policy.value}"
+            base_dir = _run_composer_case(
+                root, case, make_spec(policy), stream, report)
+
+    # A data-only replica over the last case's surviving log: every
+    # COMPOSER_CHECKPOINT frame must be skipped — counted, never
+    # prefix-ending, never breaking transaction application.
+    from repro.storage.replication import ReadReplica
+
+    replica = ReadReplica(base_dir, os.path.join(root, "ct-replica"))
+    try:
+        replica.poll(limit_lsn=None)
+        stats = replica.stats()
+        report.replica_checkpoints_skipped = \
+            stats["composer_checkpoints_skipped"]
+    finally:
+        replica.close()
+    if report.replica_checkpoints_skipped == 0:
+        raise AssertionError(
+            "replica saw no COMPOSER_CHECKPOINT frames — the workload "
+            "should have shipped them")
+
+    _run_sharded_composer_case(root, report)
     return report

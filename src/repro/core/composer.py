@@ -43,12 +43,115 @@ from repro.core.events import (
     EventOccurrence,
     EventSpec,
     PrimitiveEventSpec,
+    advance_occurrence_seq,
 )
-from repro.errors import EventDefinitionError
+from repro.errors import ComposerStateError, EventDefinitionError
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 _GLOBAL_GROUP: Hashable = "*"
+
+#: Version stamp of the durable composer-checkpoint payload.  Bumped when
+#: the snapshot structure changes; recovery rejects unknown versions and
+#: falls back to an older consistent checkpoint.
+COMPOSER_STATE_VERSION = 1
+
+
+class _SnapshotCodec:
+    """Encode/decode :class:`EventOccurrence` trees for a WAL checkpoint.
+
+    The storage serializer handles only plain values (no frozensets, no
+    enums, no arbitrary objects), so occurrences become nested dicts keyed
+    by their spec keys — which are already serializer-friendly nested
+    tuples — and specs are resolved back through an index built from the
+    composer's own expression tree.  Rule-condition parameters that the
+    serializer cannot represent (live object references, closures) are
+    dropped and counted rather than failing the checkpoint: losing a
+    binding is recoverable noise, losing the half-match is not.
+    """
+
+    def __init__(self, spec: EventSpec):
+        self.spec_index: dict[Hashable, EventSpec] = {}
+        self._index(spec)
+        self.max_seq = 0
+        self.dropped_parameters = 0
+        #: every transaction id seen while decoding — pre-crash
+        #: transactions the recovering engine must treat as decided.
+        self.tx_ids: set[int] = set()
+
+    def _index(self, spec: EventSpec) -> None:
+        self.spec_index[spec.key()] = spec
+        if isinstance(spec, CompositeEventSpec):
+            for child in spec.children():
+                self._index(child)
+        else:
+            for leaf in spec.leaves():
+                self.spec_index[leaf.key()] = leaf
+
+    def _safe_parameters(self, parameters: dict) -> dict:
+        from repro.storage.serializer import serialize
+        kept: dict = {}
+        for key, value in parameters.items():
+            try:
+                serialize(key)
+                serialize(value)
+            except Exception:
+                self.dropped_parameters += 1
+                continue
+            kept[key] = value
+        return kept
+
+    def encode(self, occ: EventOccurrence) -> dict:
+        self.max_seq = max(self.max_seq, occ.seq)
+        return {
+            "k": occ.spec_key,
+            "t": occ.timestamp,
+            "x": sorted(occ.tx_ids),
+            "q": occ.seq,
+            "p": self._safe_parameters(occ.parameters),
+            "c": [self.encode(c) for c in occ.components],
+        }
+
+    def decode(self, data: dict) -> EventOccurrence:
+        try:
+            spec = self.spec_index.get(data["k"])
+            if spec is None:
+                raise ComposerStateError(
+                    f"checkpoint references unknown spec key {data['k']!r}")
+            occ = EventOccurrence(
+                spec=spec, category=spec.category(),
+                timestamp=data["t"],
+                tx_ids=frozenset(data["x"]),
+                parameters=dict(data["p"]),
+                components=tuple(self.decode(c) for c in data["c"]),
+                seq=data["q"])
+        except ComposerStateError:
+            raise
+        except Exception as exc:
+            raise ComposerStateError(
+                f"malformed occurrence in checkpoint: {exc}") from exc
+        self.max_seq = max(self.max_seq, occ.seq)
+        self.tx_ids.update(occ.tx_ids)
+        return occ
+
+
+def _encode_group_key(group: Hashable) -> tuple:
+    if group == _GLOBAL_GROUP:
+        return ("global",)
+    if isinstance(group, frozenset):
+        return ("group", tuple(sorted(group)))
+    return ("tx", group)
+
+
+def _decode_group_key(data: tuple) -> Hashable:
+    tag = data[0]
+    if tag == "global":
+        return _GLOBAL_GROUP
+    if tag == "group":
+        return frozenset(data[1])
+    if tag == "tx":
+        return data[1]
+    raise ComposerStateError(f"unknown group-key tag {tag!r}")
 
 
 def _min_seq(occ: EventOccurrence) -> int:
@@ -87,6 +190,14 @@ class _Node:
     def discard_older_than(self, cutoff: float) -> int:
         raise NotImplementedError
 
+    def snapshot(self, codec: _SnapshotCodec) -> Optional[dict]:
+        """Mutable state of this subtree, encoded for a WAL checkpoint."""
+        raise NotImplementedError
+
+    def restore(self, state: Optional[dict], codec: _SnapshotCodec) -> None:
+        """Rebuild this subtree's mutable state from :meth:`snapshot`."""
+        raise NotImplementedError
+
 
 class _PrimitiveNode(_Node):
     __slots__ = ("key",)
@@ -102,6 +213,12 @@ class _PrimitiveNode(_Node):
 
     def discard_older_than(self, cutoff: float) -> int:
         return 0
+
+    def snapshot(self, codec: _SnapshotCodec) -> Optional[dict]:
+        return None
+
+    def restore(self, state: Optional[dict], codec: _SnapshotCodec) -> None:
+        return None
 
 
 class _SequenceNode(_Node):
@@ -133,6 +250,16 @@ class _SequenceNode(_Node):
         return (self.buffer.discard_older_than(cutoff)
                 + self.left.discard_older_than(cutoff)
                 + self.right.discard_older_than(cutoff))
+
+    def snapshot(self, codec: _SnapshotCodec) -> Optional[dict]:
+        return {"buf": [codec.encode(o) for o in self.buffer.snapshot()],
+                "left": self.left.snapshot(codec),
+                "right": self.right.snapshot(codec)}
+
+    def restore(self, state: Optional[dict], codec: _SnapshotCodec) -> None:
+        self.buffer.restore([codec.decode(o) for o in state["buf"]])
+        self.left.restore(state["left"], codec)
+        self.right.restore(state["right"], codec)
 
 
 class _ConjunctionNode(_Node):
@@ -186,6 +313,19 @@ class _ConjunctionNode(_Node):
                 + self.left.discard_older_than(cutoff)
                 + self.right.discard_older_than(cutoff))
 
+    def snapshot(self, codec: _SnapshotCodec) -> Optional[dict]:
+        return {
+            "lbuf": [codec.encode(o) for o in self.left_buffer.snapshot()],
+            "rbuf": [codec.encode(o) for o in self.right_buffer.snapshot()],
+            "left": self.left.snapshot(codec),
+            "right": self.right.snapshot(codec)}
+
+    def restore(self, state: Optional[dict], codec: _SnapshotCodec) -> None:
+        self.left_buffer.restore([codec.decode(o) for o in state["lbuf"]])
+        self.right_buffer.restore([codec.decode(o) for o in state["rbuf"]])
+        self.left.restore(state["left"], codec)
+        self.right.restore(state["right"], codec)
+
 
 class _DisjunctionNode(_Node):
     def __init__(self, spec: Disjunction, left: _Node, right: _Node):
@@ -206,6 +346,14 @@ class _DisjunctionNode(_Node):
     def discard_older_than(self, cutoff: float) -> int:
         return (self.left.discard_older_than(cutoff)
                 + self.right.discard_older_than(cutoff))
+
+    def snapshot(self, codec: _SnapshotCodec) -> Optional[dict]:
+        return {"left": self.left.snapshot(codec),
+                "right": self.right.snapshot(codec)}
+
+    def restore(self, state: Optional[dict], codec: _SnapshotCodec) -> None:
+        self.left.restore(state["left"], codec)
+        self.right.restore(state["right"], codec)
 
 
 class _NegationNode(_Node):
@@ -258,6 +406,23 @@ class _NegationNode(_Node):
             removed += 1
         return removed
 
+    def snapshot(self, codec: _SnapshotCodec) -> Optional[dict]:
+        window = (codec.encode(self.window_start)
+                  if self.window_start is not None else None)
+        return {"window": window, "seen": self.subject_seen,
+                "subject": self.subject.snapshot(codec),
+                "start": self.start.snapshot(codec),
+                "end": self.end.snapshot(codec)}
+
+    def restore(self, state: Optional[dict], codec: _SnapshotCodec) -> None:
+        window = state["window"]
+        self.window_start = (codec.decode(window)
+                             if window is not None else None)
+        self.subject_seen = bool(state["seen"])
+        self.subject.restore(state["subject"], codec)
+        self.start.restore(state["start"], codec)
+        self.end.restore(state["end"], codec)
+
 
 class _ClosureNode(_Node):
     """Accumulate occurrences of ``of`` and signal once at ``until``."""
@@ -292,6 +457,16 @@ class _ClosureNode(_Node):
                 + self.of.discard_older_than(cutoff)
                 + self.until.discard_older_than(cutoff))
 
+    def snapshot(self, codec: _SnapshotCodec) -> Optional[dict]:
+        return {"acc": [codec.encode(o) for o in self.accumulated],
+                "of": self.of.snapshot(codec),
+                "until": self.until.snapshot(codec)}
+
+    def restore(self, state: Optional[dict], codec: _SnapshotCodec) -> None:
+        self.accumulated = [codec.decode(o) for o in state["acc"]]
+        self.of.restore(state["of"], codec)
+        self.until.restore(state["until"], codec)
+
 
 class _HistoryNode(_Node):
     """``count`` occurrences of ``of`` within a sliding ``window``."""
@@ -325,6 +500,14 @@ class _HistoryNode(_Node):
         self.recent = [e for e in self.recent if e.timestamp >= cutoff]
         return (before - len(self.recent)
                 + self.of.discard_older_than(cutoff))
+
+    def snapshot(self, codec: _SnapshotCodec) -> Optional[dict]:
+        return {"recent": [codec.encode(o) for o in self.recent],
+                "of": self.of.snapshot(codec)}
+
+    def restore(self, state: Optional[dict], codec: _SnapshotCodec) -> None:
+        self.recent = [codec.decode(o) for o in state["recent"]]
+        self.of.restore(state["of"], codec)
 
 
 def _build(spec: EventSpec) -> _Node:
@@ -371,6 +554,19 @@ class Composer:
         self.consumed = 0
         self.gc_removed = 0
         self.ignored_no_transaction = 0
+        #: set whenever partial-match state may have changed since the
+        #: last snapshot; the checkpoint emitter skips clean composers.
+        self.dirty = False
+        #: seq watermark of the last restored checkpoint (0 = none):
+        #: recovery feeds only the GlobalHistory suffix past this point.
+        self.restored_watermark = 0
+        #: transaction ids referenced by restored half-matches — ghosts
+        #: of the crashed incarnation, which the recovering engine must
+        #: mark decided or causally-dependent rule work waits forever.
+        self.restored_tx_ids: frozenset[int] = frozenset()
+        #: count of parameters dropped from checkpoints because the
+        #: storage serializer cannot represent them.
+        self.checkpoint_dropped_parameters = 0
         self._span_name = f"compose:{self.name}"
         self._m_fed = metrics.counter("composer.fed")
         self._m_composed = metrics.counter("events.composed")
@@ -423,6 +619,7 @@ class Composer:
                     graph = _build(self.spec)
                     self._graphs[group] = graph
                 emissions = graph.feed(occ)
+                self.dirty = True
                 self.emitted += len(emissions)
             if emissions:
                 self._m_composed.inc(len(emissions))
@@ -454,6 +651,7 @@ class Composer:
             graph = self._graphs.pop(tx_id, None)
             if graph is None:
                 return 0
+            self.dirty = True
             removed = graph.pending()
             self.gc_removed += removed
             self._m_gc_removed.inc(removed)
@@ -468,6 +666,7 @@ class Composer:
             graph = self._graphs.pop(tx_ids, None)
             if graph is None:
                 return 0
+            self.dirty = True
             removed = graph.pending()
             self.gc_removed += removed
             self._m_gc_removed.inc(removed)
@@ -482,6 +681,8 @@ class Composer:
         with self._lock:
             for graph in self._graphs.values():
                 removed += graph.discard_older_than(cutoff)
+            if removed:
+                self.dirty = True
             self.gc_removed += removed
             self._m_gc_removed.inc(removed)
         return removed
@@ -494,6 +695,76 @@ class Composer:
     def graph_instance_count(self) -> int:
         with self._lock:
             return len(self._graphs)
+
+    def groups(self) -> list[Hashable]:
+        """The live composition-group keys: the global marker, single
+        transaction ids, and cross-shard member-id frozensets."""
+        with self._lock:
+            return list(self._graphs)
+
+    # ------------------------------------------------------------------
+    # Durability: snapshot/restore through the WAL (COMPOSER_CHECKPOINT)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """A versioned, serializer-friendly image of all partial-match
+        state: every composition-group graph (per-tx, per-sharded-group,
+        or global) with its policy buffers, negation windows, closure
+        accumulators, and history windows.  Clears the dirty flag."""
+        codec = _SnapshotCodec(self.spec)
+        with self._lock:
+            groups = [(_encode_group_key(group), graph.snapshot(codec))
+                      for group, graph in self._graphs.items()]
+            self.dirty = False
+        self.checkpoint_dropped_parameters += codec.dropped_parameters
+        return {
+            "v": COMPOSER_STATE_VERSION,
+            "key": self.spec.key(),
+            "watermark": codec.max_seq,
+            "groups": groups,
+        }
+
+    def restore_state(self, payload: dict) -> int:
+        """Rebuild partial-match state from a :meth:`snapshot_state`
+        payload; returns the seq watermark of the restored state.
+
+        Raises :class:`ComposerStateError` on any version, spec-key, or
+        structural mismatch so recovery can fall back to the previous
+        consistent checkpoint.
+        """
+        try:
+            version = payload["v"]
+            key = payload["key"]
+            groups = payload["groups"]
+        except (TypeError, KeyError) as exc:
+            raise ComposerStateError(
+                f"malformed composer checkpoint: {exc}") from exc
+        if version != COMPOSER_STATE_VERSION:
+            raise ComposerStateError(
+                f"composer checkpoint version {version!r} not supported")
+        if key != self.spec.key():
+            raise ComposerStateError(
+                f"composer checkpoint for {key!r} fed to {self.name!r}")
+        codec = _SnapshotCodec(self.spec)
+        restored: dict[Hashable, _Node] = {}
+        try:
+            for group_key, state in groups:
+                graph = _build(self.spec)
+                graph.restore(state, codec)
+                restored[_decode_group_key(group_key)] = graph
+        except ComposerStateError:
+            raise
+        except Exception as exc:
+            raise ComposerStateError(
+                f"malformed composer checkpoint: {exc}") from exc
+        with self._lock:
+            self._graphs = restored
+            self.dirty = False
+            self.restored_watermark = max(self.restored_watermark,
+                                          codec.max_seq)
+            self.restored_tx_ids = frozenset(codec.tx_ids)
+        advance_occurrence_seq(codec.max_seq)
+        return codec.max_seq
 
     def __repr__(self) -> str:
         return (f"<Composer {self.name!r} scope={self.scope.value} "

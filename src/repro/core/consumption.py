@@ -122,3 +122,14 @@ class OccurrenceBuffer:
         removed = len(self._items)
         self._items.clear()
         return removed
+
+    # -- durability (composer checkpoints) ---------------------------------
+
+    def snapshot(self) -> list[Any]:
+        """The buffered occurrences, oldest first.  Order is semantic:
+        chronicle consumes the head, recent keeps only the tail."""
+        return list(self._items)
+
+    def restore(self, items: list[Any]) -> None:
+        """Replace the buffer contents with ``items`` (oldest first)."""
+        self._items = list(items)

@@ -396,6 +396,19 @@ class ReachDatabase:
         contract)."""
         return self.engine.concurrency_stats()
 
+    def wal_statistics(self) -> dict[str, Any]:
+        """The ``statistics()["wal"]`` section on its own: framing and
+        recovery counters plus the durable-composer-checkpoint gauges
+        (see :meth:`ReachEngine.wal_statistics`)."""
+        return self.engine.wal_statistics()
+
+    def composer_stats(self) -> dict[str, Any]:
+        """The durable-detection-state view served at ``/composer``:
+        per-composer half-matched group counts, restore/fallback
+        counters and the last checkpoint LSN (see
+        :meth:`ReachEngine.composer_stats`)."""
+        return self.engine.composer_stats()
+
     def checkpoint(self) -> None:
         self.engine.checkpoint()
 

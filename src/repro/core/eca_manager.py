@@ -46,6 +46,7 @@ from repro.core.history import GlobalHistory, LocalHistory
 from repro.core.rules import Rule
 from repro.core.scheduler import RuleScheduler
 from repro.clock import Clock
+from repro.errors import ComposerStateError
 from repro.faults.registry import COMPOSER_DISPATCH, NULL_FAULTS, FaultRegistry
 from repro.obs.flight import NULL_FLIGHT, FlightRecorder
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
@@ -221,6 +222,27 @@ class EventService:
         #: ``None`` (single-kernel default) leaves tx ids untouched.
         self.tx_group_resolver: Optional[
             Callable[[int], Optional[frozenset[int]]]] = None
+        #: engine-installed sink appending one composer snapshot to the
+        #: WAL (``StorageManager.append_composer_checkpoint``); ``None``
+        #: disables durable composer state (e.g. raw composers in tests).
+        self.composer_checkpoint_sink: Optional[
+            Callable[[dict], None]] = None
+        #: spec key -> chronological COMPOSER_CHECKPOINT payloads found
+        #: in the log at recovery; applied (newest first, falling back on
+        #: mismatch) when the matching composite manager is re-created.
+        self.recovered_composer_state: dict[Hashable, list[dict]] = {}
+        #: engine-installed hook marking pre-crash transaction ids as
+        #: decided (``TransactionManager.seed_recovered_outcomes``):
+        #: restored half-matches reference transactions of the crashed
+        #: incarnation, and detached work scheduled off a recovered
+        #: completion would otherwise wait on their outcome forever.
+        self.recovered_tx_sink: Optional[
+            Callable[[frozenset[int]], int]] = None
+        self.composer_checkpoints_emitted = 0
+        self.composer_checkpoint_errors = 0
+        self.composer_restores = 0
+        self.composer_checkpoint_fallbacks = 0
+        self.composer_suffix_replayed = 0
         self._detect_span_names: dict[Hashable, str] = {}
         # Concurrency knobs (ConcurrencyConfig): lazy merge turns the
         # per-commit history merge into an O(1) enqueue; segments shard
@@ -285,6 +307,13 @@ class EventService:
                 history_capacity=self.config.history_capacity,
                 history_segments=self._history_segments)
             self._composite[key] = manager
+        # Durable-detection recovery: if the WAL carried checkpointed
+        # state for this composite, rebuild the half-matched graphs now —
+        # before the leaves are wired, so no live occurrence can race the
+        # restore.
+        payloads = self.recovered_composer_state.get(key)
+        if payloads:
+            self._restore_composer_state(manager, payloads)
         # Every leaf primitive must be detectable and must propagate here.
         # A sharded coordinator passes wire_leaves=False and connects the
         # leaves itself: each leaf detects on its own home shard and feeds
@@ -297,6 +326,127 @@ class EventService:
                 primitive = self.primitive_manager(leaf)
                 primitive.add_listener(manager.feed)
         return manager
+
+    def _restore_composer_state(self, manager: CompositeECAManager,
+                                payloads: list[dict]) -> None:
+        """Apply the newest consistent checkpoint, then replay the
+        post-checkpoint suffix of the global history.
+
+        Payloads are tried newest-first; a version/spec-key/structure
+        mismatch falls back to the previous consistent checkpoint (torn
+        frames never got this far — WAL CRC framing already dropped
+        them), counted and flight-recorded either way.  Suffix replay
+        feeds the composer directly, *not* the manager: any composite
+        completed by a replayed occurrence already fired before the
+        crash (checkpoints are cut at commit boundaries, after firing),
+        so re-emitting it would be a duplicate.
+        """
+        composer = manager.composer
+        watermark: Optional[int] = None
+        for payload in reversed(payloads):
+            try:
+                watermark = composer.restore_state(payload)
+            except ComposerStateError as exc:
+                self.composer_checkpoint_fallbacks += 1
+                if self.flight.enabled:
+                    self.flight.record("composer.checkpoint_fallback",
+                                       composer=composer.name,
+                                       error=str(exc))
+                continue
+            break
+        if watermark is None:
+            return  # every payload was inconsistent: start fresh
+        self.composer_restores += 1
+        if self.recovered_tx_sink is not None and composer.restored_tx_ids:
+            self.recovered_tx_sink(composer.restored_tx_ids)
+        replayed = 0
+        keys = composer.interested_keys
+        for occ in self.global_history.entries():
+            if occ.seq > watermark and occ.spec_key in keys:
+                composer.feed(occ)
+                replayed += 1
+        self.composer_suffix_replayed += replayed
+        if self.flight.enabled:
+            self.flight.record("composer.restore", composer=composer.name,
+                               watermark=watermark, suffix_replayed=replayed)
+
+    def emit_composer_checkpoints(self, force: bool = False) -> int:
+        """Snapshot every dirty composer into the WAL (commit boundary).
+
+        ``force`` snapshots clean composers too — used when checkpoint
+        truncation wiped the log and every composer must re-seed it.
+        Returns the number of checkpoints appended.
+        """
+        sink = self.composer_checkpoint_sink
+        if sink is None:
+            return 0
+        emitted = 0
+        for manager in self.composite_managers():
+            composer = manager.composer
+            if not force and not composer.dirty:
+                continue
+            try:
+                sink(composer.snapshot_state())
+            except Exception:
+                # A failing append must not poison the commit path; the
+                # previous durable checkpoint simply stays authoritative.
+                self.composer_checkpoint_errors += 1
+                continue
+            emitted += 1
+        self.composer_checkpoints_emitted += emitted
+        return emitted
+
+    def collect_composer_snapshots(self) -> list[dict]:
+        """Current full snapshots of every composer (checkpoint
+        compaction: N incremental WAL records collapse to these).
+
+        Recovered payloads whose composite has not been re-registered
+        yet are carried forward verbatim (newest per key) — a storage
+        checkpoint must not lose state that is merely waiting for its
+        rule to come back.
+        """
+        snapshots = []
+        live: set[Hashable] = set()
+        for manager in self.composite_managers():
+            live.add(manager.spec.key())
+            snapshots.append(manager.composer.snapshot_state())
+        for key, payloads in self.recovered_composer_state.items():
+            if key not in live and payloads:
+                snapshots.append(payloads[-1])
+        return snapshots
+
+    def composer_stats(self) -> dict[str, Any]:
+        """Durable-detection view: half-matched state and checkpoint
+        counters (admin ``/composer``, ``reproctl composer``)."""
+        composers = []
+        half_matched_groups = 0
+        pending = 0
+        for manager in self.composite_managers():
+            composer = manager.composer
+            groups = composer.graph_instance_count()
+            half_matched_groups += groups
+            pending += composer.pending_count()
+            composers.append({
+                "name": composer.name,
+                "scope": composer.scope.value,
+                "policy": composer.spec.consumption.value,
+                "groups": groups,
+                "pending": composer.pending_count(),
+                "dirty": composer.dirty,
+                "restored_watermark": composer.restored_watermark,
+                "dropped_parameters":
+                    composer.checkpoint_dropped_parameters,
+            })
+        return {
+            "composers": composers,
+            "half_matched_groups": half_matched_groups,
+            "pending_semi_composed": pending,
+            "checkpoints_emitted": self.composer_checkpoints_emitted,
+            "checkpoint_errors": self.composer_checkpoint_errors,
+            "restores": self.composer_restores,
+            "checkpoint_fallbacks": self.composer_checkpoint_fallbacks,
+            "suffix_replayed": self.composer_suffix_replayed,
+        }
 
     def primitive_managers(self) -> list[PrimitiveECAManager]:
         with self._lock:
@@ -612,6 +762,11 @@ class ReachRulePolicyManager(PolicyManager):
             self.service.on_transaction_end(tx)
             self.service.global_history.merge_transaction(tx.id)
             self.service.global_history.merge_transactionless()
+            # Commit boundary: persist any composer whose partial-match
+            # state changed, after the lifespan sweep above so finished
+            # single-tx graphs are not checkpointed.  The record rides
+            # the next WAL force rather than paying its own fsync.
+            self.service.emit_composer_checkpoints()
             self.scheduler.on_transaction_outcome(tx)
 
     def describe(self) -> str:

@@ -42,6 +42,7 @@ from repro.core.events import (
     MilestoneEventSpec,
     SignalEventSpec,
     TemporalEventSpec,
+    advance_occurrence_seq,
 )
 from repro.core.rule_builder import RuleBuilder
 from repro.core.rules import Action, Condition, Rule
@@ -278,6 +279,32 @@ class ReachEngine:
             faults=self.faults, flight=self.flight)
         self.rule_pm = self.meta.plug(ReachRulePolicyManager(
             self.events, self.scheduler))
+        # Durable composite-event detection: stash the COMPOSER_CHECKPOINT
+        # payloads storage recovery found (keyed by composite spec key,
+        # oldest first — restore walks them newest-first with fallback),
+        # bump the occurrence-seq floor past every checkpointed watermark
+        # so post-boot occurrences order strictly after restored ones, and
+        # wire emission (commit boundaries) plus compaction (storage
+        # checkpoints) into the WAL.
+        max_watermark = 0
+        for payload in self.storage.recovered_composer_checkpoints:
+            try:
+                key = payload["key"]
+                watermark = payload["watermark"]
+                self.events.recovered_composer_state.setdefault(
+                    key, []).append(payload)
+            except (TypeError, KeyError):
+                continue  # malformed: the restore path would reject it too
+            if isinstance(watermark, int):
+                max_watermark = max(max_watermark, watermark)
+        if max_watermark:
+            advance_occurrence_seq(max_watermark)
+        self.events.composer_checkpoint_sink = \
+            self.storage.append_composer_checkpoint
+        self.storage.composer_checkpoint_provider = \
+            self.events.collect_composer_snapshots
+        self.events.recovered_tx_sink = \
+            self.tx_manager.seed_recovered_outcomes
         self.temporal = TemporalEventSource(
             self.clock, self.tx_manager,
             dispatch=self.events.dispatch_temporal,
@@ -709,7 +736,7 @@ class ReachEngine:
         "transactions", "scheduler", "events", "events_detected",
         "semi_composed_pending", "composers", "eca_managers", "storage",
         "rules", "queries", "observability", "sessions", "faults",
-        "flight", "telemetry", "concurrency", "shards",
+        "flight", "telemetry", "concurrency", "shards", "wal",
     })
 
     #: The frozen top-level key set of :meth:`concurrency_stats` — the
@@ -755,6 +782,10 @@ class ReachEngine:
           exported, dropped, export_errors);
         * ``concurrency`` — :meth:`concurrency_stats` (striped lock
           waits, WAL group commit, history merge lag);
+        * ``wal`` — :meth:`wal_statistics`: the write-ahead log's live
+          view plus robustness counters (lenient-recovery truncations,
+          unknown record types skipped, composer-checkpoint bookkeeping
+          and restore fallbacks);
         * ``shards`` — :meth:`shard_stats` (topology plus per-shard
           commit/event/storage counters; a single-kernel engine reports
           itself as a one-shard topology);
@@ -812,9 +843,35 @@ class ReachEngine:
             "flight": self.flight.snapshot(),
             "telemetry": self.telemetry_pipeline.stats(),
             "concurrency": self.concurrency_stats(),
+            "wal": self.wal_statistics(),
             "shards": self.shard_stats(),
             "observability": self.metrics_registry.snapshot(),
         }
+
+    def wal_statistics(self) -> dict[str, Any]:
+        """The WAL's live view plus durable-detection robustness
+        counters: lenient-recovery truncations, unknown-but-well-framed
+        record types scanned past, composer checkpoints written and
+        recovered, and restore/fallback outcomes."""
+        stats = self.storage.wal_stats()
+        stats["composer_checkpoint_fallbacks"] = \
+            self.events.composer_checkpoint_fallbacks
+        stats["composer_restores"] = self.events.composer_restores
+        stats["composer_checkpoints_emitted"] = \
+            self.events.composer_checkpoints_emitted
+        return stats
+
+    def composer_stats(self) -> dict[str, Any]:
+        """Durable composite-event detection view (admin ``/composer``):
+        per-composer half-matched group counts plus checkpoint/restore
+        counters and the last durable checkpoint LSN."""
+        stats = self.events.composer_stats()
+        wal = self.storage.wal_stats()
+        stats["last_checkpoint_lsn"] = wal.get(
+            "last_composer_checkpoint_lsn", 0)
+        stats["checkpoints_written"] = wal.get(
+            "composer_checkpoints_written", 0)
+        return stats
 
     @staticmethod
     def _stats_view(stats: dict) -> dict[str, Any]:
@@ -946,6 +1003,13 @@ class ReachEngine:
         # The telemetry pipeline drains before storage closes so a final
         # flush can still observe a consistent engine.
         self.telemetry_pipeline.close()
+        try:
+            # Final composer checkpoint: half-matched state present at a
+            # clean shutdown survives to the next start (storage.close()
+            # flushes the WAL right after).
+            self.events.emit_composer_checkpoints()
+        except Exception:
+            pass
         self.storage.close()
 
     def __enter__(self) -> "ReachEngine":

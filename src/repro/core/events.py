@@ -36,7 +36,7 @@ __all__ = [
     "StateChangeEventSpec", "FlowEventKind", "FlowEventSpec",
     "TemporalEventSpec", "AbsoluteEventSpec", "RelativeEventSpec",
     "PeriodicEventSpec", "MilestoneEventSpec", "SignalEventSpec",
-    "EventOccurrence", "Moment",
+    "EventOccurrence", "Moment", "advance_occurrence_seq",
 ]
 
 
@@ -292,6 +292,20 @@ class MilestoneEventSpec(TemporalEventSpec):
 
 
 _occurrence_seq = itertools.count(1)
+
+
+def advance_occurrence_seq(floor: int) -> None:
+    """Ensure future occurrence seqs are strictly greater than ``floor``.
+
+    Called when occurrences are reconstructed from a durable composer
+    checkpoint: restored seqs were allocated in a previous process, so the
+    fresh counter must jump past them or the global total order (which
+    sequence/temporal composition relies on) would interleave new
+    occurrences *before* restored ones.
+    """
+    global _occurrence_seq
+    nxt = next(_occurrence_seq)
+    _occurrence_seq = itertools.count(max(nxt, floor + 1))
 
 
 @dataclass(eq=False)

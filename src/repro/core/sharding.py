@@ -685,6 +685,31 @@ class ShardedEngine:
         return _merge_stats([shard.concurrency_stats()
                              for shard in self.shards])
 
+    def wal_statistics(self) -> dict[str, Any]:
+        """The ``statistics()["wal"]`` section aggregated over shards
+        (counter totals; per-shard detail lives in ``shard_stats``)."""
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        return _merge_stats([shard.wal_statistics()
+                             for shard in self.shards])
+
+    def composer_stats(self) -> dict[str, Any]:
+        """Durable-detection-state view over the whole topology: the
+        per-composer rows concatenate (a composer lives on exactly one
+        home shard), counters sum, and ``last_checkpoint_lsn`` reports
+        the per-shard maximum — LSNs are per-shard log positions, so a
+        sum would be meaningless."""
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        per_shard = [shard.composer_stats() for shard in self.shards]
+        merged = _merge_stats(per_shard)
+        merged["last_checkpoint_lsn"] = max(
+            (stats.get("last_checkpoint_lsn", 0) for stats in per_shard),
+            default=0)
+        merged["per_shard_checkpoint_lsn"] = [
+            stats.get("last_checkpoint_lsn", 0) for stats in per_shard]
+        return merged
+
     def shard_stats(self) -> dict[str, Any]:
         """The topology view served at ``/shards``: per-shard rows plus
         event-bus and replication state."""

@@ -148,6 +148,12 @@ class EventDefinitionError(EventError):
     """An event expression is malformed."""
 
 
+class ComposerStateError(EventError):
+    """A durable composer checkpoint could not be applied (version or
+    spec-key mismatch, or a malformed payload).  Recovery treats this as
+    a signal to fall back to the previous consistent checkpoint."""
+
+
 class IllegalLifespanError(EventError):
     """A cross-transaction composite event lacks an explicit or implicit
     validity interval (paper, Section 3.3: such composites are illegal)."""

@@ -15,6 +15,7 @@ the engine's existing introspection surfaces:
 ``/slow-rules``           per-rule firing latency aggregated from traces
 ``/locks``                lock table + ``concurrency_stats()`` (stripe waits)
 ``/wal``                  WAL depth: LSNs, buffered records, group commit
+``/composer``             half-matched composites + checkpoint/restore LSNs
 ``/shards``               shard topology: per-shard counters, replication
 ``/flight``               flight-recorder state (``?tail=N`` recent entries)
 ``/flight/dump``          trigger a dump; returns the file path
@@ -199,6 +200,13 @@ class AdminServer:
     def _wal(self, query: dict[str, str]) -> tuple[str, str]:
         return self._json(self.engine.storage.wal_stats())
 
+    def _composer(self, query: dict[str, str]) -> tuple[str, str]:
+        # Durable composite-event detection: per-composer half-matched
+        # group counts, pending semi-composed occurrences, checkpoint /
+        # restore / fallback counters, and the last durable checkpoint
+        # LSN — "how much detection state would a crash lose right now?"
+        return self._json(self.engine.composer_stats())
+
     def _shards(self, query: dict[str, str]) -> tuple[str, str]:
         # Topology view: shard count, OID block size, per-shard hot
         # counters, replication state.  Duck-typed like everything else —
@@ -226,6 +234,7 @@ _ROUTES = {
     "/slow-rules": AdminServer._slow_rules,
     "/locks": AdminServer._locks,
     "/wal": AdminServer._wal,
+    "/composer": AdminServer._composer,
     "/shards": AdminServer._shards,
     "/flight": AdminServer._flight,
     "/flight/dump": AdminServer._flight_dump,

@@ -495,6 +495,39 @@ class TransactionManager:
                 return None
             return self._outcomes[tx_id]
 
+    def seed_recovered_outcomes(self, tx_ids: Any) -> int:
+        """Mark pre-crash transaction ids as decided (COMMITTED).
+
+        Durable composer checkpoints are cut at commit boundaries, so
+        half-matches restored from them reference transactions of the
+        crashed incarnation.  Those ids can never reach an outcome in
+        this incarnation — without seeding, causally-dependent detached
+        work triggered by a recovered half-match waits on them forever.
+        Ids already decided (or currently live) are left untouched; the
+        id counter is advanced past the seeded ids so a fresh process
+        cannot recycle a ghost id for a new transaction.  Returns the
+        number of ids newly seeded.
+        """
+        seeded = 0
+        highest = 0
+        with self._outcome_condition:
+            for tx_id in tx_ids:
+                highest = max(highest, tx_id)
+                if tx_id in self._outcomes:
+                    continue
+                with self._live_lock:
+                    if tx_id in self._live:
+                        continue
+                self._outcomes[tx_id] = TransactionState.COMMITTED
+                seeded += 1
+            if seeded:
+                self._outcome_condition.notify_all()
+        if highest:
+            # Class-level counter: max() keeps concurrent engines safe.
+            Transaction._ids = itertools.count(
+                max(next(Transaction._ids), highest + 1))
+        return seeded
+
     def forget_outcomes_before(self, tx_id: int) -> None:
         """Prune the outcome map (old entries are never consulted again)."""
         with self._outcome_condition:

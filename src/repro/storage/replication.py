@@ -72,6 +72,13 @@ class ReadReplica:
         self.aborted_txs = 0
         self.last_applied_lsn = 0
         self.records_shipped = 0
+        #: COMPOSER_CHECKPOINT frames skipped: the replica runs no
+        #: composers, so detection state is cleanly ignored without
+        #: breaking the ack boundary (the frame's LSN still advances).
+        self.composer_checkpoints_skipped = 0
+        #: well-framed records of a type this replica does not understand
+        #: (a newer primary); skipped, counted, never prefix-ending.
+        self.unknown_records_skipped = 0
 
     # -- shipping ----------------------------------------------------------------
 
@@ -106,6 +113,15 @@ class ReadReplica:
             self.applied_txs += 1
             self.last_applied_lsn = record.lsn
             return 1
+        if rtype is LogRecordType.COMPOSER_CHECKPOINT:
+            # Detection state is the primary engine's to restore; a
+            # (data-only) replica skips the frame but counts it so the
+            # shipping pipeline shows the new frame type flowing through.
+            self.composer_checkpoints_skipped += 1
+            return 0
+        if not record.is_known_type:
+            self.unknown_records_skipped += 1
+            return 0
         # CHECKPOINT records carry no replayable state.
         return 0
 
@@ -148,6 +164,9 @@ class ReadReplica:
                 "pending_txs": len(self._pending),
                 "last_applied_lsn": self.last_applied_lsn,
                 "records_shipped": self.records_shipped,
+                "composer_checkpoints_skipped":
+                    self.composer_checkpoints_skipped,
+                "unknown_records_skipped": self.unknown_records_skipped,
                 "objects": self.storage.object_count(),
                 "tailer": self._tailer.stats(),
             }

@@ -24,7 +24,7 @@ import os
 import struct
 import threading
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.errors import RecordNotFoundError, StorageError
 from repro.faults.registry import (
@@ -93,6 +93,17 @@ class StorageManager:
         self._free_space: dict[int, int] = {}
         self._page_count = 0
         self._active: dict[int, _TxWriteSet] = {}
+        #: COMPOSER_CHECKPOINT payloads found in the log at recovery, in
+        #: log order (oldest first).  The engine's event service drains
+        #: these when composers are (re)created; they are re-appended to
+        #: the fresh log below so a second crash before the next composer
+        #: checkpoint still finds them.
+        self.recovered_composer_checkpoints: list[dict] = []
+        #: engine-installed hook returning the current full composer
+        #: snapshots; used to re-seed the log after checkpoint truncation
+        #: (compaction: N incremental checkpoints collapse to the latest).
+        self.composer_checkpoint_provider: \
+            Optional[Callable[[], list[dict]]] = None
         self._recover()
 
     # ------------------------------------------------------------------
@@ -112,6 +123,8 @@ class StorageManager:
                                      LogRecordType.UPDATE,
                                      LogRecordType.DELETE):
                     operations.append(record)
+                elif record.type is LogRecordType.COMPOSER_CHECKPOINT:
+                    self.recovered_composer_checkpoints.append(record.payload)
             for record in operations:
                 if record.tx_id not in winners:
                     continue
@@ -124,6 +137,14 @@ class StorageManager:
             self._pool.flush_all()
             self._wal.truncate()
             self._wal.append(LogRecord(LogRecordType.CHECKPOINT, tx_id=0))
+            # Composer state is ordered *after* data-page replay: data
+            # recovery never depends on it, and re-seeding the fresh log
+            # with the recovered snapshots keeps half-matched composites
+            # durable across back-to-back crashes.
+            for payload in self.recovered_composer_checkpoints:
+                self._wal.append(LogRecord(
+                    LogRecordType.COMPOSER_CHECKPOINT, tx_id=0,
+                    payload=payload))
             self._wal.flush()
 
     def _scan_pages(self) -> None:
@@ -339,7 +360,13 @@ class StorageManager:
     # ------------------------------------------------------------------
 
     def checkpoint(self) -> None:
-        """Force all pages and truncate the log."""
+        """Force all pages and truncate the log.
+
+        Composer-checkpoint compaction happens here: truncation drops
+        every incremental COMPOSER_CHECKPOINT, so the engine-installed
+        provider re-emits one current snapshot per composer into the
+        fresh log before it is forced.
+        """
         with self._lock:
             self._fp_checkpoint.hit()
             if self._active:
@@ -348,7 +375,25 @@ class StorageManager:
             self._pool.flush_all()
             self._wal.truncate()
             self._wal.append(LogRecord(LogRecordType.CHECKPOINT, tx_id=0))
+            if self.composer_checkpoint_provider is not None:
+                for payload in self.composer_checkpoint_provider():
+                    self._wal.append(LogRecord(
+                        LogRecordType.COMPOSER_CHECKPOINT, tx_id=0,
+                        payload=payload))
             self._wal.flush()
+
+    def append_composer_checkpoint(self, payload: dict) -> int:
+        """Buffer one composer-state snapshot into the log.
+
+        Rides the next flush (typically the commit force that follows at
+        the same boundary) rather than paying its own fsync; the
+        durability point of composer state is therefore the last
+        committed transaction, exactly the paper's coupling expectation.
+        """
+        with self._lock:
+            return self._wal.append(LogRecord(
+                LogRecordType.COMPOSER_CHECKPOINT, tx_id=0,
+                payload=payload))
 
     def flush(self) -> None:
         with self._lock:
@@ -410,4 +455,7 @@ class StorageManager:
 
     def wal_stats(self) -> dict:
         """The WAL's live view (admin endpoint ``/wal``)."""
-        return self._wal.stats()
+        stats = self._wal.stats()
+        stats["composer_checkpoints_recovered"] = len(
+            self.recovered_composer_checkpoints)
+        return stats

@@ -57,6 +57,27 @@ class LogRecordType(enum.Enum):
     COMMIT = "commit"
     ABORT = "abort"
     CHECKPOINT = "checkpoint"
+    #: durable composite-event detection state (versioned composer
+    #: snapshot); carries no data-page state, replayed by the engine's
+    #: event service on recovery, skipped by replicas.
+    COMPOSER_CHECKPOINT = "composer_checkpoint"
+
+
+def _coerce_record_type(value: str) -> "LogRecordType | str":
+    """Map a decoded type tag to its enum member — or keep the raw string.
+
+    Forward compatibility: a newer writer may frame record types this
+    reader does not know.  Ending the consistent prefix there would make
+    every old replica (and lenient recovery) lose acked records behind a
+    perfectly well-framed record, so unknown tags survive decoding as
+    plain strings; every consumer dispatches on enum identity, which an
+    unknown string never matches, so such records are inert but their
+    LSNs still advance the scan.
+    """
+    try:
+        return LogRecordType(value)
+    except ValueError:
+        return value
 
 
 @dataclass
@@ -65,10 +86,12 @@ class LogRecord:
 
     ``oid_value`` and the image fields are meaningful only for the data
     operations (INSERT/UPDATE/DELETE).  ``payload`` carries checkpoint
-    metadata for CHECKPOINT records.
+    metadata for CHECKPOINT records and the composer snapshot for
+    COMPOSER_CHECKPOINT records.  ``type`` is a plain string for records
+    framed by a newer writer (see :func:`_coerce_record_type`).
     """
 
-    type: LogRecordType
+    type: "LogRecordType | str"
     tx_id: int
     lsn: int = 0
     oid_value: int = 0
@@ -76,9 +99,15 @@ class LogRecord:
     after: Optional[bytes] = None
     payload: dict[str, Any] = field(default_factory=dict)
 
+    @property
+    def is_known_type(self) -> bool:
+        return isinstance(self.type, LogRecordType)
+
     def encode(self) -> bytes:
+        tag = (self.type.value if isinstance(self.type, LogRecordType)
+               else self.type)
         return serialize({
-            "t": self.type.value,
+            "t": tag,
             "x": self.tx_id,
             "l": self.lsn,
             "o": self.oid_value,
@@ -91,7 +120,7 @@ class LogRecord:
     def decode(cls, data: bytes) -> "LogRecord":
         fields = deserialize(data)
         return cls(
-            type=LogRecordType(fields["t"]),
+            type=_coerce_record_type(fields["t"]),
             tx_id=fields["x"],
             lsn=fields["l"],
             oid_value=fields["o"],
@@ -147,6 +176,13 @@ class WriteAheadLog:
         # the stored exception rather than spinning forever.
         self._failed_lsn = 0
         self._flush_exc: Optional[BaseException] = None
+        # Robustness counters (surfaced via stats()): lenient scans that
+        # discarded a corrupt suffix, well-framed records of unknown type
+        # scanned past, and composer-checkpoint bookkeeping.
+        self.recovery_truncations = 0
+        self.unknown_records_skipped = 0
+        self.composer_checkpoints_written = 0
+        self.last_composer_checkpoint_lsn = 0
         self._m_appends = metrics.counter("wal.appends")
         self._m_flushes = metrics.counter("wal.flushes")
         self._m_group_flushes = metrics.counter("wal.group_flushes")
@@ -173,6 +209,9 @@ class WriteAheadLog:
             self._fp_append.hit()
             record.lsn = self._next_lsn
             self._next_lsn += 1
+            if record.type is LogRecordType.COMPOSER_CHECKPOINT:
+                self.composer_checkpoints_written += 1
+                self.last_composer_checkpoint_lsn = record.lsn
             payload = record.encode()
             frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
             self._buffer.append(frame)
@@ -361,6 +400,12 @@ class WriteAheadLog:
                 "group_commit": self.group_commit,
                 "commit_queue_depth": len(self._commit_queue),
                 "flush_in_progress": self._flush_in_progress,
+                "recovery_truncations": self.recovery_truncations,
+                "unknown_records_skipped": self.unknown_records_skipped,
+                "composer_checkpoints_written":
+                    self.composer_checkpoints_written,
+                "last_composer_checkpoint_lsn":
+                    self.last_composer_checkpoint_lsn,
             }
 
     # -- reading ---------------------------------------------------------------
@@ -392,13 +437,23 @@ class WriteAheadLog:
                     return  # torn tail: final record corrupt
                 if strict:
                     raise WALError(f"CRC mismatch at offset {offset}")
+                self.recovery_truncations += 1
+                if self._flight.enabled:
+                    self._flight.record(
+                        "wal.recovery_truncation", offset=offset,
+                        discarded_bytes=end - offset)
                 warnings.warn(
                     f"WAL corrupt at offset {offset}: discarding "
                     f"{end - offset} trailing bytes and recovering from "
                     "the consistent prefix", RecoveryWarning,
                     stacklevel=2)
                 return
-            yield LogRecord.decode(payload)
+            record = LogRecord.decode(payload)
+            if not record.is_known_type:
+                # Well-framed record from a newer writer: scan past it
+                # (forward compatibility) but surface that it happened.
+                self.unknown_records_skipped += 1
+            yield record
             offset = start + length
 
     # -- maintenance -------------------------------------------------------------
@@ -453,6 +508,7 @@ class WALTailer:
         self.offset = offset
         self.records_read = 0
         self.truncations = 0
+        self.unknown_records = 0
 
     def poll(self, limit_lsn: Optional[int] = None) -> list[LogRecord]:
         """Decode every new complete record, oldest first.
@@ -487,6 +543,14 @@ class WALTailer:
             record = LogRecord.decode(payload)
             if limit_lsn is not None and record.lsn > limit_lsn:
                 break  # not yet acked by the primary: wait
+            if not record.is_known_type:
+                # A newer primary framed a record type this tailer does
+                # not know: skip it rather than ending the consistent
+                # prefix, so old replicas survive new frame types.  The
+                # LSN check above still bounds the skip to acked records.
+                self.unknown_records += 1
+                cursor = start + length
+                continue
             records.append(record)
             cursor = start + length
         self.offset += cursor
@@ -499,6 +563,7 @@ class WALTailer:
             "offset": self.offset,
             "records_read": self.records_read,
             "truncations": self.truncations,
+            "unknown_records": self.unknown_records,
         }
 
     def close(self) -> None:

@@ -20,7 +20,15 @@ from pathlib import Path
 
 import pytest
 
-from repro import ExecutionConfig, MethodEventSpec, ReachDatabase, sentried
+from repro import (
+    ExecutionConfig,
+    MethodEventSpec,
+    ReachDatabase,
+    SignalEventSpec,
+    sentried,
+)
+from repro.core.algebra import EventScope, Sequence
+from repro.core.rules import CouplingMode
 
 REPROCTL = str(Path(__file__).resolve().parent.parent
                / "scripts" / "reproctl.py")
@@ -122,6 +130,23 @@ class TestEndpoints:
         assert wal["flushed_lsn"] >= 1
         assert wal["size_bytes"] > 0
 
+    def test_composer_reports_half_matched_state(self, db):
+        # Half-compose a sequence so the durable-detection view has a
+        # live group to report.
+        seq = (Sequence(SignalEventSpec("adm-a"), SignalEventSpec("adm-b"))
+               .scoped(EventScope.MULTI_TX).within(1e9))
+        db.on(seq).do(lambda ctx: None).coupling(
+            CouplingMode.DETACHED).named("HalfMatch")
+        with db.transaction():
+            db.signal("adm-a")
+        __, __, body = get(db, "/composer")
+        payload = json.loads(body)
+        assert payload["half_matched_groups"] >= 1
+        assert payload["checkpoints_written"] >= 1
+        assert payload["last_checkpoint_lsn"] > 0
+        names = {entry["name"] for entry in payload["composers"]}
+        assert any("adm-a" in name for name in names)
+
     def test_flight_tail_returns_recent_entries(self, db):
         __, __, body = get(db, "/flight?tail=5")
         payload = json.loads(body)
@@ -191,6 +216,15 @@ class TestReproctl:
                 capture_output=True, text=True, timeout=30)
             assert metrics.returncode == 0
             assert "reach_up 1" in metrics.stdout
+
+            composer = subprocess.run(
+                [sys.executable, REPROCTL, "--host", host,
+                 "--port", str(port), "--json", "composer"],
+                capture_output=True, text=True, timeout=30)
+            assert composer.returncode == 0, composer.stderr
+            view = json.loads(composer.stdout)
+            assert "half_matched_groups" in view
+            assert "last_checkpoint_lsn" in view
         finally:
             database.close()
 

@@ -2,6 +2,7 @@
 
 import os
 import warnings
+import zlib
 
 import pytest
 
@@ -10,7 +11,13 @@ from repro.errors import InjectedFault, RecoveryWarning, WALError
 from repro.faults.registry import WAL_FSYNC, FaultRegistry
 from repro.oodb.oid import OID
 from repro.storage.storage_manager import StorageManager
-from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
+from repro.storage.wal import (
+    _FRAME,
+    LogRecord,
+    LogRecordType,
+    WALTailer,
+    WriteAheadLog,
+)
 
 
 @pytest.fixture
@@ -225,3 +232,61 @@ class TestTruncate:
         before = wal.size_bytes()
         wal.truncate()
         assert wal.size_bytes() < before
+
+
+class TestForwardCompatibility:
+    """A well-framed record of an unknown type — written by some future
+    version of the engine — must not end the consistent prefix: scans
+    yield it as an inert string-typed record, tailers skip it, and both
+    keep delivering the records after it."""
+
+    @staticmethod
+    def _frame(record):
+        payload = record.encode()
+        return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+    def _append_future_suffix(self, path, lsn):
+        """A future writer appends an unknown frame, then a known one."""
+        with open(path, "ab") as fh:
+            fh.write(self._frame(
+                LogRecord("hologram_sync", tx_id=9, lsn=lsn,
+                          payload={"shard": 3})))
+            fh.write(self._frame(
+                LogRecord(LogRecordType.COMMIT, tx_id=9, lsn=lsn + 1)))
+
+    def test_iter_records_scans_past_unknown_record_type(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        begin_lsn = log.append(LogRecord(LogRecordType.BEGIN, tx_id=1))
+        log.flush()
+        log.close()
+        self._append_future_suffix(path, lsn=begin_lsn + 100)
+
+        reopened = WriteAheadLog(path)
+        records = list(reopened.iter_records(strict=False))
+        assert [r.type for r in records][-3:] == [
+            LogRecordType.BEGIN, "hologram_sync", LogRecordType.COMMIT]
+        unknown = records[-2]
+        assert not unknown.is_known_type
+        assert unknown.payload == {"shard": 3}
+        assert reopened.stats()["unknown_records_skipped"] >= 1
+        # LSN allocation resumed past the future writer's records.
+        assert reopened.append(
+            LogRecord(LogRecordType.BEGIN, tx_id=2)) > begin_lsn + 101
+        reopened.close()
+
+    def test_tailer_skips_unknown_frames_but_ships_later_records(
+            self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path)
+        log.append(LogRecord(LogRecordType.BEGIN, tx_id=1))
+        log.flush()
+        tailer = WALTailer(path)
+        assert [r.type for r in tailer.poll()] == [LogRecordType.BEGIN]
+
+        self._append_future_suffix(path, lsn=900)
+        shipped = tailer.poll()
+        assert [r.type for r in shipped] == [LogRecordType.COMMIT]
+        assert tailer.unknown_records == 1
+        assert tailer.poll() == []  # offset advanced past the skip
+        log.close()
