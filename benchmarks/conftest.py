@@ -23,6 +23,7 @@ BENCH_FAULTS_PATH = os.path.join(RESULTS_DIR, "BENCH_faults.json")
 BENCH_GROUP_COMMIT_PATH = os.path.join(RESULTS_DIR, "BENCH_group_commit.json")
 BENCH_CONTENTION_PATH = os.path.join(RESULTS_DIR, "BENCH_contention.json")
 BENCH_SHARDS_PATH = os.path.join(RESULTS_DIR, "BENCH_shards.json")
+BENCH_SERVER_PATH = os.path.join(RESULTS_DIR, "BENCH_server.json")
 
 
 def report(experiment: str, lines: list[str]) -> str:
@@ -100,3 +101,13 @@ def shards_report(experiment: str, payload: dict[str, Any]) -> dict[str, Any]:
 @pytest.fixture
 def bench_shards_report():
     return shards_report
+
+
+def server_report(experiment: str, payload: dict[str, Any]) -> dict[str, Any]:
+    """Merge one experiment's metrics into ``results/BENCH_server.json``."""
+    return merge_bench_json(BENCH_SERVER_PATH, experiment, payload)
+
+
+@pytest.fixture
+def bench_server_report():
+    return server_report

@@ -46,6 +46,7 @@ LAYER_RANK = {
     "layered": 5,
     "mediator": 5,
     "management": 5,
+    "server": 5,
 }
 
 #: (importing layer, imported dotted-module prefix) pairs exempted from

@@ -5,27 +5,43 @@ Start the engine with an admin port::
 
     db = ReachDatabase(config=ExecutionConfig(admin_port=8787))
 
-then, from any shell (stdlib only — no PYTHONPATH needed)::
+then, from any shell (stdlib + the repro wire codec — the script adds
+``src/`` to its path, no install needed)::
 
     python scripts/reproctl.py --port 8787 stats
     python scripts/reproctl.py --port 8787 slow-rules
     python scripts/reproctl.py --port 8787 metrics     # Prometheus text
     python scripts/reproctl.py --port 8787 shards      # shard topology
+    python scripts/reproctl.py --port 8787 server      # network front end
     python scripts/reproctl.py --port 8787 composer    # half-matched state
     python scripts/reproctl.py --port 8787 flight --tail 20
     python scripts/reproctl.py --port 8787 dump        # flight dump to disk
 
-See docs/observability.md for the endpoint catalogue.
+Against a ``reproserve`` wire port (not the admin port), ``wire-ping``
+speaks the length-prefixed JSON protocol itself — handshake + ping —
+which makes it the smallest possible liveness/auth probe::
+
+    python scripts/reproctl.py --port 7707 wire-ping --token s3cret
+
+Exit codes: 0 ok, 1 unreachable, 2 rejected (bad token / server error).
+HTTP plumbing and wire framing both come from ``repro.server.protocol``
+so reproctl can never drift from what the server actually speaks.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import socket
 import sys
 import urllib.error
-import urllib.parse
-import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.errors import ProtocolError, ReachError  # noqa: E402
+from repro.server import protocol  # noqa: E402
 
 COMMANDS = {
     "stats": "/stats",
@@ -36,19 +52,12 @@ COMMANDS = {
     "wal": "/wal",
     "composer": "/composer",
     "shards": "/shards",
+    "server": "/server",
     "flight": "/flight",
     "dump": "/flight/dump",
 }
 
-
-def fetch(host: str, port: int, path: str, params: dict,
-          timeout: float) -> tuple[str, str]:
-    query = urllib.parse.urlencode(
-        {key: value for key, value in params.items() if value})
-    url = f"http://{host}:{port}{path}" + (f"?{query}" if query else "")
-    with urllib.request.urlopen(url, timeout=timeout) as response:
-        content_type = response.headers.get("Content-Type", "")
-        return content_type, response.read().decode("utf-8")
+WIRE_COMMANDS = {"wire-ping"}
 
 
 def summarize_stats(stats: dict) -> str:
@@ -81,17 +90,78 @@ def summarize_stats(stats: dict) -> str:
     return "\n".join(lines)
 
 
+def summarize_server(stats: dict) -> str:
+    if not stats.get("enabled"):
+        return "server     not attached"
+    connections = stats.get("connections", {})
+    requests = stats.get("requests", {})
+    address = stats.get("address") or ["?", "?"]
+    lines = [
+        f"listening  {address[0]}:{address[1]} "
+        f"draining={stats.get('draining', False)}",
+        f"conns      accepted={connections.get('accepted', 0)} "
+        f"active={connections.get('active', 0)} "
+        f"rejected_auth={connections.get('rejected_auth', 0)}",
+        f"requests   served={requests.get('served', 0)} "
+        f"errors={requests.get('errors', 0)} "
+        f"rate_limited={requests.get('rate_limited', 0)} "
+        f"replays={requests.get('idempotent_replays', 0)}",
+    ]
+    for tenant, counters in sorted(stats.get("tenants", {}).items()):
+        lines.append(f"tenant     {tenant}: "
+                     f"requests={counters.get('requests', 0)} "
+                     f"rate_limited={counters.get('rate_limited', 0)}")
+    return "\n".join(lines)
+
+
+def wire_ping(host: str, port: int, token: str | None,
+              timeout: float) -> int:
+    """Handshake + ping against a reproserve wire port."""
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        print(f"reproctl: cannot reach {host}:{port}: {exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        sock.settimeout(timeout)
+        protocol.write_frame(
+            sock, protocol.request("hello", 0, token=token,
+                                   client="reproctl"))
+        hello = protocol.read_frame(sock)
+        if not hello.get("ok"):
+            error = hello.get("error", {})
+            print(f"reproctl: rejected: [{error.get('code')}] "
+                  f"{error.get('message')}", file=sys.stderr)
+            return 2
+        protocol.write_frame(sock, protocol.request("ping", 1))
+        pong = protocol.read_frame(sock)
+        result = hello.get("result", {})
+        print(json.dumps({"server": result,
+                          "pong": pong.get("result", {})}, indent=2))
+        return 0
+    except (ReachError, ProtocolError, OSError) as exc:
+        print(f"reproctl: wire error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        sock.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="reproctl",
         description="query a live REACH engine's admin endpoint")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, required=True,
-                        help="admin port (ExecutionConfig(admin_port=...))")
+                        help="admin port (ExecutionConfig(admin_port=...)) "
+                             "or, for wire-*, the reproserve port")
     parser.add_argument("--timeout", type=float, default=5.0)
     parser.add_argument("--json", action="store_true", dest="raw_json",
                         help="print raw JSON even for summarized commands")
-    parser.add_argument("command", choices=sorted(COMMANDS),
+    parser.add_argument("--token", default=None,
+                        help="bearer token (wire commands)")
+    parser.add_argument("command",
+                        choices=sorted(COMMANDS) + sorted(WIRE_COMMANDS),
                         help="endpoint to query")
     parser.add_argument("--limit", type=int, default=0,
                         help="traces/slow-rules: cap the returned rows")
@@ -99,15 +169,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="flight: include the N most recent entries")
     args = parser.parse_args(argv)
 
+    if args.command in WIRE_COMMANDS:
+        return wire_ping(args.host, args.port, args.token, args.timeout)
+
     params = {"limit": args.limit or "", "tail": args.tail or ""}
     try:
-        content_type, body = fetch(args.host, args.port,
-                                   COMMANDS[args.command], params,
-                                   args.timeout)
-    except (urllib.error.URLError, OSError) as exc:
-        print(f"reproctl: cannot reach {args.host}:{args.port}: {exc}",
-              file=sys.stderr)
+        content_type, body = protocol.http_get(
+            args.host, args.port, COMMANDS[args.command], params,
+            timeout=args.timeout, token=args.token)
+    except protocol.AdminUnreachable as exc:
+        print(f"reproctl: {exc}", file=sys.stderr)
         return 1
+    except urllib.error.HTTPError as exc:
+        print(f"reproctl: server answered {exc.code}: {exc.reason}",
+              file=sys.stderr)
+        return 2
 
     if args.command == "metrics":
         sys.stdout.write(body)
@@ -119,6 +195,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "stats" and not args.raw_json:
         print(summarize_stats(payload))
+        return 0
+    if args.command == "server" and not args.raw_json:
+        print(summarize_server(payload))
         return 0
     print(json.dumps(payload, indent=2))
     return 0

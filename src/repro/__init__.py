@@ -37,6 +37,7 @@ from repro.config import (
     ConcurrencyConfig,
     ExecutionConfig,
     ExecutionMode,
+    ServerConfig,
     ShardingConfig,
     TieBreakPolicy,
 )
@@ -89,6 +90,7 @@ __all__ = [
     "ConcurrencyConfig",
     "ExecutionConfig",
     "ExecutionMode",
+    "ServerConfig",
     "ShardingConfig",
     "TieBreakPolicy",
     "Closure",

@@ -122,6 +122,72 @@ class ShardingConfig:
 
 
 @dataclass
+class ServerConfig:
+    """Network front-end knobs (``repro.server``); nested as
+    ``config.server``.
+
+    The engine itself never imports the server layer (it sits above
+    ``core`` — see ``scripts/check_layering.py``); this config travels
+    with the :class:`ExecutionConfig` so one object describes a full
+    deployment, and :class:`repro.server.ReachServer` (or the
+    ``reproserve`` entry point) reads it when constructed over the
+    database.
+
+    Attributes:
+        host: interface to bind; loopback by default — exposing the
+            engine beyond the machine is an explicit operator decision.
+        port: TCP port; 0 (the default) picks an ephemeral port
+            (``server.address`` has the real one).
+        auth_tokens: bearer-token table mapping token -> tenant name.
+            ``None`` (default) disables authentication and serves every
+            connection as tenant ``"default"``; an empty dict rejects
+            every connection.
+        rate_limit: per-tenant request budget in requests/second,
+            enforced by a token bucket refilled continuously; ``None``
+            (default) is unlimited.  Tenants are isolated — one tenant
+            exhausting its bucket never delays another.
+        rate_burst: token-bucket capacity: how many requests a tenant
+            may burst above the steady-state rate.
+        idempotency_capacity: bound on the server-wide cache of
+            ``(tenant, idempotency key) -> response`` entries that makes
+            retried requests apply exactly once; oldest evicted first.
+        max_frame_bytes: largest wire frame accepted or produced; an
+            oversized frame draws a structured ``frame_too_large`` error
+            and the connection closes.
+        drain_timeout: how long :meth:`~repro.server.ReachServer.drain`
+            waits for in-flight requests to finish before forcing
+            connections closed, in seconds.
+        accept_backlog: listen(2) backlog for the accept socket.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    auth_tokens: Optional[dict] = None
+    rate_limit: Optional[float] = None
+    rate_burst: int = 32
+    idempotency_capacity: int = 1024
+    max_frame_bytes: int = 1 << 20
+    drain_timeout: float = 10.0
+    accept_backlog: int = 128
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ValueError("port must be in [0, 65535]")
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ValueError("rate_limit must be positive or None")
+        if self.rate_burst < 1:
+            raise ValueError("rate_burst must be >= 1")
+        if self.idempotency_capacity < 1:
+            raise ValueError("idempotency_capacity must be >= 1")
+        if self.max_frame_bytes < 64:
+            raise ValueError("max_frame_bytes must be >= 64")
+        if self.drain_timeout < 0:
+            raise ValueError("drain_timeout must be >= 0")
+        if self.accept_backlog < 1:
+            raise ValueError("accept_backlog must be >= 1")
+
+
+@dataclass
 class ExecutionConfig:
     """Tunable knobs for a :class:`~repro.core.database.ReachDatabase`.
 
@@ -229,6 +295,12 @@ class ExecutionConfig:
             (:class:`ShardingConfig`): shard count, OID block width, WAL
             shipping to read replicas.  ``None`` (default) builds the
             defaults (one shard, no shipping).
+        server: the network front-end knobs (:class:`ServerConfig`):
+            bind address, bearer tokens, per-tenant rate limiting,
+            idempotency-cache capacity, frame bound, drain timeout.
+            ``None`` (default) describes no server; pass a config and
+            construct :class:`repro.server.ReachServer` over the
+            database (or run ``reproserve``) to serve it.
     """
 
     mode: ExecutionMode = ExecutionMode.SYNCHRONOUS
@@ -260,6 +332,7 @@ class ExecutionConfig:
     admin_port: Optional[int] = None
     concurrency: Optional[ConcurrencyConfig] = None
     sharding: Optional[ShardingConfig] = None
+    server: Optional[ServerConfig] = None
     #: removed flat aliases for the ``concurrency`` group.  They were
     #: deprecated (with a mapping) for one release; passing any of them
     #: now raises a ``TypeError`` that names the replacement, which beats

@@ -198,6 +198,12 @@ class ReachEngine:
                                     metrics=self.metrics_registry,
                                     flight=self.flight)
 
+        # -- network front end (repro.server) -----------------------------
+        # The engine never imports the server package (it sits above core
+        # in the layering); a running ReachServer registers itself here
+        # via attach_server() so statistics() and close() can reach it.
+        self._server: Optional[Any] = None
+
         # -- low-level event detection -----------------------------------
         # Each engine owns its sentry registry: watches installed through
         # it only deliver while one of this engine's sessions is bound to
@@ -383,6 +389,38 @@ class ReachEngine:
         with self._lock:
             if session in self._sessions:
                 self._sessions.remove(session)
+
+    # ------------------------------------------------------------------
+    # Network front end registration (duck-typed; see repro.server)
+    # ------------------------------------------------------------------
+
+    def attach_server(self, server: Any) -> None:
+        """Register a running network front end with this engine.
+
+        The handle only needs ``stats()`` and ``close()``; the engine
+        consults it for the ``server`` statistics section and tears it
+        down first on :meth:`close` so in-flight wire transactions can
+        finish against a still-open engine.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            self._server = server
+
+    def detach_server(self, server: Any) -> None:
+        """Drop the registration; idempotent, ignores stale handles."""
+        with self._lock:
+            if self._server is server:
+                self._server = None
+
+    def server_stats(self) -> dict[str, Any]:
+        """The ``statistics()["server"]`` section: the attached front
+        end's counters, or an inert stub when none is attached."""
+        server = self._server
+        if server is None:
+            return {"enabled": False, "connections": {"active": 0},
+                    "requests": {"served": 0}}
+        return server.stats()
 
     @contextmanager
     def activate(self, context: Optional[TransactionContext] = None) \
@@ -736,7 +774,7 @@ class ReachEngine:
         "transactions", "scheduler", "events", "events_detected",
         "semi_composed_pending", "composers", "eca_managers", "storage",
         "rules", "queries", "observability", "sessions", "faults",
-        "flight", "telemetry", "concurrency", "shards", "wal",
+        "flight", "telemetry", "concurrency", "shards", "wal", "server",
     })
 
     #: The frozen top-level key set of :meth:`concurrency_stats` — the
@@ -789,6 +827,9 @@ class ReachEngine:
         * ``shards`` — :meth:`shard_stats` (topology plus per-shard
           commit/event/storage counters; a single-kernel engine reports
           itself as a one-shard topology);
+        * ``server`` — :meth:`server_stats`: the attached network front
+          end's connection/request counters (``{"enabled": False, ...}``
+          when no server is attached);
         * ``observability`` — ``metrics().snapshot()``.
         """
         if self._closed:
@@ -845,6 +886,7 @@ class ReachEngine:
             "concurrency": self.concurrency_stats(),
             "wal": self.wal_statistics(),
             "shards": self.shard_stats(),
+            "server": self.server_stats(),
             "observability": self.metrics_registry.snapshot(),
         }
 
@@ -974,13 +1016,22 @@ class ReachEngine:
         work, stop the worker pools, cancel sentry subscriptions, and
         close the storage manager (flushing the buffer pool).
 
-        Idempotent — a second call returns immediately.  Open sessions
-        are closed first.
+        Idempotent — a second call returns immediately.  An attached
+        network front end is drained and closed first — while the engine
+        is still open, so wire clients' in-flight transactions can
+        finish — then open sessions are closed.
         """
+        server = self._server
+        if server is not None and not self._closed:
+            try:
+                server.close()          # detaches itself when done
+            except Exception:
+                pass
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            self._server = None
             open_sessions = list(self._sessions)
         _LIVE_ENGINES.discard(self)
         if self.admin is not None:

@@ -240,6 +240,11 @@ class ShardedEngine:
         if self.config.admin_port is not None:
             self.admin = AdminServer(self, port=self.config.admin_port)
 
+        # Duck-typed network front end handle (see ReachEngine._server):
+        # a ReachServer over a sharded topology attaches here, to the
+        # coordinator, never to an individual shard.
+        self._server: Optional[Any] = None
+
     # ------------------------------------------------------------------
     # Shard-0 delegation: the single-object subsystem surface the facade
     # and admin endpoint wire up.  Aggregate views exist alongside
@@ -381,6 +386,28 @@ class ShardedEngine:
         with self._lock:
             if session in self._sessions:
                 self._sessions.remove(session)
+
+    # ------------------------------------------------------------------
+    # Network front end registration (duck-typed; see ReachEngine)
+    # ------------------------------------------------------------------
+
+    def attach_server(self, server: Any) -> None:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            self._server = server
+
+    def detach_server(self, server: Any) -> None:
+        with self._lock:
+            if self._server is server:
+                self._server = None
+
+    def server_stats(self) -> dict[str, Any]:
+        server = self._server
+        if server is None:
+            return {"enabled": False, "connections": {"active": 0},
+                    "requests": {"served": 0}}
+        return server.stats()
 
     @contextmanager
     def activate(self, context: Any = None) -> Iterator["ShardedEngine"]:
@@ -674,6 +701,9 @@ class ShardedEngine:
             merged["sessions"] = {"created": self._sessions_created,
                                   "active": len(self._sessions)}
         merged["shards"] = self.shard_stats()
+        # The front end attaches to the coordinator, not to any shard;
+        # the merged per-shard inert stubs would misreport it.
+        merged["server"] = self.server_stats()
         return merged
 
     def concurrency_stats(self) -> dict[str, Any]:
@@ -751,10 +781,19 @@ class ShardedEngine:
         return self._closed
 
     def close(self) -> None:
+        # An attached front end drains first, against a still-open
+        # topology, mirroring ReachEngine.close().
+        server = self._server
+        if server is not None and not self._closed:
+            try:
+                server.close()
+            except Exception:
+                pass
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            self._server = None
             open_sessions = list(self._sessions)
         if self.admin is not None:
             self.admin.close()

@@ -202,3 +202,49 @@ class LayeredArchitectureError(ReachError):
 class ClosedSystemError(LayeredArchitectureError):
     """The closed OODBMS does not expose the requested internal capability
     (transaction-manager access, commit/abort redefinition, method hooks)."""
+
+
+# ---------------------------------------------------------------------------
+# Network front end (repro.server)
+# ---------------------------------------------------------------------------
+
+class ServerError(ReachError):
+    """Base class for network front-end failures."""
+
+
+class ProtocolError(ServerError):
+    """A wire frame violated the length-prefixed JSON protocol (bad
+    length prefix, oversized frame, undecodable payload)."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame's declared length exceeds the configured bound."""
+
+
+class ConnectionClosedError(ServerError):
+    """The peer closed the connection before a complete frame arrived."""
+
+
+class ReachClientError(ServerError):
+    """A request failed server-side; ``code`` carries the structured
+    error code from the response (``auth``, ``rate_limited``,
+    ``bad_request``, ``app_error``, ...)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class AuthenticationError(ReachClientError):
+    """The server rejected the connection's bearer token."""
+
+    def __init__(self, message: str = "invalid or missing token"):
+        super().__init__("auth", message)
+
+
+class RateLimitedError(ReachClientError):
+    """The tenant's token bucket is exhausted; retry after backoff."""
+
+    def __init__(self, message: str = "rate limit exceeded"):
+        super().__init__("rate_limited", message)

@@ -52,6 +52,10 @@ BUFFER_EVICT = "buffer.evict"
 LOCK_ACQUIRE = "locks.acquire"
 SCHEDULER_WORKER = "scheduler.worker"
 COMPOSER_DISPATCH = "composer.dispatch"
+SERVER_ACCEPT = "server.accept"
+SERVER_READ = "server.read"
+SERVER_WRITE = "server.write"
+SERVER_AUTH = "server.auth"
 
 #: Every built-in injection point and where it fires.
 KNOWN_POINTS = {
@@ -66,6 +70,10 @@ KNOWN_POINTS = {
     LOCK_ACQUIRE: "at the top of every lock acquisition",
     SCHEDULER_WORKER: "at the start of a detached worker's run",
     COMPOSER_DISPATCH: "before composition listeners are invoked",
+    SERVER_ACCEPT: "after a client connection is accepted (server/server.py)",
+    SERVER_READ: "before a request frame is read off a connection",
+    SERVER_WRITE: "before a response frame is written to a connection",
+    SERVER_AUTH: "during the hello handshake's token check",
 }
 
 _UNSET = object()

@@ -213,6 +213,13 @@ class AdminServer:
         # a single-kernel engine reports itself as a one-shard topology.
         return self._json(self.engine.shard_stats())
 
+    def _server(self, query: dict[str, str]) -> tuple[str, str]:
+        # The network front end, when one is attached: listen address,
+        # connection/request counters, per-tenant rate-limit state.  An
+        # engine without a server answers the inert stub, not a 404 —
+        # pollers can rely on the shape.
+        return self._json(self.engine.server_stats())
+
     def _flight(self, query: dict[str, str]) -> tuple[str, str]:
         flight = self.engine.flight
         payload = flight.snapshot()
@@ -236,6 +243,7 @@ _ROUTES = {
     "/wal": AdminServer._wal,
     "/composer": AdminServer._composer,
     "/shards": AdminServer._shards,
+    "/server": AdminServer._server,
     "/flight": AdminServer._flight,
     "/flight/dump": AdminServer._flight_dump,
 }

@@ -183,6 +183,7 @@ class TransactionManager:
         self._outcomes: dict[int, TransactionState] = {}
         self._outcome_lock = threading.Lock()
         self._outcome_condition = threading.Condition(self._outcome_lock)
+        self._outcome_waiters = 0
         self._live: dict[int, Transaction] = {}
         self._live_lock = threading.Lock()
         self.pre_commit_hooks: list[Callable[[Transaction], None]] = []
@@ -489,11 +490,25 @@ class TransactionManager:
                          timeout: float = 30.0) -> Optional[TransactionState]:
         """Block until the outcome of ``tx_id`` is known (threaded mode)."""
         with self._outcome_condition:
-            deadline_reached = self._outcome_condition.wait_for(
-                lambda: tx_id in self._outcomes, timeout=timeout)
+            self._outcome_waiters += 1
+            try:
+                deadline_reached = self._outcome_condition.wait_for(
+                    lambda: tx_id in self._outcomes, timeout=timeout)
+            finally:
+                self._outcome_waiters -= 1
             if not deadline_reached:
                 return None
             return self._outcomes[tx_id]
+
+    def outcome_waiters(self) -> int:
+        """How many threads are parked in :meth:`wait_for_outcome`.
+
+        Causally-dependent detached workers block here until their
+        trigger decides; exposing the count lets tests (and operators)
+        observe "a worker reached the await point" without sleeping.
+        """
+        with self._outcome_condition:
+            return self._outcome_waiters
 
     def seed_recovered_outcomes(self, tx_ids: Any) -> int:
         """Mark pre-crash transaction ids as decided (COMMITTED).

@@ -1,0 +1,19 @@
+"""repro.server — the network boundary of the active OODBMS.
+
+``protocol`` is the shared wire codec, ``server`` the threaded
+``reproserve`` front end mapping authenticated connections onto engine
+sessions, ``client`` the :class:`ReachClient` mirroring the in-process
+Session API, and ``main`` the console entry point.
+"""
+
+from repro.server.client import ReachClient, RemoteRuleBuilder
+from repro.server.protocol import PROTOCOL_VERSION
+from repro.server.server import Document, ReachServer
+
+__all__ = [
+    "Document",
+    "PROTOCOL_VERSION",
+    "ReachClient",
+    "ReachServer",
+    "RemoteRuleBuilder",
+]

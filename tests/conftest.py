@@ -8,11 +8,37 @@ from __future__ import annotations
 import os
 import re
 import shutil
+import time
 
 import pytest
 
 from repro import ExecutionConfig, ExecutionMode, ReachDatabase, VirtualClock
 from repro.bench.workloads import Reactor, River
+
+
+def wait_until(condition, timeout=5.0, interval=0.005, message=None):
+    """Poll ``condition`` until it is truthy; the bounded replacement for
+    fixed ``time.sleep`` waits on loaded CI machines.
+
+    Returns the condition's (truthy) value, so calls can both wait and
+    capture: ``count = wait_until(lambda: bucket.count() or None)``.
+    Raises AssertionError after ``timeout`` seconds.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        result = condition()
+        if result:
+            return result
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                message or f"condition not met within {timeout}s")
+        time.sleep(interval)
+
+
+@pytest.fixture
+def wait_for():
+    """Fixture view of :func:`wait_until` for tests preferring injection."""
+    return wait_until
 
 
 @pytest.hookimpl(hookwrapper=True)

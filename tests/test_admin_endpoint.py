@@ -235,3 +235,95 @@ class TestReproctl:
             capture_output=True, text=True, timeout=30)
         assert result.returncode == 1
         assert "cannot reach" in result.stderr
+
+
+class TestServerRoute:
+    """The ``/server`` admin route and the reproctl commands over it."""
+
+    def test_server_route_is_inert_without_a_front_end(self, db):
+        status, __, body = get(db, "/server")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["enabled"] is False
+        assert payload["connections"]["active"] == 0
+
+    def test_server_route_reports_the_live_front_end(self, tmp_path):
+        from repro.server import ReachClient, ReachServer
+        database = ReachDatabase(
+            directory=str(tmp_path / "srv-db"),
+            config=ExecutionConfig(admin_port=0))
+        server = ReachServer(database.engine).start()
+        try:
+            client = ReachClient(*server.address)
+            client.ping()
+            client.close()
+            __, __, body = get(database, "/server")
+            payload = json.loads(body)
+            assert payload["enabled"] is True
+            assert payload["requests"]["served"] >= 1
+            assert list(payload["address"]) == list(server.address)
+        finally:
+            database.close()
+
+    def test_reproctl_server_summarizes_the_front_end(self, tmp_path):
+        from repro.server import ReachClient, ReachServer
+        database = ReachDatabase(
+            directory=str(tmp_path / "ctl-db"),
+            config=ExecutionConfig(admin_port=0))
+        server = ReachServer(database.engine).start()
+        try:
+            client = ReachClient(*server.address)
+            client.ping()
+            client.close()
+            host, port = database.admin_address
+            pretty = subprocess.run(
+                [sys.executable, REPROCTL, "--host", host,
+                 "--port", str(port), "server"],
+                capture_output=True, text=True, timeout=30)
+            assert pretty.returncode == 0, pretty.stderr
+            assert "listening" in pretty.stdout
+            raw = subprocess.run(
+                [sys.executable, REPROCTL, "--host", host,
+                 "--port", str(port), "--json", "server"],
+                capture_output=True, text=True, timeout=30)
+            assert raw.returncode == 0, raw.stderr
+            payload = json.loads(raw.stdout)
+            assert payload["enabled"] is True
+        finally:
+            database.close()
+
+    def test_wire_ping_good_and_bad_token(self, tmp_path):
+        from repro.config import ServerConfig
+        from repro.server import ReachServer
+        database = ReachDatabase(directory=str(tmp_path / "ping-db"))
+        server = ReachServer(
+            database.engine,
+            ServerConfig(auth_tokens={"s3cret": "acme"})).start()
+        try:
+            host, port = server.address
+            good = subprocess.run(
+                [sys.executable, REPROCTL, "--host", host,
+                 "--port", str(port), "wire-ping", "--token", "s3cret"],
+                capture_output=True, text=True, timeout=30)
+            assert good.returncode == 0, good.stderr
+            probe = json.loads(good.stdout)
+            assert probe["pong"]["pong"] is True
+            assert probe["server"]["tenant"] == "acme"
+
+            bad = subprocess.run(
+                [sys.executable, REPROCTL, "--host", host,
+                 "--port", str(port), "wire-ping", "--token", "wrong"],
+                capture_output=True, text=True, timeout=30)
+            assert bad.returncode == 2
+            assert "rejected" in bad.stderr
+            assert "auth" in bad.stderr
+        finally:
+            database.close()
+
+    def test_wire_ping_unreachable_exits_one(self):
+        result = subprocess.run(
+            [sys.executable, REPROCTL, "--port", "1",
+             "--timeout", "0.5", "wire-ping"],
+            capture_output=True, text=True, timeout=30)
+        assert result.returncode == 1
+        assert "cannot reach" in result.stderr

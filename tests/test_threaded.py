@@ -2,9 +2,10 @@
 dependencies enforced across real threads."""
 
 import threading
-import time
 
 import pytest
+
+from tests.conftest import wait_until
 
 from repro import (
     Conjunction,
@@ -32,15 +33,6 @@ class Turbine:
 SPIN = MethodEventSpec("Turbine", "spin")
 
 
-def _wait_until(predicate, timeout=5.0):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if predicate():
-            return True
-        time.sleep(0.005)
-    return False
-
-
 @pytest.fixture
 def tdb(tmp_path):
     config = ExecutionConfig(mode=ExecutionMode.THREADED, worker_threads=4)
@@ -60,7 +52,7 @@ class TestDetachedThreaded:
                  coupling=CouplingMode.DETACHED)
         with tdb.transaction():
             Turbine().spin(100)
-        assert _wait_until(lambda: len(seen) == 1)
+        wait_until(lambda: len(seen) == 1)
         assert seen[0] != main
 
     def test_sequential_cd_waits_for_commit(self, tdb):
@@ -70,9 +62,11 @@ class TestDetachedThreaded:
                  coupling=CouplingMode.SEQUENTIAL_CAUSALLY_DEPENDENT)
         with tdb.transaction():
             Turbine().spin(100)
-            time.sleep(0.1)  # give the worker a chance to run too early
+            # The worker demonstrably had its chance to run too early:
+            # it is parked awaiting our outcome before we proceed.
+            wait_until(lambda: tdb.tx_manager.outcome_waiters() >= 1)
             events.append("still-in-tx")
-        assert _wait_until(lambda: "rule" in events)
+        wait_until(lambda: "rule" in events)
         assert events.index("still-in-tx") < events.index("rule")
 
     def test_sequential_cd_skipped_on_abort(self, tdb):
@@ -85,8 +79,7 @@ class TestDetachedThreaded:
                 raise RuntimeError("abort")
         except RuntimeError:
             pass
-        assert _wait_until(
-            lambda: tdb.scheduler.stats["detached_skipped"] == 1)
+        wait_until(lambda: tdb.scheduler.stats["detached_skipped"] == 1)
         assert fired == []
 
     def test_exclusive_cd_runs_on_abort_only(self, tdb):
@@ -99,7 +92,7 @@ class TestDetachedThreaded:
                 raise RuntimeError("abort")
         except RuntimeError:
             pass
-        assert _wait_until(lambda: fired == [1])
+        wait_until(lambda: fired == [1])
 
     def test_parallel_cd_aborts_with_trigger(self, tdb):
         """The parallel rule may start early but must not commit if the
@@ -118,9 +111,8 @@ class TestDetachedThreaded:
                 raise RuntimeError("abort")
         except RuntimeError:
             pass
-        assert _wait_until(
-            lambda: any(record.outcome == "skipped"
-                        for record in tdb.scheduler.firing_log))
+        wait_until(lambda: any(record.outcome == "skipped"
+                               for record in tdb.scheduler.firing_log))
 
 
 class TestAsyncComposition:
@@ -134,8 +126,11 @@ class TestAsyncComposition:
             tdb.wait_for_composition()
             tdb.signal("check")
             tdb.wait_for_composition()
-            time.sleep(0.05)
-        assert _wait_until(lambda: fired == [1])
+            # The composite is recognised; wait for the deferred firing
+            # to land on this transaction's queue instead of sleeping.
+            wait_until(
+                lambda: tdb.scheduler.stats["deferred_enqueued"] >= 1)
+        wait_until(lambda: fired == [1])
 
     def test_cross_transaction_composite_threaded(self, tdb):
         fired = []
@@ -148,7 +143,7 @@ class TestAsyncComposition:
         with tdb.transaction():
             tdb.signal("ok")
         tdb.wait_for_composition()
-        assert _wait_until(lambda: fired == [1])
+        wait_until(lambda: fired == [1])
 
 
 class TestParallelRules:
