@@ -24,6 +24,8 @@ BENCH_GROUP_COMMIT_PATH = os.path.join(RESULTS_DIR, "BENCH_group_commit.json")
 BENCH_CONTENTION_PATH = os.path.join(RESULTS_DIR, "BENCH_contention.json")
 BENCH_SHARDS_PATH = os.path.join(RESULTS_DIR, "BENCH_shards.json")
 BENCH_SERVER_PATH = os.path.join(RESULTS_DIR, "BENCH_server.json")
+BENCH_TRACE_LATENCY_PATH = os.path.join(RESULTS_DIR,
+                                        "BENCH_trace_latency.json")
 
 
 def report(experiment: str, lines: list[str]) -> str:
@@ -111,3 +113,15 @@ def server_report(experiment: str, payload: dict[str, Any]) -> dict[str, Any]:
 @pytest.fixture
 def bench_server_report():
     return server_report
+
+
+def trace_latency_report(experiment: str,
+                         payload: dict[str, Any]) -> dict[str, Any]:
+    """Merge one experiment's metrics into
+    ``results/BENCH_trace_latency.json``."""
+    return merge_bench_json(BENCH_TRACE_LATENCY_PATH, experiment, payload)
+
+
+@pytest.fixture
+def bench_trace_latency_report():
+    return trace_latency_report

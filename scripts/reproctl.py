@@ -16,6 +16,8 @@ then, from any shell (stdlib + the repro wire codec — the script adds
     python scripts/reproctl.py --port 8787 composer    # half-matched state
     python scripts/reproctl.py --port 8787 flight --tail 20
     python scripts/reproctl.py --port 8787 dump        # flight dump to disk
+    python scripts/reproctl.py --port 8787 top         # slowest rules/tenants
+    python scripts/reproctl.py --port 8787 trace 8123456789   # one trace tree
 
 Against a ``reproserve`` wire port (not the admin port), ``wire-ping``
 speaks the length-prefixed JSON protocol itself — handshake + ping —
@@ -58,6 +60,11 @@ COMMANDS = {
 }
 
 WIRE_COMMANDS = {"wire-ping"}
+
+#: commands with their own fetch/render logic (not a 1:1 endpoint map):
+#: ``trace <id>`` fetches one assembled trace tree, ``top`` composes the
+#: live slowest-rules / slowest-tenants view from two endpoints.
+COMPOSED_COMMANDS = {"trace", "top"}
 
 
 def summarize_stats(stats: dict) -> str:
@@ -108,9 +115,81 @@ def summarize_server(stats: dict) -> str:
         f"replays={requests.get('idempotent_replays', 0)}",
     ]
     for tenant, counters in sorted(stats.get("tenants", {}).items()):
-        lines.append(f"tenant     {tenant}: "
-                     f"requests={counters.get('requests', 0)} "
-                     f"rate_limited={counters.get('rate_limited', 0)}")
+        line = (f"tenant     {tenant}: "
+                f"requests={counters.get('requests', 0)} "
+                f"errors={counters.get('errors', 0)} "
+                f"rate_limited={counters.get('rate_limited', 0)}")
+        latency = counters.get("latency") or {}
+        if latency.get("count"):
+            line += (f" p50={latency.get('p50', 0) * 1e3:.2f}ms"
+                     f" p99={latency.get('p99', 0) * 1e3:.2f}ms")
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def summarize_trace(trace: dict) -> str:
+    """Render one assembled trace tree, children indented under parents."""
+    spans = trace.get("spans", [])
+    lines = [f"trace {trace.get('trace_id')} spans={len(spans)}"]
+    by_parent: dict = {}
+    for span in spans:
+        by_parent.setdefault(span.get("parent_id"), []).append(span)
+    span_ids = {span.get("span_id") for span in spans}
+
+    def wing(span: dict, depth: int) -> None:
+        duration = span.get("duration")
+        shown = (f"{duration * 1e3:.3f}ms" if isinstance(duration, float)
+                 else "open")
+        attrs = span.get("attributes") or {}
+        decor = " ".join(f"{key}={attrs[key]}" for key in
+                         ("tenant", "op", "mode", "outcome", "attempt")
+                         if key in attrs)
+        lines.append(f"  {'  ' * depth}{span.get('name')} "
+                     f"[{span.get('kind')}] {shown}"
+                     + (f"  {decor}" if decor else ""))
+        for child in by_parent.get(span.get("span_id"), []):
+            wing(child, depth + 1)
+
+    # Roots: no parent, or a parent recorded in another process (the
+    # client's span id is never in a server-side retention).
+    for span in spans:
+        if span.get("parent_id") not in span_ids:
+            wing(span, 0)
+    return "\n".join(lines)
+
+
+def summarize_top(rules: list, server: dict) -> str:
+    """The ``reproctl top`` view: slowest rules, slowest tenants."""
+    lines = ["slowest rules (mean firing latency)"]
+    firing = [row for row in rules if row.get("firings")]
+    if firing:
+        for row in firing:
+            flags = " QUARANTINED" if row.get("quarantined") else ""
+            lines.append(
+                f"  {row.get('rule', '?'):24s} "
+                f"firings={row.get('firings', 0):<6d} "
+                f"mean={row.get('mean_s', 0.0) * 1e3:8.3f}ms "
+                f"max={row.get('max_s', 0.0) * 1e3:8.3f}ms{flags}")
+    else:
+        lines.append("  (no firings in the retained traces)")
+    lines.append("slowest tenants (request latency)")
+    tenants = (server or {}).get("tenants", {})
+    rows = []
+    for tenant, counters in tenants.items():
+        latency = counters.get("latency") or {}
+        rows.append((latency.get("p99", 0.0), tenant, counters, latency))
+    rows.sort(reverse=True)
+    if rows:
+        for p99, tenant, counters, latency in rows:
+            lines.append(
+                f"  {tenant:24s} "
+                f"requests={counters.get('requests', 0):<6d} "
+                f"errors={counters.get('errors', 0):<4d} "
+                f"rate_limited={counters.get('rate_limited', 0):<4d} "
+                f"p50={latency.get('p50', 0.0) * 1e3:8.3f}ms "
+                f"p99={p99 * 1e3:8.3f}ms")
+    else:
+        lines.append("  (no tenant traffic; is a reproserve attached?)")
     return "\n".join(lines)
 
 
@@ -161,27 +240,45 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--token", default=None,
                         help="bearer token (wire commands)")
     parser.add_argument("command",
-                        choices=sorted(COMMANDS) + sorted(WIRE_COMMANDS),
+                        choices=sorted(COMMANDS) + sorted(WIRE_COMMANDS)
+                        + sorted(COMPOSED_COMMANDS),
                         help="endpoint to query")
+    parser.add_argument("argument", nargs="?", default=None,
+                        help="trace: the trace id to fetch")
     parser.add_argument("--limit", type=int, default=0,
-                        help="traces/slow-rules: cap the returned rows")
+                        help="traces/slow-rules/top: cap the returned rows")
     parser.add_argument("--tail", type=int, default=0,
                         help="flight: include the N most recent entries")
     args = parser.parse_args(argv)
 
     if args.command in WIRE_COMMANDS:
         return wire_ping(args.host, args.port, args.token, args.timeout)
+    if args.command == "top":
+        return top(args)
 
+    if args.command == "trace":
+        if args.argument is None:
+            parser.error("trace requires a trace id "
+                         "(reproctl ... trace <id>)")
+        path = f"/trace/{args.argument}"
+    else:
+        path = COMMANDS[args.command]
     params = {"limit": args.limit or "", "tail": args.tail or ""}
     try:
         content_type, body = protocol.http_get(
-            args.host, args.port, COMMANDS[args.command], params,
+            args.host, args.port, path, params,
             timeout=args.timeout, token=args.token)
     except protocol.AdminUnreachable as exc:
         print(f"reproctl: {exc}", file=sys.stderr)
         return 1
     except urllib.error.HTTPError as exc:
-        print(f"reproctl: server answered {exc.code}: {exc.reason}",
+        detail = ""
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            detail = f" ({payload.get('error', '')})"
+        except Exception:
+            pass
+        print(f"reproctl: server answered {exc.code}: {exc.reason}{detail}",
               file=sys.stderr)
         return 2
 
@@ -199,7 +296,36 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "server" and not args.raw_json:
         print(summarize_server(payload))
         return 0
+    if args.command == "trace" and not args.raw_json:
+        print(summarize_trace(payload))
+        return 0
     print(json.dumps(payload, indent=2))
+    return 0
+
+
+def top(args: argparse.Namespace) -> int:
+    """Compose the live slowest-rules / slowest-tenants view."""
+    try:
+        _, rules_body = protocol.http_get(
+            args.host, args.port, "/slow-rules",
+            {"limit": args.limit or ""},
+            timeout=args.timeout, token=args.token)
+        _, server_body = protocol.http_get(
+            args.host, args.port, "/server",
+            timeout=args.timeout, token=args.token)
+    except protocol.AdminUnreachable as exc:
+        print(f"reproctl: {exc}", file=sys.stderr)
+        return 1
+    except urllib.error.HTTPError as exc:
+        print(f"reproctl: server answered {exc.code}: {exc.reason}",
+              file=sys.stderr)
+        return 2
+    rules = json.loads(rules_body).get("rules", [])
+    server = json.loads(server_body)
+    if args.raw_json:
+        print(json.dumps({"rules": rules, "server": server}, indent=2))
+        return 0
+    print(summarize_top(rules, server))
     return 0
 
 

@@ -218,6 +218,14 @@ class ExecutionConfig:
         trace_capacity: number of traces the tracer retains before
             evicting oldest-first (only meaningful with observability
             enabled).
+        trace_sampling: fraction of would-be trace *roots* actually
+            recorded, in [0.0, 1.0] (default 1.0 — trace everything the
+            tracer is enabled for).  Sampling gates only root creation:
+            spans carrying an explicit context (an adopted wire
+            ``TraceContext``, an occurrence's ``trace_id``) or opened
+            under an active parent always attach, so a sampled request
+            is traced end to end and an unsampled one creates no spans
+            anywhere downstream.
         history_capacity: bound on each ECA-manager's local event
             history.  ``None`` (the default) keeps every occurrence, as
             the paper's compensation view requires; long-running
@@ -313,6 +321,7 @@ class ExecutionConfig:
     parallel_rules: bool = False
     observability: bool = False
     trace_capacity: int = 256
+    trace_sampling: float = 1.0
     history_capacity: Optional[int] = None
     detached_max_retries: int = 0
     retry_base_delay: float = 0.01
@@ -372,6 +381,8 @@ class ExecutionConfig:
             raise ValueError("gc_interval must be positive")
         if self.trace_capacity < 1:
             raise ValueError("trace_capacity must be >= 1")
+        if not 0.0 <= self.trace_sampling <= 1.0:
+            raise ValueError("trace_sampling must be in [0.0, 1.0]")
         if self.history_capacity is not None and self.history_capacity < 1:
             raise ValueError("history_capacity must be >= 1 or None")
         if self.detached_max_retries < 0:

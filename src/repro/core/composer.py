@@ -47,7 +47,7 @@ from repro.core.events import (
 )
 from repro.errors import ComposerStateError, EventDefinitionError
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
-from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.obs.tracer import _NULL_SPAN, NULL_TRACER, Tracer
 
 _GLOBAL_GROUP: Hashable = "*"
 
@@ -606,10 +606,15 @@ class Composer:
         if occ.spec_key not in self.interested_keys:
             return []
         self._m_fed.inc()
-        with self.tracer.span(self._span_name, "composer",
-                              trace_id=occ.trace_id,
-                              parent_id=occ.span_id,
-                              seq=occ.seq) as span:
+        tracer = self.tracer
+        if occ.trace_id is None and not tracer.active():
+            span_cm = _NULL_SPAN  # unsampled: skip attribute packing
+        else:
+            span_cm = tracer.span(self._span_name, "composer",
+                                  trace_id=occ.trace_id,
+                                  parent_id=occ.span_id,
+                                  seq=occ.seq)
+        with span_cm as span:
             with self._lock:
                 group = self._group_of(occ)
                 if group is None:

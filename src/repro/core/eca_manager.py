@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import queue
 import threading
+from time import perf_counter
 from typing import Any, Callable, Hashable, Optional
 
 from repro.config import ExecutionConfig
@@ -50,7 +51,7 @@ from repro.errors import ComposerStateError
 from repro.faults.registry import COMPOSER_DISPATCH, NULL_FAULTS, FaultRegistry
 from repro.obs.flight import NULL_FLIGHT, FlightRecorder
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
-from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.obs.tracer import _NULL_SPAN, NULL_TRACER, Tracer
 from repro.oodb.meta import (
     MetaArchitecture,
     PolicyManager,
@@ -116,10 +117,15 @@ class PrimitiveECAManager:
         """
         self.handled += 1
         self._m_handled.inc()
-        with self.tracer.span(self._span_name, "eca",
-                              trace_id=occ.trace_id,
-                              parent_id=occ.span_id,
-                              seq=occ.seq) as span:
+        tracer = self.tracer
+        if occ.trace_id is None and not tracer.active():
+            span_cm = _NULL_SPAN  # unsampled: skip attribute packing
+        else:
+            span_cm = tracer.span(self._span_name, "eca",
+                                  trace_id=occ.trace_id,
+                                  parent_id=occ.span_id,
+                                  seq=occ.seq)
+        with span_cm as span:
             if span is not None:
                 # Downstream spans (rule firings, composer feeds — even on
                 # other threads) parent under this ECA span via the
@@ -171,10 +177,15 @@ class CompositeECAManager:
     def handle_composite(self, occ: EventOccurrence) -> None:
         self.handled += 1
         self._m_handled.inc()
-        with self.tracer.span(self._span_name, "eca",
-                              trace_id=occ.trace_id,
-                              parent_id=occ.span_id,
-                              seq=occ.seq) as span:
+        tracer = self.tracer
+        if occ.trace_id is None and not tracer.active():
+            span_cm = _NULL_SPAN  # unsampled: skip attribute packing
+        else:
+            span_cm = tracer.span(self._span_name, "eca",
+                                  trace_id=occ.trace_id,
+                                  parent_id=occ.span_id,
+                                  seq=occ.seq)
+        with span_cm as span:
             if span is not None:
                 occ.span_id = span.span_id
             self.history.record(occ)
@@ -507,7 +518,9 @@ class EventService:
             timestamp=self.clock.now(),
             tx_ids=self._current_tx_ids() if tx_ids is None else tx_ids,
             parameters=parameters)
-        if not self.tracer.enabled and not self.flight.enabled:
+        tracer = self.tracer
+        flight = self.flight
+        if not tracer.enabled and not flight.enabled:
             # Disabled fast path: detection costs two attribute checks.
             self.route(occ)
             return occ
@@ -518,22 +531,47 @@ class EventService:
             span_name = self._detect_span_names[occ.spec_key] = \
                 f"detect:{spec.describe()}"
         sid = self._current_session_id()
-        if self.flight.enabled:
-            self.flight.record("event", seq=occ.seq,
-                               spec=span_name[7:], session=sid)
-        if not self.tracer.enabled:
+        if not tracer.enabled:
+            if flight.enabled:
+                flight.record("event", seq=occ.seq,
+                              spec=span_name[7:], session=sid)
+            self.route(occ)
+            return occ
+        # Signal-time stamp for the end-to-end detection-latency SLO
+        # histograms (observed by the scheduler at action completion).
+        occ.detected_at = perf_counter()
+        if not tracer.active():
+            # Root sampling is guaranteed to drop this trace: skip the
+            # span attempt (attribute packing included) entirely.  The
+            # occurrence travels context-free, like one from an
+            # untraced engine, but keeps its SLO timestamp.
+            if flight.enabled:
+                flight.record("event", seq=occ.seq,
+                              spec=span_name[7:], session=sid)
             self.route(occ)
             return occ
         # The detecting session travels on the trace root so exporters
         # and eviction tests can attribute whole traces to sessions.
         if sid is not None:
-            span_cm = self.tracer.span(span_name, "sentry", seq=occ.seq,
-                                       session_id=sid)
+            span_cm = tracer.span(span_name, "sentry", seq=occ.seq,
+                                  session_id=sid)
         else:
-            span_cm = self.tracer.span(span_name, "sentry", seq=occ.seq)
+            span_cm = tracer.span(span_name, "sentry", seq=occ.seq)
         with span_cm as span:
-            occ.trace_id = span.trace_id
-            occ.span_id = span.span_id
+            # ``span`` is None when root sampling dropped this trace; the
+            # occurrence then travels context-free, exactly like one from
+            # an untraced engine.
+            if span is not None:
+                occ.trace_id = span.trace_id
+                occ.span_id = span.span_id
+            if flight.enabled:
+                if span is not None:
+                    flight.record("event", seq=occ.seq,
+                                  spec=span_name[7:], session=sid,
+                                  trace_id=span.trace_id)
+                else:
+                    flight.record("event", seq=occ.seq,
+                                  spec=span_name[7:], session=sid)
             self.route(occ)
         return occ
 

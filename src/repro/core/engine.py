@@ -166,7 +166,8 @@ class ReachEngine:
         self.metrics_registry = MetricsRegistry(
             enabled=self.config.observability)
         self.tracer = Tracer(enabled=self.config.observability,
-                             capacity=self.config.trace_capacity)
+                             capacity=self.config.trace_capacity,
+                             sample_rate=self.config.trace_sampling)
 
         # -- flight recorder (repro.obs.flight) ---------------------------
         # Always on (fixed-cost ring) unless explicitly disabled; it is
@@ -221,7 +222,8 @@ class ReachEngine:
             stripes=concurrency.lock_stripes,
             metrics=self.metrics_registry, faults=self.faults,
             flight=self.flight,
-            flight_wait_threshold=self.config.flight_lock_wait_threshold)
+            flight_wait_threshold=self.config.flight_lock_wait_threshold,
+            tracer=self.tracer)
         self.tx_manager = TransactionManager(
             self.meta, self.locks, clock=self.clock, tracer=self.tracer,
             metrics=self.metrics_registry,
@@ -233,7 +235,8 @@ class ReachEngine:
                                       group_commit=self.config.group_commit,
                                       commit_wait_us=self.config.commit_wait_us,
                                       max_commit_batch=self.config.max_commit_batch,
-                                      flight=self.flight)
+                                      flight=self.flight,
+                                      tracer=self.tracer)
         if self.shard_map.shard_count > 1:
             allocator = ShardedOIDAllocator(
                 shard_id, self.shard_map.shard_count,
@@ -277,6 +280,11 @@ class ReachEngine:
                                        sentry_registry=self.sentry_registry,
                                        faults=self.faults,
                                        flight=self.flight)
+        # Per-tenant SLO attribution: the server names its sessions
+        # "<tenant>/<client>", and this hook is how the scheduler maps a
+        # firing's session back to that tenant without core importing
+        # the server package.
+        self.scheduler.tenant_resolver = self.tenant_of_session
         self.events = EventService(
             self.meta, self.tx_manager, self.scheduler,
             self.sentry_registry, self.clock, self.config,
@@ -384,6 +392,23 @@ class ReachEngine:
     def sessions(self) -> list[Session]:
         with self._lock:
             return list(self._sessions)
+
+    def tenant_of_session(self, session_id: int) -> Optional[str]:
+        """The tenant a session belongs to, or None for local sessions.
+
+        The network front end names wire sessions ``<tenant>/<client>``
+        (see :meth:`repro.server.server.ReachServer._handshake`); any
+        other session name has no tenant.  Used by the scheduler's
+        per-tenant SLO histograms (cached there per session id).
+        """
+        with self._lock:
+            for session in self._sessions:
+                if session.id == session_id:
+                    name = session.name or ""
+                    if "/" in name:
+                        return name.split("/", 1)[0]
+                    return None
+        return None
 
     def _forget_session(self, session: Session) -> None:
         with self._lock:

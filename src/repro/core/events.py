@@ -332,6 +332,10 @@ class EventOccurrence:
     #: deferred drains, detached rules) attach to the originating trace.
     trace_id: Optional[int] = None
     span_id: Optional[int] = None
+    #: ``perf_counter`` stamp taken at signal time when observability is
+    #: on (0.0 otherwise); the scheduler subtracts it at rule-action
+    #: completion for the end-to-end detection-latency SLO histograms.
+    detected_at: float = 0.0
 
     @property
     def spec_key(self) -> Hashable:

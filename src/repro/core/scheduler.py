@@ -33,7 +33,7 @@ from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.config import ExecutionConfig, TieBreakPolicy
 from repro.core.coupling import CouplingMode
@@ -167,6 +167,18 @@ class RuleScheduler:
         #: rule name -> "fire:<name>", built lazily; firing is the hot
         #: path, so the span name must not be re-formatted per firing.
         self._fire_span_names: dict[str, str] = {}
+        # -- end-to-end detection-latency SLO (signal -> action done) ----
+        self._h_detection = metrics.histogram("slo.detection_latency")
+        #: (rule name, mode) -> its labelled SLO histogram, built lazily.
+        self._slo_histograms: dict[tuple[str, CouplingMode], Any] = {}
+        #: session id -> tenant name (or None); resolved once per session
+        #: through :attr:`tenant_resolver` and cached — firing is hot.
+        self._tenant_cache: dict[Optional[int], Optional[str]] = {}
+        self._tenant_slo: dict[str, Any] = {}
+        #: optional session-id -> tenant-name hook, wired by the engine;
+        #: lets per-tenant SLO series exist without core importing server.
+        self.tenant_resolver: Optional[
+            Callable[[int], Optional[str]]] = None
         self.errors: BoundedErrorLog = BoundedErrorLog(
             config.error_log_capacity)
         self.firing_log: list[FiringRecord] = []
@@ -314,7 +326,7 @@ class RuleScheduler:
                 # are never retried: the rule ran in the triggering
                 # transaction's scope and its failure already surfaced
                 # there (Table 1 restricts retries to detached modes).
-                self._note_failure(rule)
+                self._note_failure(rule, occ=occ)
                 self._log(rule, mode, phase, occ, "error", tx.id,
                           session_id=tx.session_id)
                 if span is not None:
@@ -333,6 +345,8 @@ class RuleScheduler:
         tracer = self.tracer
         if not tracer.enabled:
             return _NULL_SPAN
+        if occ.trace_id is None and not tracer.active():
+            return _NULL_SPAN  # unsampled: skip attribute packing
         name = self._fire_span_names.get(rule.name)
         if name is None:
             name = self._fire_span_names[rule.name] = f"fire:{rule.name}"
@@ -643,14 +657,33 @@ class RuleScheduler:
             except Exception as exc:
                 failure = exc
             self.errors.append((rule, failure))
-            quarantined = self._note_failure(rule)
+            quarantined = self._note_failure(rule, occ=work.occ)
             if not quarantined and work.attempts <= retries_allowed:
                 self.stats.inc("detached_retries")
                 self._m_retries.inc()
-                self._backoff(work.attempts)
+                # The retry (backoff included) is a span of its own so a
+                # trace tree shows each attempt and the waiting between
+                # them; it attaches to the originating trace through the
+                # occurrence context, exactly like the firing spans.
+                with self._retry_span(work) as span:
+                    if span is not None:
+                        span.attributes["attempt"] = work.attempts
+                        span.attributes["error"] = \
+                            f"{type(failure).__name__}: {failure}"
+                    self._backoff(work.attempts)
                 continue
             self._dead_letter(work, failure)
             return
+
+    def _retry_span(self, work: DetachedWork):
+        """The span of one detached retry (null context when disabled)."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return _NULL_SPAN
+        occ = work.occ
+        return tracer.span(f"retry:{work.rule.name}", "scheduler",
+                           trace_id=occ.trace_id, parent_id=occ.span_id,
+                           mode=work.mode.value)
 
     def _attempt_detached(self, work: DetachedWork, before_commit) -> None:
         """One execution attempt in a fresh top-level transaction.
@@ -709,7 +742,8 @@ class RuleScheduler:
     def _note_success(self, rule: Rule) -> None:
         rule.consecutive_failures = 0
 
-    def _note_failure(self, rule: Rule) -> bool:
+    def _note_failure(self, rule: Rule,
+                      occ: Optional[EventOccurrence] = None) -> bool:
         """Record one failed execution; True iff the rule is quarantined."""
         rule.consecutive_failures += 1
         threshold = self.config.quarantine_threshold
@@ -721,8 +755,13 @@ class RuleScheduler:
             rule.enabled = False
             self.stats.inc("quarantined")
             self._m_quarantined.inc()
-            self.flight.record("rule.quarantine", rule=rule.name,
-                               failures=rule.consecutive_failures)
+            if occ is not None and occ.trace_id is not None:
+                self.flight.record("rule.quarantine", rule=rule.name,
+                                   failures=rule.consecutive_failures,
+                                   trace_id=occ.trace_id)
+            else:
+                self.flight.record("rule.quarantine", rule=rule.name,
+                                   failures=rule.consecutive_failures)
         return rule.quarantined
 
     def _dead_letter(self, work: DetachedWork, exc: BaseException) -> None:
@@ -738,8 +777,13 @@ class RuleScheduler:
                 self.dead_letters_dropped += excess
         self.stats.inc("dead_lettered")
         self._m_dead_letters.inc()
-        self.flight.record("rule.dead_letter", rule=entry.rule_name,
-                           error=entry.error, attempts=entry.attempts)
+        if work.occ.trace_id is not None:
+            self.flight.record("rule.dead_letter", rule=entry.rule_name,
+                               error=entry.error, attempts=entry.attempts,
+                               trace_id=work.occ.trace_id)
+        else:
+            self.flight.record("rule.dead_letter", rule=entry.rule_name,
+                               error=entry.error, attempts=entry.attempts)
 
     def dead_letter_list(self) -> list[DeadLetter]:
         with self._pending_lock:
@@ -804,6 +848,9 @@ class RuleScheduler:
              session_id: Optional[int] = None) -> None:
         if outcome == "executed":
             self._m_fired[mode].inc()
+            if self._observe_latency:
+                self._observe_detection_latency(rule, mode, occ,
+                                                session_id)
         elif outcome == "condition_false":
             self._m_condition_false.inc()
         elif outcome == "error":
@@ -811,10 +858,17 @@ class RuleScheduler:
         else:
             self._m_skipped.inc()
         if self.flight.enabled:
-            self.flight.record("rule.fire", rule=rule.name,
-                               mode=mode.value, phase=phase, seq=occ.seq,
-                               outcome=outcome, tx=tx_id,
-                               session=session_id)
+            if occ.trace_id is not None:
+                self.flight.record("rule.fire", rule=rule.name,
+                                   mode=mode.value, phase=phase,
+                                   seq=occ.seq, outcome=outcome, tx=tx_id,
+                                   session=session_id,
+                                   trace_id=occ.trace_id)
+            else:
+                self.flight.record("rule.fire", rule=rule.name,
+                                   mode=mode.value, phase=phase,
+                                   seq=occ.seq, outcome=outcome, tx=tx_id,
+                                   session=session_id)
         with self._log_lock:
             self.firing_log.append(FiringRecord(
                 rule_name=rule.name, mode=mode, phase=phase,
@@ -823,6 +877,48 @@ class RuleScheduler:
             if len(self.firing_log) > self.MAX_FIRING_LOG:
                 del self.firing_log[:len(self.firing_log)
                                     - self.MAX_FIRING_LOG]
+
+    def _observe_detection_latency(self, rule: Rule, mode: CouplingMode,
+                                   occ: EventOccurrence,
+                                   session_id: Optional[int]) -> None:
+        """Observe signal -> action-completion latency for one firing.
+
+        A composite occurrence carries no stamp of its own; the latency
+        is measured from its *completing* component — the composite
+        could not have been detected any earlier.  Occurrences with no
+        stamp (observability was off at signal time) are skipped.
+        Slow samples carry the occurrence's trace id as an exemplar.
+        """
+        detected_at = occ.detected_at
+        if not detected_at and occ.components:
+            detected_at = occ.components[-1].detected_at
+        if not detected_at:
+            return
+        elapsed = perf_counter() - detected_at
+        exemplar = occ.trace_id
+        self._h_detection.observe(elapsed, exemplar)
+        key = (rule.name, mode)
+        histogram = self._slo_histograms.get(key)
+        if histogram is None:
+            histogram = self._slo_histograms[key] = self.metrics.histogram(
+                f"slo.detection_latency.{rule.name}.{mode.value}")
+        histogram.observe(elapsed, exemplar)
+        resolver = self.tenant_resolver
+        if resolver is None or session_id is None:
+            return
+        cache = self._tenant_cache
+        if session_id in cache:
+            tenant = cache[session_id]
+        else:
+            tenant = cache[session_id] = resolver(session_id)
+        if tenant is None:
+            return
+        tenant_histogram = self._tenant_slo.get(tenant)
+        if tenant_histogram is None:
+            tenant_histogram = self._tenant_slo[tenant] = \
+                self.metrics.histogram(
+                    f"slo.tenant.{tenant}.detection_latency")
+        tenant_histogram.observe(elapsed, exemplar)
 
     def firing_log_for(self, session_id: int) -> list[FiringRecord]:
         """The firing-log slice attributed to one session (a consistent

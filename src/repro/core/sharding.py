@@ -60,6 +60,7 @@ from repro.core.rules import Action, Condition, Rule
 from repro.core.session import ShardedSession
 from repro.errors import ObjectNotFoundError, RuleDefinitionError
 from repro.obs.admin import AdminServer
+from repro.obs.tracer import merge_traces
 from repro.oodb.address_space import ShardMap
 from repro.oodb.oid import OID
 from repro.oodb.sentry import SentryRegistry
@@ -610,11 +611,25 @@ class ShardedEngine:
         return self._rules[name][1].shard_id
 
     def signal(self, name: str, **parameters: Any) -> None:
-        """Raise an explicit user signal on the signal's home shard."""
+        """Raise an explicit user signal on the signal's home shard.
+
+        Span stacks are per-shard-tracer thread locals, so a caller's
+        open span (an adopted wire request lives on the facade tracer,
+        shard 0) is invisible to another shard's tracer; a hop span
+        re-pins the caller's trace on the home shard so the detection
+        cascade lands in the same tree :meth:`trace` later merges.
+        """
         spec = SignalEventSpec(name)
         home = self.shards[self.shard_for_key(spec.key())]
+        current = self.tracer.current()
         with self.sentry_registry.bound():
-            home.events.emit(spec, parameters)
+            if current is None or home.tracer is self.tracer:
+                home.events.emit(spec, parameters)
+            else:
+                with home.tracer.span(f"hop:signal {name!r}", "bus",
+                                      trace_id=current.trace_id,
+                                      parent_id=current.span_id):
+                    home.events.emit(spec, parameters)
 
     def drain_detached(self) -> int:
         with self.sentry_registry.bound():
@@ -657,10 +672,32 @@ class ShardedEngine:
         return self.shards[0].metrics()
 
     def trace(self, trace_id: Optional[int] = None):
-        return self.shards[0].trace(trace_id)
+        """One assembled trace across every shard's tracer retention.
+
+        A single trace id spans tracers: the request/detection spans
+        live on the leaf's home shard, cross-shard composition on the
+        composite's.  Span/trace ids are allocated from process-global
+        counters precisely so this merge is well-defined.
+        """
+        if trace_id is None:
+            latest = self.shards[0].trace(None)
+            if latest is None:
+                return None
+            trace_id = latest.trace_id
+        return merge_traces(
+            shard.trace(trace_id) for shard in self.shards)
 
     def traces(self):
-        return self.shards[0].traces()
+        """Every retained trace, merged across shards, oldest first."""
+        order: list[int] = []
+        seen: set[int] = set()
+        for shard in self.shards:
+            for trace in shard.traces():
+                if trace.trace_id not in seen:
+                    seen.add(trace.trace_id)
+                    order.append(trace.trace_id)
+        merged = (self.trace(trace_id) for trace_id in order)
+        return [trace for trace in merged if trace is not None]
 
     def flight_recorder(self):
         return self.shards[0].flight_recorder()

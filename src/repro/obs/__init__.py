@@ -45,7 +45,15 @@ from repro.obs.metrics import (
     NullGauge,
     NullHistogram,
 )
-from repro.obs.tracer import NULL_TRACER, Span, Trace, Tracer
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Span,
+    Trace,
+    TraceContext,
+    Tracer,
+    merge_traces,
+    mint_trace_id,
+)
 
 __all__ = [
     "AdminServer",
@@ -70,9 +78,12 @@ __all__ = [
     "TelemetryExporter",
     "TelemetryPipeline",
     "Trace",
+    "TraceContext",
     "Tracer",
     "latest_dump",
     "load_dump",
+    "merge_traces",
+    "mint_trace_id",
     "render_prometheus",
     "slow_rules",
 ]

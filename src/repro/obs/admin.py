@@ -12,6 +12,7 @@ the engine's existing introspection surfaces:
 ``/stats``                ``engine.statistics()`` (the frozen-key snapshot)
 ``/metrics``              Prometheus text exposition of the metric registry
 ``/traces``               retained span trees (``?limit=N`` for the tail)
+``/trace/<id>``           one assembled trace (merged across shard tracers)
 ``/slow-rules``           per-rule firing latency aggregated from traces
 ``/locks``                lock table + ``concurrency_stats()`` (stripe waits)
 ``/wal``                  WAL depth: LSNs, buffered records, group commit
@@ -82,6 +83,15 @@ def slow_rules(engine: Any, limit: int = 20) -> list[dict[str, Any]]:
     return rows[:limit]
 
 
+class _EndpointError(Exception):
+    """An endpoint-specific HTTP error (status + JSON payload)."""
+
+    def __init__(self, status: int, payload: dict[str, Any]):
+        super().__init__(payload.get("error", ""))
+        self.status = status
+        self.payload = payload
+
+
 class AdminServer:
     """Loopback HTTP server over one engine; one daemon thread per request
     (``ThreadingHTTPServer``), started at construction, stopped by
@@ -131,6 +141,10 @@ class AdminServer:
                  for key, values in parse_qs(parsed.query).items()}
         try:
             result = self._dispatch(parsed.path, query)
+        except _EndpointError as exc:
+            self._respond(request, exc.status, "application/json",
+                          json.dumps(exc.payload))
+            return
         except KeyError:
             self._respond(request, 404, "application/json",
                           json.dumps({"error": f"no such endpoint: "
@@ -157,7 +171,10 @@ class AdminServer:
 
     def _dispatch(self, path: str, query: dict[str, str]) \
             -> tuple[str, str]:
-        handler = _ROUTES[path.rstrip("/") or "/"]
+        normalized = path.rstrip("/") or "/"
+        if normalized.startswith("/trace/"):
+            return self._trace(normalized[len("/trace/"):], query)
+        handler = _ROUTES[normalized]
         return handler(self, query)
 
     # -- endpoints -----------------------------------------------------------
@@ -167,7 +184,8 @@ class AdminServer:
                 json.dumps(payload, indent=2, default=repr))
 
     def _index(self, query: dict[str, str]) -> tuple[str, str]:
-        return self._json({"endpoints": sorted(_ROUTES)})
+        return self._json(
+            {"endpoints": sorted(_ROUTES) + ["/trace/<id>"]})
 
     def _stats(self, query: dict[str, str]) -> tuple[str, str]:
         return self._json(self.engine.statistics())
@@ -183,6 +201,24 @@ class AdminServer:
             traces = traces[-limit:]
         return self._json({"count": len(traces),
                            "traces": [trace.to_dict() for trace in traces]})
+
+    def _trace(self, raw_id: str, query: dict[str, str]) -> tuple[str, str]:
+        # One assembled cross-component trace tree.  ``engine.trace`` on
+        # a sharded topology merges every shard's tracer retention, so a
+        # trace spanning wire request, detection, cross-shard composition
+        # and detached execution comes back as one tree.
+        try:
+            trace_id = int(raw_id)
+        except ValueError:
+            raise _EndpointError(400, {
+                "error": f"trace id must be an integer, got {raw_id!r}"})
+        trace = self.engine.trace(trace_id)
+        if trace is None:
+            raise _EndpointError(404, {
+                "error": f"no such trace: {trace_id}",
+                "hint": "traces are retained up to the tracer capacity; "
+                        "see /traces for what is currently held"})
+        return self._json(trace.to_dict())
 
     def _slow_rules(self, query: dict[str, str]) -> tuple[str, str]:
         limit = int(query.get("limit", 20))

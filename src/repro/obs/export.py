@@ -258,6 +258,10 @@ class TelemetryPipeline:
         if session_id is None:
             session_id = self._root_session(span)
         record["session_id"] = session_id
+        tenant = attributes.get("tenant")
+        if tenant is None:
+            tenant = self._root_tenant(span)
+        record["tenant"] = tenant
         record["tx"] = attributes.get("tx")
         if span.kind == "scheduler" and span.name.startswith("fire:"):
             record["rule"] = span.name[5:]
@@ -280,6 +284,21 @@ class TelemetryPipeline:
             return None
         try:
             return spans[0].attributes.get("session_id")
+        except (IndexError, AttributeError):
+            return None
+
+    def _root_tenant(self, span: Span) -> Optional[str]:
+        """Resolve the tenant from the span's trace root (same benign
+        race as :meth:`_root_session`): a wire-originated trace's first
+        recorded span is the server request span, which carries the
+        authenticated ``tenant`` attribute."""
+        if self._tracer is None:
+            return None
+        spans = self._tracer._traces.get(span.trace_id)
+        if not spans:
+            return None
+        try:
+            return spans[0].attributes.get("tenant")
         except (IndexError, AttributeError):
             return None
 

@@ -28,6 +28,9 @@ import threading
 import time
 from typing import Any, Callable, Optional
 
+#: Slowest exemplared samples a histogram retains (per instrument).
+EXEMPLAR_CAPACITY = 8
+
 
 class Counter:
     """A monotonically increasing event count."""
@@ -93,10 +96,15 @@ class Histogram:
     ones (older samples fall out of the percentile window but remain in
     count/sum/min/max).  Trimming happens in blocks so the steady-state
     cost of ``observe`` stays amortized O(1).
+
+    ``observe`` optionally takes an *exemplar* — a trace id to pin to the
+    sample.  The histogram keeps the :data:`EXEMPLAR_CAPACITY` slowest
+    exemplared samples, so an operator looking at a bad p99 can jump
+    straight from the bucket to a concrete ``/trace/<id>`` tree.
     """
 
     __slots__ = ("name", "count", "total", "min", "max", "samples",
-                 "reservoir_size")
+                 "reservoir_size", "exemplars")
 
     def __init__(self, name: str, reservoir_size: int = 4096):
         self.name = name
@@ -106,8 +114,9 @@ class Histogram:
         self.min = float("inf")
         self.max = 0.0
         self.samples: list[float] = []
+        self.exemplars: list[tuple[float, Any]] = []
 
-    def observe(self, seconds: float) -> None:
+    def observe(self, seconds: float, exemplar: Any = None) -> None:
         self.count += 1
         self.total += seconds
         if seconds < self.min:
@@ -118,6 +127,18 @@ class Histogram:
         samples.append(seconds)
         if len(samples) >= self.reservoir_size * 2:
             del samples[:self.reservoir_size]
+        if exemplar is not None:
+            exemplars = self.exemplars
+            if len(exemplars) < EXEMPLAR_CAPACITY:
+                exemplars.append((seconds, exemplar))
+            else:
+                floor = min(exemplars)
+                if seconds > floor[0]:
+                    try:
+                        exemplars.remove(floor)
+                    except ValueError:
+                        pass          # benign race with a peer observer
+                    exemplars.append((seconds, exemplar))
 
     def time(self) -> _HistogramSample:
         """``with histogram.time(): ...`` records the block's duration."""
@@ -167,6 +188,10 @@ class Histogram:
             "p50": self._percentile_of(ordered, 50),
             "p95": self._percentile_of(ordered, 95),
             "p99": self._percentile_of(ordered, 99),
+            "exemplars": [
+                {"value": value, "trace_id": trace_id}
+                for value, trace_id in sorted(self.exemplars, reverse=True)
+            ],
         }
 
     def summary(self) -> dict[str, float]:
@@ -281,7 +306,7 @@ class NullGauge(Gauge):
 class NullHistogram(Histogram):
     __slots__ = ()
 
-    def observe(self, seconds: float) -> None:
+    def observe(self, seconds: float, exemplar: Any = None) -> None:
         pass
 
     def time(self) -> Any:
@@ -421,6 +446,7 @@ class MetricsRegistry:
             histogram.min = float("inf")
             histogram.max = 0.0
             histogram.samples.clear()
+            histogram.exemplars.clear()
 
 
 #: Registry used by components not wired to a database (always disabled).

@@ -19,16 +19,110 @@ Two parenting mechanisms cooperate:
   can attach its spans to the originating trace with no shared stack
   (this covers deferred drains at EOT and both detached variants).
 
+A third mechanism crosses *process* boundaries: a :class:`TraceContext`
+(trace id, parent span id, sampling decision) minted by a wire client
+travels in the reserved ``trace`` field of the request frame and is
+adopted by the server as the explicit context of the request span, so
+the whole server-side cascade — detection, cross-shard composition,
+detached execution, WAL commit wait — lands in the client's trace.
+
+Trace ids and span ids are drawn from process-global counters, so the
+per-shard tracers of a :class:`~repro.core.sharding.ShardedEngine` never
+collide and :func:`merge_traces` can assemble one tree from several
+tracers' retentions.  Clients mint ids via :func:`mint_trace_id` from a
+randomized high base so they cannot collide with server-born ids.
+
 Like the metrics registry, a disabled tracer costs one method call
 returning a shared null context manager — no allocation, no clock read.
+A ``sample_rate`` below 1.0 gates *root* creation: an unsampled request
+starts no trace, and because every downstream span attaches only to an
+existing parent (stack or occurrence context), the entire cascade stays
+span-free — the near-zero "unsampled" path the CI budget asserts.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 from time import perf_counter
-from typing import Any, Iterator, Optional
+from typing import Any, Iterable, Iterator, Optional
+
+# Process-global id streams shared by every tracer: uniqueness across
+# the shards of one engine (and across engines in one test process) is
+# what lets merge_traces() stitch shard-local retentions into one tree.
+_TRACE_IDS = itertools.count(1)
+_SPAN_IDS = itertools.count(1)
+
+# Client-minted ids start from a random 48-bit base per process: a
+# ReachClient in another process must not collide with server-born ids
+# (small integers) or with another client's stream.
+_MINT_IDS = itertools.count(
+    (int.from_bytes(os.urandom(6), "big") | (1 << 47)) << 16)
+
+
+def mint_trace_id() -> int:
+    """A process-unique, cross-process-collision-safe trace id."""
+    return next(_MINT_IDS)
+
+
+class TraceContext:
+    """Propagated trace context: what crosses the wire.
+
+    ``span_id`` is the parent span the receiver should attach under
+    (None when the sender has no open span — the adopted span becomes
+    the trace root).  ``sampled=False`` asks the receiver not to record
+    (senders normally just omit the context instead).
+    """
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(self, trace_id: int, span_id: Optional[int] = None,
+                 sampled: bool = True):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = sampled
+
+    def to_wire(self) -> dict[str, Any]:
+        """The reserved ``trace`` frame field (see repro.server.protocol)."""
+        wire: dict[str, Any] = {"id": self.trace_id}
+        if self.span_id is not None:
+            wire["span"] = self.span_id
+        if not self.sampled:
+            wire["sampled"] = False
+        return wire
+
+    @classmethod
+    def from_wire(cls, value: Any) -> Optional["TraceContext"]:
+        """Decode a frame field; None for anything malformed.
+
+        Tolerant by design: frames from older clients carry no context,
+        and a garbage field must never fail the request it rides on.
+        """
+        if not isinstance(value, dict):
+            return None
+        trace_id = value.get("id")
+        if not isinstance(trace_id, int) or isinstance(trace_id, bool) \
+                or trace_id <= 0:
+            return None
+        span_id = value.get("span")
+        if not isinstance(span_id, int) or isinstance(span_id, bool) \
+                or span_id <= 0:
+            span_id = None
+        sampled = value.get("sampled", True)
+        if not isinstance(sampled, bool):
+            sampled = True
+        return cls(trace_id, span_id, sampled)
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, TraceContext)
+                and self.trace_id == other.trace_id
+                and self.span_id == other.span_id
+                and self.sampled == other.sampled)
+
+    def __repr__(self) -> str:
+        return (f"<TraceContext trace={self.trace_id} "
+                f"span={self.span_id} sampled={self.sampled}>")
 
 
 class Span:
@@ -208,22 +302,30 @@ class Tracer:
     evicted oldest-first, so memory use is stable under sustained load.
     """
 
-    def __init__(self, enabled: bool = True, capacity: int = 256):
+    def __init__(self, enabled: bool = True, capacity: int = 256,
+                 sample_rate: float = 1.0):
         self.enabled = enabled
         self.capacity = capacity
-        self._trace_ids = itertools.count(1)
-        self._span_ids = itertools.count(1)
-        # Bound methods of the id counters: span creation is the hot
-        # path, and ``next(x)`` costs a global lookup per span.
-        self._next_trace_id = self._trace_ids.__next__
-        self._next_span_id = self._span_ids.__next__
+        #: fraction of would-be trace roots actually recorded (see
+        #: ``ExecutionConfig(trace_sampling=...)``).  Gates only *root*
+        #: creation: spans with an explicit context or an active parent
+        #: always attach, so an adopted wire context is never dropped
+        #: mid-trace.
+        self.sample_rate = sample_rate
+        self._sample_acc = 0.0
+        # Bound methods of the process-global id counters: span creation
+        # is the hot path, and ``next(x)`` costs a global lookup per span.
+        self._next_trace_id = _TRACE_IDS.__next__
+        self._next_span_id = _SPAN_IDS.__next__
         # Insertion-ordered (plain dicts are, since 3.7) so eviction can
         # drop the oldest trace; a plain dict keeps get/insert cheap.
         self._traces: dict[int, list[Span]] = {}
         self._lock = threading.Lock()
         self._local = threading.local()
-        #: whole traces dropped by capacity eviction (drop accounting:
-        #: ``evicted + len(tracer)`` equals the number of traces born).
+        #: traces ever recorded by this tracer (drop accounting:
+        #: ``evicted + len(tracer)`` equals ``born``).
+        self.born = 0
+        #: whole traces dropped by capacity eviction.
         self.evicted = 0
         #: per-finished-span export hook (see :meth:`set_sink`).
         self._sink = None
@@ -260,6 +362,15 @@ class Tracer:
                 trace_id = current.trace_id
                 parent_id = current.span_id
             else:
+                # A brand-new root: the only place sampling applies.
+                # The accumulator is racy under threads — statistics,
+                # not ledgers, like the rest of the obs substrate.
+                if self.sample_rate < 1.0:
+                    acc = self._sample_acc + self.sample_rate
+                    if acc < 1.0:
+                        self._sample_acc = acc
+                        return _NULL_SPAN
+                    self._sample_acc = acc - 1.0
                 trace_id = self._next_trace_id()
         # Construct without __init__ — spans are the hot-path allocation
         # (several per detected event) and the extra frame shows up in
@@ -328,6 +439,28 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def active(self) -> bool:
+        """Would a context-free span opened now on this thread record?
+
+        False exactly when :meth:`span` called without an explicit
+        ``trace_id`` is guaranteed to return the null context: roots are
+        fully suppressed (``sample_rate == 0.0``) and no parent span is
+        open on this thread.  Hot call sites check this before packing
+        span attributes, so the unsampled path skips the attribute dict
+        and the span-machinery call entirely — the bulk of the "near
+        zero when unsampled" budget.  With any positive sample rate it
+        returns True and the accumulator in :meth:`span` decides.
+        """
+        if not self.enabled:
+            return False
+        if self.sample_rate > 0.0:
+            return True
+        try:
+            stack = self._local.stack
+        except AttributeError:
+            return False
+        return bool(stack)
+
     # -- retention and querying ------------------------------------------------
 
     def _record_new(self, span: Span) -> None:
@@ -336,7 +469,12 @@ class Tracer:
         # target) so sustained detection pays an amortized O(1) cost.
         # Readers trim down to ``capacity`` exactly (see _evict_to).
         traces = self._traces
-        traces.setdefault(span.trace_id, []).append(span)
+        spans = traces.get(span.trace_id)
+        if spans is None:
+            traces[span.trace_id] = [span]
+            self.born += 1
+        else:
+            spans.append(span)
         if len(traces) >= self.capacity * 2:
             self._evict_to(self.capacity)
 
@@ -378,6 +516,36 @@ class Tracer:
         self._evict_to(self.capacity)
         with self._lock:
             return len(self._traces)
+
+
+def merge_traces(parts: Iterable[Optional[Trace]]) -> Optional[Trace]:
+    """Assemble one trace from several tracers' retentions.
+
+    A sharded engine records one trace id across many tracers (the
+    coordinator's request span in shard 0, the detection on the home
+    shard, cross-shard composition on another).  Spans are merged in
+    start order so parents precede children — span starts come from one
+    process-wide ``perf_counter`` clock, and a child cannot start before
+    its parent opened.  Returns None when no part holds any spans.
+    """
+    spans: list[Span] = []
+    trace_id = None
+    for part in parts:
+        if part is None or not part.spans:
+            continue
+        if trace_id is None:
+            trace_id = part.trace_id
+        spans.extend(part.spans)
+    if trace_id is None:
+        return None
+    seen: set[int] = set()
+    unique = []
+    for span in sorted(spans, key=lambda s: s.start):
+        if span.span_id in seen:
+            continue
+        seen.add(span.span_id)
+        unique.append(span)
+    return Trace(trace_id, unique)
 
 
 #: Tracer used by components not wired to a database (always disabled).

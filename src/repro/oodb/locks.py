@@ -80,7 +80,8 @@ class LockManager:
                  metrics: MetricsRegistry = NULL_METRICS,
                  faults: FaultRegistry = NULL_FAULTS,
                  flight: FlightRecorder = NULL_FLIGHT,
-                 flight_wait_threshold: float = 0.010):
+                 flight_wait_threshold: float = 0.010,
+                 tracer: Any = None):
         if stripes < 1:
             raise ValueError("stripes must be >= 1")
         self._stripes = tuple(_Stripe(i) for i in range(stripes))
@@ -107,6 +108,10 @@ class LockManager:
         #: ``flight_wait_threshold`` seconds, plus every deadlock/timeout.
         self._flight = flight
         self._flight_wait_threshold = flight_wait_threshold
+        #: optional tracer handle, only consulted when a slow wait is
+        #: flight-recorded: the waiting thread's open span (if any) joins
+        #: the record to its trace.
+        self._tracer = tracer
 
     @property
     def stripe_count(self) -> int:
@@ -215,10 +220,17 @@ class LockManager:
     def _flight_wait(self, family: int, resource: Hashable, mode: LockMode,
                      started: float, outcome: str) -> None:
         if self._flight.enabled:
-            self._flight.record(
-                "lock.wait", family=family, resource=repr(resource)[:80],
-                mode=mode.value, outcome=outcome,
-                wait_ms=round((time.monotonic() - started) * 1e3, 3))
+            record = {
+                "family": family, "resource": repr(resource)[:80],
+                "mode": mode.value, "outcome": outcome,
+                "wait_ms": round((time.monotonic() - started) * 1e3, 3),
+            }
+            tracer = self._tracer
+            if tracer is not None and tracer.enabled:
+                span = tracer.current()
+                if span is not None:
+                    record["trace_id"] = span.trace_id
+            self._flight.record("lock.wait", **record)
 
     def _is_next_compatible_waiter(self, state: _LockState,
                                    entry: tuple[int, LockMode]) -> bool:

@@ -337,11 +337,14 @@ class TransactionManager:
         # (e.g. the scheduler's ``fire:`` span committing a rule's
         # subtransaction), the commit becomes a child span of it; plain
         # user commits open no span at all.
-        if not self.tracer.enabled:
+        tracer = self.tracer
+        if not tracer.enabled or tracer.current() is None:
+            # No open span on this thread means child_span would bail
+            # anyway; checking here skips the attribute packing.
             self._commit(tx)
             return
-        with self.tracer.child_span("tx:commit", "tx", tx_id=tx.id,
-                                    top_level=tx.is_top_level):
+        with tracer.child_span("tx:commit", "tx", tx_id=tx.id,
+                               top_level=tx.is_top_level):
             self._commit(tx)
 
     def _commit(self, tx: Transaction) -> None:
@@ -384,11 +387,12 @@ class TransactionManager:
     def abort(self, tx: Optional[Transaction] = None) -> None:
         """Abort ``tx``: run its undo log in reverse and signal Abort."""
         tx = tx or self.require_current()
-        if not self.tracer.enabled:
+        tracer = self.tracer
+        if not tracer.enabled or tracer.current() is None:
             self._abort(tx)
             return
-        with self.tracer.child_span("tx:abort", "tx", tx_id=tx.id,
-                                    top_level=tx.is_top_level):
+        with tracer.child_span("tx:abort", "tx", tx_id=tx.id,
+                               top_level=tx.is_top_level):
             self._abort(tx)
 
     def _abort(self, tx: Transaction) -> None:

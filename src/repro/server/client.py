@@ -37,6 +37,7 @@ from repro.errors import (
     RateLimitedError,
     ReachClientError,
 )
+from repro.obs.tracer import TraceContext, mint_trace_id
 from repro.server import protocol
 
 
@@ -138,13 +139,25 @@ class ReachClient:
                  token: Optional[str] = None,
                  client_name: Optional[str] = None,
                  timeout: Optional[float] = 30.0,
-                 max_frame_bytes: int = protocol.MAX_FRAME_BYTES):
+                 max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+                 trace_sampling: float = 1.0):
+        if not 0.0 <= trace_sampling <= 1.0:
+            raise ValueError("trace_sampling must be in [0.0, 1.0]")
         self.host = host
         self.port = port
         self.token = token
         self.client_name = client_name or f"client-{next(self._client_ids)}"
         self.timeout = timeout
         self.max_frame_bytes = max_frame_bytes
+        #: fraction of requests that mint a trace context (the client
+        #: half of distributed tracing; the server only records adopted
+        #: contexts when its engine runs with observability on).
+        self.trace_sampling = trace_sampling
+        self._sample_acc = 0.0
+        #: the context minted for the most recent sampled request —
+        #: ``client.last_trace.trace_id`` is what ``/trace/<id>`` and
+        #: ``reproctl trace`` take.
+        self.last_trace: Optional[TraceContext] = None
         self._lock = threading.Lock()
         self._request_ids = itertools.count(1)
         self._idem_ids = itertools.count(1)
@@ -193,6 +206,9 @@ class ReachClient:
         params = {key: value for key, value in params.items()
                   if value is not None}
         frame = protocol.request(op, request_id, **params)
+        context = self._mint_trace()
+        if context is not None:
+            frame[protocol.TRACE_KEY] = protocol.encode_trace(context)
         try:
             protocol.write_frame(sock, frame,
                                  max_bytes=self.max_frame_bytes)
@@ -220,6 +236,25 @@ class ReachClient:
         if code == protocol.ERR_RATE_LIMITED:
             raise RateLimitedError(message)
         raise ReachClientError(code, message)
+
+    def _mint_trace(self) -> Optional[TraceContext]:
+        """The per-request sampling decision; None when unsampled.
+
+        The unsampled path is one float add and a compare — the
+        near-zero budget the obs-overhead CI job asserts.
+        """
+        rate = self.trace_sampling
+        if rate <= 0.0:
+            return None
+        if rate < 1.0:
+            acc = self._sample_acc + rate
+            if acc < 1.0:
+                self._sample_acc = acc
+                return None
+            self._sample_acc = acc - 1.0
+        context = TraceContext(mint_trace_id())
+        self.last_trace = context
+        return context
 
     def call_op(self, op: str, **params: Any) -> Any:
         """Escape hatch: send any raw protocol op."""

@@ -23,6 +23,19 @@ response without re-applying the request (``"replayed": true`` rides
 along), which is what makes retrying a commit over a cut connection
 safe.
 
+``trace`` is the reserved trace-context field (distributed tracing)::
+
+    {"op": "signal", "id": 9, "name": "reading", "parameters": {...},
+     "trace": {"id": 8123456789, "span": 17, "sampled": true}}
+
+A sampled client mints a :class:`~repro.obs.tracer.TraceContext` per
+request; the server adopts it as the explicit context of its request
+span, so the whole server-side cascade (detection, cross-shard
+composition, detached firing, WAL commit wait) lands in the client's
+trace.  The field is optional and decoded tolerantly via
+:func:`decode_trace` — frames from older clients simply have no
+context, and garbage in the field never fails the request.
+
 Defensive decoding: :class:`FrameDecoder` accepts arbitrary byte
 garbage without ever raising anything but :class:`ProtocolError` /
 :class:`FrameTooLargeError`, and a truncated stream simply leaves bytes
@@ -44,10 +57,15 @@ from repro.errors import (
     FrameTooLargeError,
     ProtocolError,
 )
+from repro.obs.tracer import TraceContext
 
 #: Protocol revision, echoed in the hello response; bumped on any change
-#: a deployed client could observe.
+#: a deployed client could observe.  The ``trace`` field is additive and
+#: ignored by older servers, so it does not bump the version.
 PROTOCOL_VERSION = 1
+
+#: Reserved request key carrying the wire trace context.
+TRACE_KEY = "trace"
 
 #: Default bound on one frame's payload (1 MiB); ServerConfig can lower
 #: or raise it per deployment.
@@ -195,6 +213,20 @@ def error_response(request_id: Optional[int], code: str,
                    message: str) -> dict[str, Any]:
     return {"id": request_id, "ok": False,
             "error": {"code": code, "message": message}}
+
+
+def encode_trace(context: TraceContext) -> dict[str, Any]:
+    """The wire form of a trace context (the ``trace`` request field)."""
+    return context.to_wire()
+
+
+def decode_trace(value: Any) -> Optional[TraceContext]:
+    """Decode a request's ``trace`` field; None when absent/malformed.
+
+    Never raises: a request from an older client (no field) or a
+    corrupted field must be served normally, just untraced.
+    """
+    return TraceContext.from_wire(value)
 
 
 # -- admin-endpoint (HTTP) helpers ------------------------------------------

@@ -61,6 +61,8 @@ from repro.faults.registry import (
     SERVER_READ,
     SERVER_WRITE,
 )
+from repro.obs.metrics import Histogram
+from repro.obs.tracer import _NULL_SPAN as _NULL_REQUEST_SPAN
 from repro.oodb.oid import OID
 from repro.oodb.sentry import sentried
 from repro.server import protocol
@@ -269,6 +271,8 @@ class ReachServer:
             "rate_limited": 0, "protocol_errors": 0, "faults": 0,
         }
         self._tenant_counters: dict[str, dict[str, int]] = {}
+        self._tenant_latency: dict[str, Histogram] = {}
+        self._request_span_names: dict[str, str] = {}
         self._ops = {
             "ping": self._op_ping,
             "begin": self._op_begin,
@@ -530,6 +534,10 @@ class ReachServer:
         client_name = hello.get("client") or f"wire-{conn.id}"
         conn.session = self.engine.create_session(
             name=f"{tenant}/{client_name}")
+        context = protocol.decode_trace(hello.get(protocol.TRACE_KEY))
+        if context is not None:
+            self.flight.record("server", action="hello", conn=conn.id,
+                               tenant=tenant, trace_id=context.trace_id)
         return self._try_write(conn, ok_response(request_id, {
             "protocol": PROTOCOL_VERSION,
             "server": "reproserve",
@@ -618,9 +626,13 @@ class ReachServer:
             self._bump("errors")
             return error_response(request_id, ERR_UNKNOWN_OP,
                                   f"unknown op {op!r}")
+        context = protocol.decode_trace(payload.get(protocol.TRACE_KEY))
         if not self._admit(conn):
-            self.flight.record("server", action="rate_limited",
-                               tenant=conn.tenant, op=op)
+            record = {"action": "rate_limited", "tenant": conn.tenant,
+                      "op": op}
+            if context is not None:
+                record["trace_id"] = context.trace_id
+            self.flight.record("server", **record)
             return error_response(request_id, ERR_RATE_LIMITED,
                                   f"tenant {conn.tenant!r} is over its "
                                   f"request budget")
@@ -631,28 +643,51 @@ class ReachServer:
                 self._bump("served")
                 return ok_response(request_id, cached, replayed=True)
         conn.requests += 1
-        try:
-            result = handler(conn, payload)
-        except ReachClientError as exc:
-            self._bump("errors")
-            return error_response(request_id, exc.code, exc.message)
-        except InjectedFault as exc:
-            self._bump("faults")
-            return error_response(request_id, "fault", str(exc))
-        except ObjectNotFoundError as exc:
-            self._bump("errors")
-            return error_response(request_id, "not_found", str(exc))
-        except TransactionError as exc:
-            self._bump("errors")
-            return error_response(request_id, "tx_error", str(exc))
-        except RuleError as exc:
-            self._bump("errors")
-            return error_response(request_id, "rule_error", str(exc))
-        except (ReachError, Exception) as exc:
-            self._bump("errors")
-            return error_response(
-                request_id, protocol.ERR_APP,
-                f"{type(exc).__name__}: {exc}")
+        # The request span: adopted from the client's wire context when
+        # one rode along (so the whole server-side cascade lands in the
+        # client's trace), locally rooted (subject to trace sampling)
+        # otherwise.  Synchronous detection parents onto it through the
+        # thread-local stack; detached work inherits via the occurrence.
+        tracer = self.engine.tracer
+        if context is not None and context.sampled:
+            span_cm = tracer.span(
+                self._span_name(op), "server",
+                trace_id=context.trace_id, parent_id=context.span_id,
+                tenant=conn.tenant, op=op)
+        elif tracer.enabled:
+            span_cm = tracer.span(self._span_name(op), "server",
+                                  tenant=conn.tenant, op=op)
+        else:
+            span_cm = _NULL_REQUEST_SPAN
+        started = time.perf_counter()
+        failure: Optional[tuple[str, str, str]] = None
+        result: Any = None
+        with span_cm as span:
+            try:
+                result = handler(conn, payload)
+            except ReachClientError as exc:
+                failure = ("errors", exc.code, exc.message)
+            except InjectedFault as exc:
+                failure = ("faults", "fault", str(exc))
+            except ObjectNotFoundError as exc:
+                failure = ("errors", "not_found", str(exc))
+            except TransactionError as exc:
+                failure = ("errors", "tx_error", str(exc))
+            except RuleError as exc:
+                failure = ("errors", "rule_error", str(exc))
+            except (ReachError, Exception) as exc:
+                failure = ("errors", protocol.ERR_APP,
+                           f"{type(exc).__name__}: {exc}")
+            if span is not None and failure is not None:
+                span.attributes["error"] = failure[1]
+        self._observe_request(
+            conn.tenant, time.perf_counter() - started,
+            failed=failure is not None,
+            trace_id=context.trace_id if context is not None else None)
+        if failure is not None:
+            counter, code, message = failure
+            self._bump(counter)
+            return error_response(request_id, code, message)
         self._bump("served")
         if isinstance(idem, str):
             # Cache BEFORE the ack write: if the connection dies during
@@ -661,11 +696,43 @@ class ReachServer:
             self._idempotency.put(conn.tenant, idem, result)
         return ok_response(request_id, result)
 
+    def _span_name(self, op: str) -> str:
+        name = self._request_span_names.get(op)
+        if name is None:
+            name = self._request_span_names[op] = f"request:{op}"
+        return name
+
+    def _observe_request(self, tenant: str, elapsed: float,
+                         failed: bool, trace_id: Optional[int]) -> None:
+        """Per-tenant SLO bookkeeping for one served/errored request."""
+        with self._lock:
+            counters = self._tenant_counters.get(tenant)
+            if counters is None:
+                counters = self._tenant_counters[tenant] = {
+                    "requests": 0, "rate_limited": 0, "errors": 0}
+            if failed:
+                counters["errors"] = counters.get("errors", 0) + 1
+            histogram = self._tenant_latency.get(tenant)
+            if histogram is None:
+                histogram = self._tenant_latency[tenant] = Histogram(
+                    f"server.tenant.{tenant}.latency")
+        histogram.observe(elapsed, exemplar=trace_id)
+        # Mirror into the engine registry so render_prometheus exports
+        # the per-tenant series (no-ops when metrics are disabled).
+        registry = self.engine.metrics_registry
+        if registry.enabled:
+            registry.counter(f"server.tenant.{tenant}.requests").inc()
+            if failed:
+                registry.counter(f"server.tenant.{tenant}.errors").inc()
+            registry.histogram(
+                f"server.tenant.{tenant}.latency").observe(
+                    elapsed, exemplar=trace_id)
+
     def _admit(self, conn: _Connection) -> bool:
         tenant = conn.tenant
         with self._lock:
             counters = self._tenant_counters.setdefault(
-                tenant, {"requests": 0, "rate_limited": 0})
+                tenant, {"requests": 0, "rate_limited": 0, "errors": 0})
             counters["requests"] += 1
             if self.config.rate_limit is None:
                 return True
@@ -856,8 +923,13 @@ class ReachServer:
             counters = dict(self._counters)
             tenants = {tenant: dict(values) for tenant, values
                        in self._tenant_counters.items()}
+            latencies = dict(self._tenant_latency)
             active = len(self._connections)
             draining = self._draining
+        for tenant, histogram in latencies.items():
+            entry = tenants.get(tenant)
+            if entry is not None:
+                entry["latency"] = histogram.snapshot()
         try:
             address: Optional[list[Any]] = list(self.address)
         except RuntimeError:

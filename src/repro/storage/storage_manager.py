@@ -24,7 +24,7 @@ import os
 import struct
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
 from repro.errors import RecordNotFoundError, StorageError
 from repro.faults.registry import (
@@ -68,9 +68,15 @@ class StorageManager:
                  group_commit: bool = False,
                  commit_wait_us: float = 200.0,
                  max_commit_batch: int = 32,
-                 flight: FlightRecorder = NULL_FLIGHT):
+                 flight: FlightRecorder = NULL_FLIGHT,
+                 tracer: Any = None):
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
+        #: optional tracer: the WAL commit wait (flush or group-commit
+        #: barrier) gets its own child span under the committing thread's
+        #: open ``tx:commit`` span, so a trace tree shows how much of a
+        #: commit was fsync.
+        self._tracer = tracer
         self._fp_commit = faults.point(STORAGE_COMMIT)
         self._fp_checkpoint = faults.point(STORAGE_CHECKPOINT)
         self._fp_page_flush = faults.point(STORAGE_PAGE_FLUSH)
@@ -255,16 +261,31 @@ class StorageManager:
         the lock release because the lock manager above serializes
         conflicting transactions until after commit returns.
         """
+        tracer = self._tracer
         with self._lock:
             ws = self._require_tx(tx_id)
             self._fp_commit.hit(tx_id=tx_id)
             lsn = self._wal.append(LogRecord(LogRecordType.COMMIT,
                                              tx_id=tx_id))
             if not self._wal.group_commit:
-                self._wal.flush()
+                # The commit wait (inline fsync here, the group-commit
+                # barrier below) gets its own child span under the
+                # committing thread's tx:commit span, so a trace tree
+                # shows how much of a commit was durability wait.
+                if tracer is not None and tracer.enabled:
+                    with tracer.child_span("wal:commit_wait", "wal",
+                                           lsn=lsn):
+                        self._wal.flush()
+                else:
+                    self._wal.flush()
                 self._apply_committed(tx_id, ws)
                 return
-        self._wal.sync(lsn)
+        if tracer is not None and tracer.enabled:
+            with tracer.child_span("wal:commit_wait", "wal", lsn=lsn,
+                                   group=True):
+                self._wal.sync(lsn)
+        else:
+            self._wal.sync(lsn)
         with self._lock:
             self._apply_committed(tx_id, ws)
 

@@ -327,3 +327,59 @@ class TestServerRoute:
             capture_output=True, text=True, timeout=30)
         assert result.returncode == 1
         assert "cannot reach" in result.stderr
+
+
+class TestReproctlTraceAndTop:
+    """``reproctl trace <id>`` / ``reproctl top`` and their exit codes."""
+
+    def _ctl(self, db, *args):
+        host, port = db.admin_address
+        return subprocess.run(
+            [sys.executable, REPROCTL, "--host", host,
+             "--port", str(port), *args],
+            capture_output=True, text=True, timeout=30)
+
+    def test_trace_renders_the_span_tree(self, db):
+        trace = db.trace()
+        result = self._ctl(db, "trace", str(trace.trace_id))
+        assert result.returncode == 0, result.stderr
+        assert (f"trace {trace.trace_id} spans={len(trace.spans)}"
+                in result.stdout)
+        assert "detect:" in result.stdout
+        raw = self._ctl(db, "--json", "trace", str(trace.trace_id))
+        assert raw.returncode == 0, raw.stderr
+        assert json.loads(raw.stdout)["trace_id"] == trace.trace_id
+
+    def test_unknown_trace_id_exits_two(self, db):
+        result = self._ctl(db, "trace", "987654321987")
+        assert result.returncode == 2
+        assert "404" in result.stderr
+        assert "no such trace" in result.stderr
+
+    def test_garbage_trace_id_exits_two(self, db):
+        result = self._ctl(db, "trace", "not-a-trace-id")
+        assert result.returncode == 2
+        assert "400" in result.stderr
+
+    def test_missing_trace_id_is_a_usage_error(self, db):
+        result = self._ctl(db, "trace")
+        assert result.returncode == 2
+        assert "trace id" in result.stderr
+
+    def test_top_summarizes_rules_and_tenants(self, db):
+        result = self._ctl(db, "top")
+        assert result.returncode == 0, result.stderr
+        assert "slowest rules" in result.stdout
+        assert "slowest tenants" in result.stdout
+        raw = self._ctl(db, "--json", "top")
+        assert raw.returncode == 0, raw.stderr
+        payload = json.loads(raw.stdout)
+        assert "rules" in payload and "server" in payload
+
+    def test_top_unreachable_exits_one(self):
+        result = subprocess.run(
+            [sys.executable, REPROCTL, "--port", "1",
+             "--timeout", "0.5", "top"],
+            capture_output=True, text=True, timeout=30)
+        assert result.returncode == 1
+        assert "cannot reach" in result.stderr

@@ -568,8 +568,9 @@ class TestTracerEvictionUnderConcurrency:
         traces = db.traces()          # trims down to capacity exactly
         assert len(traces) <= 256
         # Drop accounting: every trace ever born is either retained or
-        # counted as evicted.  (Consuming one id reads the birth count.)
-        born = next(db.tracer._trace_ids) - 1
+        # counted as evicted.  (Trace ids are process-global now, so the
+        # tracer counts its own births explicitly.)
+        born = db.tracer.born
         assert born >= 16 * 40
         assert db.tracer.evicted + len(traces) == born
         assert db.tracer.evicted >= born - 256
